@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation of the auto-tuning design (DESIGN.md Section 4): with an
+ * equal proxy-evaluation budget, compare
+ *   (a) no tuning -- initial hotspot-ratio weights only,
+ *   (b) random search -- uniform random parameter vectors,
+ *   (c) the paper's decision-tree-guided tuner,
+ * on Proxy TeraSort, plus the tuner's parameter-importance readout
+ * (which knobs the trees consider most behaviour-determining).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace dmpb;
+using namespace dmpb::bench;
+
+int
+main()
+{
+    ClusterConfig cluster = paperCluster5();
+    auto workload = makeTeraSort();
+    RealRef real = realReference(*workload, cluster, "TeraSort_w5");
+
+    TunerConfig config;  // default budget
+
+    std::printf("== Ablation: tuning strategy vs achieved accuracy "
+                "(Proxy TeraSort)\n");
+    TextTable t;
+    t.header({"Strategy", "Avg accuracy", "Max deviation",
+              "Evaluations"});
+
+    // (a) No tuning.
+    {
+        ProxyBenchmark proxy = decomposeWorkload(*workload);
+        ProxyResult r = proxy.execute(cluster.node, config.trace_cap);
+        double worst = 0.0;
+        for (Metric m : accuracyMetricSet()) {
+            worst = std::max(worst, metricDeviation(
+                                        m, real.metrics[m],
+                                        r.metrics[m]));
+        }
+        t.row({"initial weights only",
+               pct(averageAccuracy(real.metrics, r.metrics)),
+               pct(worst), "1"});
+    }
+
+    // (b) Random search with the same evaluation budget.
+    {
+        ProxyBenchmark proxy = decomposeWorkload(*workload);
+        auto params = proxy.parameters();
+        std::uint32_t budget =
+            1 + config.impact_samples *
+                    static_cast<std::uint32_t>(params.size()) +
+            config.max_iterations;
+        Rng rng(4242);
+        double best_avg = 0.0;
+        double best_worst = 1e300;
+        for (std::uint32_t e = 0; e < budget; ++e) {
+            ProxyBenchmark trial = proxy;
+            for (const TunableParam &p : trial.parameters()) {
+                double v = rng.nextDouble(p.lo, p.hi);
+                if (p.integer)
+                    v = std::round(v);
+                trial.setParameter(p.name, v);
+            }
+            ProxyResult r = trial.execute(cluster.node,
+                                          config.trace_cap);
+            double worst = 0.0;
+            for (Metric m : accuracyMetricSet()) {
+                worst = std::max(worst,
+                                 metricDeviation(m, real.metrics[m],
+                                                 r.metrics[m]));
+            }
+            if (worst < best_worst) {
+                best_worst = worst;
+                best_avg = averageAccuracy(real.metrics, r.metrics);
+            }
+        }
+        t.row({"random search", pct(best_avg), pct(best_worst),
+               std::to_string(budget)});
+    }
+
+    // (c) Decision-tree-guided tuning (fresh, uncached).
+    {
+        ProxyBenchmark proxy = decomposeWorkload(*workload);
+        AutoTuner tuner(real.metrics, config);
+        TunerReport rep = tuner.tune(proxy, cluster.node);
+        t.row({"decision tree (paper)", pct(rep.avg_accuracy),
+               pct(rep.max_deviation),
+               std::to_string(rep.evaluations)});
+
+        t.print();
+
+        std::printf("\nparameter importance (variance reduction "
+                    "aggregated over the metric trees):\n");
+        for (const auto &[name, importance] :
+             tuner.parameterImportance()) {
+            std::printf("  %-30s %.3f\n", name.c_str(), importance);
+        }
+    }
+    return 0;
+}

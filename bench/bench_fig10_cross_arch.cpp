@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 10: relative performance across architectures. Real and proxy
+ * runtime speedups going from Xeon E5645 (Westmere) to Xeon E5-2620
+ * v3 (Haswell) on 3-node clusters. The paper reports speedups in
+ * [1.1, 1.8], consistent between real and proxy (e.g. TeraSort 1.6 vs
+ * 1.61), with AlexNet lowest and K-means highest.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace dmpb;
+using namespace dmpb::bench;
+
+int
+main()
+{
+    ClusterConfig c5 = paperCluster5();
+    ClusterConfig cw = paperCluster3();
+    ClusterConfig ch = haswellCluster3();
+    std::printf("== Fig. 10: runtime speedup, Westmere -> Haswell "
+                "(3-node clusters)\n");
+
+    std::vector<std::unique_ptr<Workload>> wl;
+    wl.push_back(makeTeraSort());
+    wl.push_back(makeKMeans());
+    wl.push_back(makePageRank());
+    wl.push_back(makeAlexNet(3000, 128));
+    wl.push_back(makeInceptionV3(200, 32));
+
+    auto w5 = paperWorkloads();
+
+    TextTable t;
+    t.header({"Workload", "Real speedup", "Proxy speedup",
+              "Trend match"});
+    for (std::size_t i = 0; i < wl.size(); ++i) {
+        std::string name = shortName(wl[i]->name());
+        RealRef real_w = realReference(*wl[i], cw, name + "_w3");
+        RealRef real_h = realReference(*wl[i], ch, name + "_h3");
+        double real_sp = speedup(real_w.runtime_s, real_h.runtime_s);
+
+        // Same proxy binaries, "recompiled" for the new machine:
+        // executed on both machine models without regeneration.
+        ProxyBundle b = tunedProxy(*w5[i], c5, name + "_w5");
+        ProxyResult pw = b.proxy.execute(cw.node);
+        ProxyResult ph = b.proxy.execute(ch.node);
+        double proxy_sp = speedup(pw.runtime_s, ph.runtime_s);
+
+        t.row({name, formatDouble(real_sp, 2) + "x",
+               formatDouble(proxy_sp, 2) + "x",
+               pct(accuracy(real_sp, proxy_sp))});
+    }
+    t.print();
+    std::printf("\npaper shape: speedups within [1.1, 1.8]; the proxy "
+                "trend must track the real trend per workload.\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig. 5: instruction-mix breakdown of the real and proxy benchmarks.
+ * Shape targets from the paper: Hadoop TeraSort ~44% integer vs 46%
+ * for its proxy, load+store ~39% vs 37%, FP < 1% for both; the
+ * TensorFlow workloads carry ~40% floating-point instructions.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace dmpb;
+using namespace dmpb::bench;
+
+int
+main()
+{
+    ClusterConfig cluster = paperCluster5();
+    std::printf("== Fig. 5: instruction mix breakdown (real vs proxy)\n");
+
+    TextTable t;
+    t.header({"Benchmark", "int", "fp", "load", "store", "branch"});
+    auto mix_row = [&](const std::string &name, const MetricVector &m) {
+        t.row({name, pct(m[Metric::RatioInt]), pct(m[Metric::RatioFp]),
+               pct(m[Metric::RatioLoad]), pct(m[Metric::RatioStore]),
+               pct(m[Metric::RatioBranch])});
+    };
+    for (const auto &w : paperWorkloads()) {
+        std::string tag = shortName(w->name()) + "_w5";
+        ProxyBundle b = tunedProxy(*w, cluster, tag);
+        mix_row(w->name(), b.real.metrics);
+        mix_row("  " + b.proxy.name(), b.report.proxy_metrics);
+    }
+    t.print();
+    return 0;
+}

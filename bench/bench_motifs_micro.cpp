@@ -1,0 +1,55 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of every registered data motif:
+ * host cost of one instrumented execution at a fixed parameter point.
+ * These gate the practicality of the auto-tuner (each tuner iteration
+ * executes the proxy's motifs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/units.hh"
+#include "motifs/motif.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+void
+runMotif(benchmark::State &state, const dmpb::Motif *motif)
+{
+    dmpb::MachineConfig machine = dmpb::westmereE5645();
+    dmpb::MotifParams params;
+    params.data_size = 256 * dmpb::kKiB;
+    params.chunk_size = 64 * dmpb::kKiB;
+    params.batch_size = 2;
+    params.height = 16;
+    params.width = 16;
+    params.channels = 8;
+    params.filters = 8;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        dmpb::TraceContext ctx(machine);
+        benchmark::DoNotOptimize(motif->run(ctx, params));
+        instructions = ctx.profile().instructions();
+    }
+    state.counters["sim_instructions"] =
+        static_cast<double>(instructions);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const dmpb::Motif *motif : dmpb::motifRegistry()) {
+        benchmark::RegisterBenchmark(("motif/" + motif->name()).c_str(),
+                                     [motif](benchmark::State &s) {
+                                         runMotif(s, motif);
+                                     });
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

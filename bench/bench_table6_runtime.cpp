@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table VI: execution time of the real benchmarks and the proxy
+ * benchmarks on the 5-node Xeon E5645 cluster, plus the runtime
+ * speedup (Eq. 4 ratio; the paper reports 136x-743x).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace dmpb;
+using namespace dmpb::bench;
+
+int
+main()
+{
+    ClusterConfig cluster = paperCluster5();
+    std::printf("== Table VI: execution time on %s (5-node cluster)\n",
+                cluster.node.name.c_str());
+
+    TextTable t;
+    t.header({"Workload", "Real version", "Proxy version", "Speedup"});
+    for (const auto &w : paperWorkloads()) {
+        std::string tag = shortName(w->name()) + "_w5";
+        ProxyBundle b = tunedProxy(*w, cluster, tag);
+        double proxy_rt = b.report.proxy_metrics[Metric::Runtime];
+        t.row({shortName(w->name()),
+               formatSeconds(b.real.runtime_s),
+               formatSeconds(proxy_rt),
+               formatDouble(speedup(b.real.runtime_s, proxy_rt), 0) +
+                   "x"});
+    }
+    t.print();
+    std::printf("\npaper shape check: every proxy should be >= 100x "
+                "faster than its real workload.\n");
+    return 0;
+}

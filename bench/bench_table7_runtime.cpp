@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table VII: execution time on the 3-node / 64 GB cluster
+ * (Section IV-B; AlexNet 3000 steps, Inception-V3 200 steps). Paper
+ * speedups: 170x / 509x / 120x / 121x / 307x.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace dmpb;
+using namespace dmpb::bench;
+
+int
+main()
+{
+    ClusterConfig c5 = paperCluster5();
+    ClusterConfig c3 = paperCluster3();
+    std::printf("== Table VII: execution time on the 3-node cluster\n");
+
+    std::vector<std::unique_ptr<Workload>> w3;
+    w3.push_back(makeTeraSort());
+    w3.push_back(makeKMeans());
+    w3.push_back(makePageRank());
+    w3.push_back(makeAlexNet(3000, 128));
+    w3.push_back(makeInceptionV3(200, 32));
+
+    auto w5 = paperWorkloads();
+
+    TextTable t;
+    t.header({"Workload", "Real version", "Proxy version", "Speedup"});
+    for (std::size_t i = 0; i < w3.size(); ++i) {
+        ProxyBundle b =
+            tunedProxy(*w5[i], c5, shortName(w5[i]->name()) + "_w5");
+        RealRef real3 = realReference(
+            *w3[i], c3, shortName(w3[i]->name()) + "_w3");
+        ProxyResult run = b.proxy.execute(c3.node);
+        t.row({shortName(w3[i]->name()),
+               formatSeconds(real3.runtime_s),
+               formatSeconds(run.runtime_s),
+               formatDouble(speedup(real3.runtime_s, run.runtime_s),
+                            0) + "x"});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Regenerates the paper's descriptive tables: Table I (tunable motif
+ * parameters), Table II (methodology comparison), Table III (workload
+ * -> motif decomposition), Table IV (node configuration) and Table V
+ * (metric definitions), from the library's own data structures.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "bench/bench_util.hh"
+#include "core/proxy_benchmark.hh"
+#include "motifs/motif.hh"
+#include "sim/machine.hh"
+#include "sim/metrics.hh"
+#include "workloads/workload.hh"
+
+using namespace dmpb;
+
+static void
+tableOne()
+{
+    std::printf("== Table I: tunable parameters for each data motif\n");
+    TextTable t;
+    t.header({"Parameter", "Description"});
+    t.row({"dataSize", "input data size for each big data motif"});
+    t.row({"chunkSize", "data block size processed by each thread"});
+    t.row({"numTasks", "process/thread count per motif"});
+    t.row({"batchSize", "batch size per iteration (AI motifs)"});
+    t.row({"totalSize", "total input samples to process (AI motifs)"});
+    t.row({"heightSize", "height dimension of input/filter"});
+    t.row({"widthSize", "width dimension of input/filter"});
+    t.row({"numChannels", "channel count of input/filter"});
+    t.row({"weight", "contribution of each data motif"});
+    t.row({"gcIntensity",
+           "unified memory-management module ops/byte (impl.)"});
+    t.print();
+
+    // Demonstrate the live parameter vector of a real proxy.
+    auto workloads = bench::paperWorkloads();
+    ProxyBenchmark proxy = decomposeWorkload(*workloads[0]);
+    std::printf("\nparameter vector P of %s:\n",
+                proxy.name().c_str());
+    for (const TunableParam &p : proxy.parameters()) {
+        std::printf("  %-30s value=%-12.4g range=[%g, %g]\n",
+                    p.name.c_str(), p.value, p.lo, p.hi);
+    }
+}
+
+static void
+tableTwo()
+{
+    std::printf("\n== Table II: simulation methodologies compared\n");
+    TextTable t;
+    t.header({"Methodology", "Data set", "Portable cost",
+              "Multi-core", "Cross-arch", "Accuracy"});
+    t.row({"Kernel benchmark (NPB)", "Fixed", "Recompile", "Yes", "Yes",
+           "Low"});
+    t.row({"Synthetic trace (SimPoint)", "Fixed", "Regenerate", "No",
+           "No", "High"});
+    t.row({"Synthetic benchmark (PerfProx)", "Fixed", "Regenerate",
+           "No", "No", "High"});
+    t.row({"Data motif proxy (this repo)", "On-demand", "Recompile",
+           "Yes", "Yes", "High"});
+    t.print();
+}
+
+static void
+tableThree()
+{
+    std::printf("\n== Table III: workloads and their motif "
+                "decompositions (initial weights)\n");
+    TextTable t;
+    t.header({"Workload", "Motif implementation", "Class",
+              "Initial weight"});
+    for (const auto &w : bench::paperWorkloads()) {
+        for (const MotifWeight &mw : w->decomposition()) {
+            const Motif *m = findMotif(mw.motif);
+            t.row({w->name(), mw.motif,
+                   m ? motifClassName(m->motifClass()) : "?",
+                   formatDouble(mw.weight, 2)});
+        }
+    }
+    t.print();
+}
+
+static void
+tableFour()
+{
+    std::printf("\n== Table IV: node configurations\n");
+    for (const MachineConfig &m :
+         {westmereE5645(), haswellE52620v3()}) {
+        std::printf(
+            "%s: %u sockets x %u cores @ %.1f GHz, mem %s\n"
+            "  L1I %s/%u-way  L1D %s/%u-way  L2 %s/%u-way  "
+            "L3 %s/%u-way\n"
+            "  disk read %s write %s, NIC %s\n",
+            m.name.c_str(), m.sockets, m.cores_per_socket,
+            m.core.freq_ghz, formatBytes(m.memory_bytes).c_str(),
+            formatBytes(m.caches.l1i.size_bytes).c_str(),
+            m.caches.l1i.associativity,
+            formatBytes(m.caches.l1d.size_bytes).c_str(),
+            m.caches.l1d.associativity,
+            formatBytes(m.caches.l2.size_bytes).c_str(),
+            m.caches.l2.associativity,
+            formatBytes(m.caches.l3.size_bytes).c_str(),
+            m.caches.l3.associativity,
+            formatRate(m.disk.read_bw).c_str(),
+            formatRate(m.disk.write_bw).c_str(),
+            formatRate(m.net.bandwidth).c_str());
+    }
+}
+
+static void
+tableFive()
+{
+    std::printf("\n== Table V: system and micro-architectural metrics\n");
+    TextTable t;
+    t.header({"Metric", "In accuracy set"});
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        auto m = static_cast<Metric>(i);
+        bool in_set = false;
+        for (Metric a : accuracyMetricSet())
+            in_set = in_set || a == m;
+        t.row({metricName(m), in_set ? "yes" : "no (Table VI instead)"});
+    }
+    t.print();
+}
+
+int
+main()
+{
+    tableOne();
+    tableTwo();
+    tableThree();
+    tableFour();
+    tableFive();
+    return 0;
+}

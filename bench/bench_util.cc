@@ -1,0 +1,107 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dmpb {
+namespace bench {
+
+std::string
+shortName(const std::string &workload_name)
+{
+    std::size_t space = workload_name.rfind(' ');
+    return space == std::string::npos
+               ? workload_name
+               : workload_name.substr(space + 1);
+}
+
+std::string
+pct(double fraction)
+{
+    return formatDouble(fraction * 100.0, 1) + "%";
+}
+
+namespace {
+
+std::string
+realCachePath(const std::string &tag)
+{
+    std::string key = tag;
+    for (char &c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return defaultCacheDir() + "/real_" + key + ".metrics";
+}
+
+bool
+loadReal(const std::string &tag, RealRef &out)
+{
+    std::ifstream in(realCachePath(tag));
+    if (!in)
+        return false;
+    if (!(in >> out.runtime_s))
+        return false;
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        double v;
+        if (!(in >> v))
+            return false;
+        out.metrics[static_cast<Metric>(i)] = v;
+    }
+    return true;
+}
+
+void
+saveReal(const std::string &tag, const RealRef &ref)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(defaultCacheDir(), ec);
+    std::ofstream out(realCachePath(tag));
+    out.precision(17);
+    out << ref.runtime_s << "\n";
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        out << ref.metrics[static_cast<Metric>(i)] << "\n";
+}
+
+} // namespace
+
+RealRef
+realReference(const Workload &workload, const ClusterConfig &cluster,
+              const std::string &tag)
+{
+    RealRef ref;
+    ref.name = workload.name();
+    if (loadReal(tag, ref))
+        return ref;
+    std::fprintf(stderr, "[bench] measuring real %s (%s)...\n",
+                 workload.name().c_str(), tag.c_str());
+    WorkloadResult r = workload.run(cluster);
+    ref.runtime_s = r.runtime_s;
+    ref.metrics = r.metrics;
+    saveReal(tag, ref);
+    return ref;
+}
+
+ProxyBundle
+tunedProxy(const Workload &workload, const ClusterConfig &cluster,
+           const std::string &tag)
+{
+    RealRef real = realReference(workload, cluster, tag);
+    ProxyBenchmark proxy = decomposeWorkload(workload);
+    TunerConfig config;
+    TunerReport report =
+        tuneWithCache(defaultCacheDir(), "proxy_" + tag, proxy,
+                      real.metrics, cluster.node, config);
+    return ProxyBundle{std::move(proxy), std::move(report),
+                       std::move(real)};
+}
+
+std::vector<std::unique_ptr<Workload>>
+paperWorkloads()
+{
+    return makePaperWorkloads();
+}
+
+} // namespace bench
+} // namespace dmpb

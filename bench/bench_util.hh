@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses that regenerate the paper's
+ * tables and figures.
+ *
+ * Expensive artefacts are memoised under ./dmpb-cache: the tuned proxy
+ * parameter vectors (via core/proxy_cache) and the real-workload
+ * measurements (runtime + metric vector). Everything a bench *prints*
+ * is recomputed by executing the proxy / reading the cached reference;
+ * delete ./dmpb-cache to regenerate from scratch.
+ */
+
+#ifndef DMPB_BENCH_BENCH_UTIL_HH
+#define DMPB_BENCH_BENCH_UTIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/proxy_cache.hh"
+#include "core/proxy_factory.hh"
+#include "stack/cluster.hh"
+#include "workloads/workload.hh"
+
+namespace dmpb {
+namespace bench {
+
+/** Cached reference measurement of a real workload. */
+struct RealRef
+{
+    std::string name;
+    double runtime_s = 0.0;
+    MetricVector metrics;
+};
+
+/** Short display name ("TeraSort" from "Hadoop TeraSort"). */
+std::string shortName(const std::string &workload_name);
+
+/**
+ * Run (or load from cache) the real workload on @p cluster.
+ * @p tag distinguishes cluster/data configurations in the cache key.
+ */
+RealRef realReference(const Workload &workload,
+                      const ClusterConfig &cluster,
+                      const std::string &tag);
+
+/** A tuned proxy ready for execution. */
+struct ProxyBundle
+{
+    ProxyBenchmark proxy;
+    TunerReport report;
+    RealRef real;
+};
+
+/**
+ * Decompose + auto-tune (or load the tuned P from cache) the proxy
+ * for @p workload against its real reference on @p cluster.
+ */
+ProxyBundle tunedProxy(const Workload &workload,
+                       const ClusterConfig &cluster,
+                       const std::string &tag);
+
+/** The five paper workloads (Section III-B inputs). */
+std::vector<std::unique_ptr<Workload>> paperWorkloads();
+
+/** Percent string with one decimal. */
+std::string pct(double fraction);
+
+} // namespace bench
+} // namespace dmpb
+
+#endif // DMPB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cross-architecture study (the Section IV-C use case): evaluate a
+ * proxy benchmark on two processor generations and read off the
+ * speedup an architect would see -- without touching the real
+ * workload. Also sweeps one micro-architecture parameter (LLC size)
+ * to show the proxy responding to a design change.
+ *
+ * Run:  ./build/examples/cross_arch_study
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/proxy_factory.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace dmpb;
+
+    auto workload = makeTeraSort();
+    ProxyBenchmark proxy = decomposeWorkload(*workload);
+
+    MachineConfig westmere = westmereE5645();
+    MachineConfig haswell = haswellE52620v3();
+
+    ProxyResult on_west = proxy.execute(westmere);
+    ProxyResult on_has = proxy.execute(haswell);
+
+    std::printf("%s across processor generations\n\n",
+                proxy.name().c_str());
+    TextTable t;
+    t.header({"Machine", "Runtime", "IPC", "L3 hit", "Speedup"});
+    t.row({westmere.name, formatSeconds(on_west.runtime_s),
+           formatDouble(on_west.metrics[Metric::Ipc]),
+           formatDouble(on_west.metrics[Metric::L3Hit] * 100, 1) + "%",
+           "1.00x"});
+    t.row({haswell.name, formatSeconds(on_has.runtime_s),
+           formatDouble(on_has.metrics[Metric::Ipc]),
+           formatDouble(on_has.metrics[Metric::L3Hit] * 100, 1) + "%",
+           formatDouble(speedup(on_west.runtime_s, on_has.runtime_s),
+                        2) + "x"});
+    t.print();
+
+    // Early-design-stage sweep: how does LLC capacity move the proxy?
+    std::printf("\nLLC sweep on the Westmere core:\n");
+    TextTable s;
+    s.header({"L3 size", "L3 hit", "IPC", "Runtime"});
+    for (std::uint64_t mb : {4, 8, 12, 24, 48}) {
+        MachineConfig m = westmere;
+        m.caches.l3.size_bytes = mb * kMiB;
+        ProxyResult r = proxy.execute(m);
+        s.row({formatBytes(static_cast<double>(mb * kMiB)),
+               formatDouble(r.metrics[Metric::L3Hit] * 100, 1) + "%",
+               formatDouble(r.metrics[Metric::Ipc]),
+               formatSeconds(r.runtime_s)});
+    }
+    s.print();
+    return 0;
+}

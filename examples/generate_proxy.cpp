@@ -1,0 +1,83 @@
+/**
+ * @file
+ * End-to-end proxy generation for one real workload (the paper's
+ * Section II pipeline): run Hadoop TeraSort on the simulated 5-node
+ * cluster, decompose it into data motifs, auto-tune the DAG with the
+ * decision-tree tool, and report accuracy and speedup.
+ *
+ * Run:  ./build/examples/generate_proxy [terasort|kmeans|pagerank|
+ *                                        alexnet|inception]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "base/units.hh"
+#include "core/proxy_factory.hh"
+#include "stack/cluster.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmpb;
+
+    const char *which = argc > 1 ? argv[1] : "terasort";
+    std::unique_ptr<Workload> workload;
+    if (!std::strcmp(which, "terasort"))
+        workload = makeTeraSort();
+    else if (!std::strcmp(which, "kmeans"))
+        workload = makeKMeans();
+    else if (!std::strcmp(which, "pagerank"))
+        workload = makePageRank();
+    else if (!std::strcmp(which, "alexnet"))
+        workload = makeAlexNet();
+    else if (!std::strcmp(which, "inception"))
+        workload = makeInceptionV3();
+    else {
+        std::fprintf(stderr, "unknown workload '%s'\n", which);
+        return 1;
+    }
+
+    ClusterConfig cluster = paperCluster5();
+    std::printf("== real workload: %s on %u-node cluster (%s)\n",
+                workload->name().c_str(), cluster.num_nodes,
+                cluster.node.name.c_str());
+
+    GeneratedProxy gp = generateProxy(*workload, cluster);
+
+    std::printf("real runtime:  %s\n",
+                formatSeconds(gp.real.runtime_s).c_str());
+    std::printf("%s\n\n", gp.real.metrics.toString().c_str());
+
+    std::printf("== generated %s (%zu motifs, %u tuning iterations, "
+                "%u evaluations)\n",
+                gp.proxy.name().c_str(), gp.proxy.edges().size(),
+                gp.report.iterations, gp.report.evaluations);
+    std::printf("proxy runtime: %s  -> speedup %.0fx\n",
+                formatSeconds(gp.report.proxy_metrics[Metric::Runtime])
+                    .c_str(),
+                speedup(gp.real.runtime_s,
+                        gp.report.proxy_metrics[Metric::Runtime]));
+    std::printf("%s\n", gp.report.proxy_metrics.toString().c_str());
+    std::printf("\nqualified: %s   average accuracy: %.1f%%   "
+                "max deviation: %.1f%%\n",
+                gp.report.qualified ? "yes" : "no",
+                gp.report.avg_accuracy * 100.0,
+                gp.report.max_deviation * 100.0);
+
+    std::printf("\nper-metric accuracy (Eq. 3):\n");
+    const auto &set = accuracyMetricSet();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        std::printf("  %-12s %5.1f%%\n", metricName(set[i]),
+                    gp.report.metric_accuracy[i] * 100.0);
+    }
+
+    std::printf("\ntuned parameter vector P:\n");
+    for (const TunableParam &p : gp.proxy.parameters()) {
+        std::printf("  %-28s %12.3f   [%g, %g]\n", p.name.c_str(),
+                    p.value, p.lo, p.hi);
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Motif explorer: run every registered data motif at a fixed
+ * parameter point and print its behaviour signature (instruction mix,
+ * cache behaviour, branch prediction) -- the characterisation view
+ * the paper's Fig. 2 taxonomy implies.
+ *
+ * Run:  ./build/examples/motif_explorer [data_kib]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "motifs/motif.hh"
+#include "sim/machine.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmpb;
+
+    std::uint64_t data_kib = argc > 1 ? std::atoll(argv[1]) : 512;
+    MachineConfig machine = westmereE5645();
+
+    MotifParams params;
+    params.data_size = data_kib * kKiB;
+    params.chunk_size = params.data_size / 4;
+    params.batch_size = 4;
+    params.height = 16;
+    params.width = 16;
+    params.channels = 8;
+    params.filters = 8;
+
+    std::printf("motif behaviour on %s, dataSize=%s\n\n",
+                machine.name.c_str(),
+                formatBytes(static_cast<double>(params.data_size))
+                    .c_str());
+
+    TextTable t;
+    t.header({"motif", "class", "ai", "int", "fp", "ld+st", "br",
+              "brMiss", "L1D", "L2", "L3", "IPC"});
+    for (const Motif *m : motifRegistry()) {
+        TraceContext ctx(machine);
+        m->run(ctx, params);
+        MetricVector v = computeMetrics(ctx.profile(), machine.core,
+                                        1.0);
+        auto pc = [](double x) {
+            return formatDouble(x * 100.0, 1);
+        };
+        t.row({m->name(), motifClassName(m->motifClass()),
+               m->isAi() ? "yes" : "no", pc(v[Metric::RatioInt]),
+               pc(v[Metric::RatioFp]),
+               pc(v[Metric::RatioLoad] + v[Metric::RatioStore]),
+               pc(v[Metric::RatioBranch]), pc(v[Metric::BranchMiss]),
+               pc(v[Metric::L1dHit]), pc(v[Metric::L2Hit]),
+               pc(v[Metric::L3Hit]),
+               formatDouble(v[Metric::Ipc], 2)});
+    }
+    t.print();
+    return 0;
+}

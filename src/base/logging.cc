@@ -1,0 +1,59 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dmpb {
+
+namespace {
+std::atomic<bool> logging_enabled{true};
+} // namespace
+
+void
+setLoggingEnabled(bool enabled)
+{
+    logging_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+loggingEnabled()
+{
+    return logging_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (loggingEnabled()) {
+        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (loggingEnabled()) {
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
+}
+
+} // namespace detail
+} // namespace dmpb

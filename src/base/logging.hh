@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- an internal invariant was violated; this is a dmpb bug.
+ *             Aborts so a debugger/core dump can capture state.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid argument). Exits with code 1.
+ * warn()   -- something is suspicious but execution can continue.
+ * inform() -- status messages with no connotation of incorrectness.
+ */
+
+#ifndef DMPB_BASE_LOGGING_HH
+#define DMPB_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace dmpb {
+
+namespace detail {
+
+/** Build a single string out of a stream of heterogeneous parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Whether warn()/inform() output is emitted (tests silence it). */
+void setLoggingEnabled(bool enabled);
+bool loggingEnabled();
+
+} // namespace dmpb
+
+/** Internal invariant violated: print and abort. */
+#define dmpb_panic(...)                                                     \
+    ::dmpb::detail::panicImpl(__FILE__, __LINE__,                           \
+                              ::dmpb::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error: print and exit(1). */
+#define dmpb_fatal(...)                                                     \
+    ::dmpb::detail::fatalImpl(__FILE__, __LINE__,                           \
+                              ::dmpb::detail::concat(__VA_ARGS__))
+
+/** Suspicious condition; execution continues. */
+#define dmpb_warn(...)                                                      \
+    ::dmpb::detail::warnImpl(__FILE__, __LINE__,                            \
+                             ::dmpb::detail::concat(__VA_ARGS__))
+
+/** Status message for the user. */
+#define dmpb_inform(...)                                                    \
+    ::dmpb::detail::informImpl(::dmpb::detail::concat(__VA_ARGS__))
+
+/** Assert that is kept in release builds; panics on failure. */
+#define dmpb_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            dmpb_panic("assertion '", #cond, "' failed. ",                  \
+                       ::dmpb::detail::concat(__VA_ARGS__));                \
+        }                                                                   \
+    } while (0)
+
+#endif // DMPB_BASE_LOGGING_HH

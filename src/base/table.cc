@@ -1,0 +1,63 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dmpb {
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cols)
+{
+    rows_.push_back(std::move(cols));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto account = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << cell << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace dmpb

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the bench harnesses to
+ * emit paper-style tables and figure series on stdout.
+ */
+
+#ifndef DMPB_BASE_TABLE_HH
+#define DMPB_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dmpb {
+
+/** Accumulates rows of strings and renders an aligned ASCII table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append one data row (column count may vary; padded on render). */
+    void row(std::vector<std::string> cols);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Convenience: render straight to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_BASE_TABLE_HH

@@ -1,0 +1,91 @@
+#include "base/thread_pool.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    dmpb_assert(num_threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &task)
+{
+    if (n == 0)
+        return;
+    const std::size_t chunks = std::min(n, workers_.size());
+    const std::size_t per = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = c * per;
+        const std::size_t hi = std::min(n, lo + per);
+        submit([lo, hi, &task] {
+            for (std::size_t i = lo; i < hi; ++i)
+                task(i);
+        });
+    }
+    waitIdle();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_task_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                // stopping_ must be set: drain finished.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::unique_lock lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+} // namespace dmpb

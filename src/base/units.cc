@@ -1,0 +1,69 @@
+#include "base/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dmpb {
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    double v = bytes;
+    while (std::fabs(v) >= 1024.0 && idx < 4) {
+        v /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffix[idx]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix[idx]);
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    double abs = std::fabs(seconds);
+    if (abs < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    else if (abs < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    else if (abs < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+    else if (abs < 3600.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else
+        std::snprintf(buf, sizeof(buf), "%dh%02dm",
+                      static_cast<int>(seconds / 3600.0),
+                      static_cast<int>(std::fmod(seconds, 3600.0) / 60.0));
+    return buf;
+}
+
+std::string
+formatRate(double bytes_per_second)
+{
+    static const char *suffix[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    int idx = 0;
+    double v = bytes_per_second;
+    while (std::fabs(v) >= 1000.0 && idx < 4) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix[idx]);
+    return buf;
+}
+
+} // namespace dmpb

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Byte-size and time constants plus human-readable formatting.
+ */
+
+#ifndef DMPB_BASE_UNITS_HH
+#define DMPB_BASE_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dmpb {
+
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** "1.50 GiB", "512 B", ... */
+std::string formatBytes(double bytes);
+
+/** "1.23 s", "45.6 ms", "1h02m", ... */
+std::string formatSeconds(double seconds);
+
+/** "12.3 MB/s" style rate. */
+std::string formatRate(double bytes_per_second);
+
+/** Fixed-precision helper: 3 significant-ish digits. */
+std::string formatDouble(double v, int precision = 2);
+
+} // namespace dmpb
+
+#endif // DMPB_BASE_UNITS_HH

@@ -1,0 +1,245 @@
+#include "core/auto_tuner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace dmpb {
+
+double
+metricDeviation(Metric m, double real, double proxy)
+{
+    double floor;
+    switch (m) {
+      case Metric::RatioInt:
+      case Metric::RatioFp:
+      case Metric::RatioLoad:
+      case Metric::RatioStore:
+      case Metric::RatioBranch:
+      case Metric::L1iHit:
+      case Metric::L1dHit:
+      case Metric::L2Hit:
+      case Metric::L3Hit:
+        floor = 0.02;           // two ratio points
+        break;
+      case Metric::BranchMiss:
+        floor = 0.01;
+        break;
+      case Metric::Ipc:
+        floor = 0.05;
+        break;
+      case Metric::Mips:
+        floor = 50.0;
+        break;
+      case Metric::MemReadBw:
+      case Metric::MemWriteBw:
+      case Metric::MemTotalBw:
+        floor = 20.0e6;
+        break;
+      case Metric::DiskBw:
+        floor = 1.0e6;
+        break;
+      default:
+        floor = 1e-9;
+        break;
+    }
+    return std::fabs(proxy - real) / std::max(std::fabs(real), floor);
+}
+
+AutoTuner::AutoTuner(MetricVector target, TunerConfig config)
+    : target_(target), config_(config)
+{
+}
+
+double
+AutoTuner::score(const MetricVector &proxy_metrics) const
+{
+    double worst = 0.0;
+    double sum = 0.0;
+    for (Metric m : accuracyMetricSet()) {
+        double d = metricDeviation(m, target_[m], proxy_metrics[m]);
+        worst = std::max(worst, d);
+        sum += d;
+    }
+    // Mostly the max (the qualification gate), with a small average
+    // component so ties prefer globally closer vectors.
+    return worst +
+           0.6 * sum /
+               static_cast<double>(accuracyMetricSet().size());
+}
+
+std::vector<double>
+AutoTuner::normalize(const std::vector<TunableParam> &params) const
+{
+    std::vector<double> x;
+    x.reserve(params.size());
+    for (const TunableParam &p : params) {
+        double span = p.hi - p.lo;
+        x.push_back(span > 0 ? (p.value - p.lo) / span : 0.0);
+    }
+    return x;
+}
+
+void
+AutoTuner::refit()
+{
+    for (Metric m : accuracyMetricSet()) {
+        DecisionTree tree;
+        tree.fit(samples_x_, samples_y_[m]);
+        trees_[m] = std::move(tree);
+    }
+}
+
+TunerReport
+AutoTuner::tune(ProxyBenchmark &proxy, const MachineConfig &machine)
+{
+    TunerReport report;
+    param_space_ = proxy.parameters();
+    param_names_.clear();
+    for (const TunableParam &p : param_space_)
+        param_names_.push_back(p.name);
+
+    auto evaluate = [&]() {
+        ++report.evaluations;
+        ProxyResult r = proxy.execute(machine, config_.trace_cap);
+        samples_x_.push_back(normalize(proxy.parameters()));
+        for (Metric m : accuracyMetricSet())
+            samples_y_[m].push_back(r.metrics[m]);
+        return r;
+    };
+
+    // ---- Impact analysis: one-at-a-time parameter sweeps covering
+    // the range ends (the tuner must know what *low* weights do).
+    ProxyResult current = evaluate();
+    for (std::size_t pi = 0; pi < param_space_.size(); ++pi) {
+        const TunableParam &p = param_space_[pi];
+        double original = proxy.parameter(p.name);
+        for (std::uint32_t s = 0; s < config_.impact_samples; ++s) {
+            double frac =
+                config_.impact_samples == 1
+                    ? 0.5
+                    : 0.02 + 0.96 * s /
+                          static_cast<double>(config_.impact_samples -
+                                              1);
+            double v = p.lo + frac * (p.hi - p.lo);
+            if (p.integer)
+                v = std::round(v);
+            if (std::fabs(v - original) < 1e-12)
+                continue;
+            proxy.setParameter(p.name, v);
+            evaluate();
+        }
+        proxy.setParameter(p.name, original);
+    }
+    refit();
+
+    // ---- Adjust + feedback loop.
+    double best_score = score(current.metrics);
+    // Moves that were tried and made things worse (cleared whenever a
+    // move is accepted, since the landscape has shifted).
+    std::vector<std::pair<std::size_t, double>> tabu;
+    auto is_tabu = [&](std::size_t pi, double v) {
+        for (const auto &[tp, tv] : tabu) {
+            if (tp == pi && std::fabs(tv - v) < 1e-9)
+                return true;
+        }
+        return false;
+    };
+    for (std::uint32_t iter = 0; iter < config_.max_iterations;
+         ++iter) {
+        report.iterations = iter + 1;
+        if (best_score <= config_.threshold)
+            break;
+
+        // Adjusting stage: enumerate candidate one-parameter moves
+        // and let the trees predict the resulting metric vector.
+        auto params = proxy.parameters();
+        double best_pred = 1e300;
+        std::size_t best_param = params.size();
+        double best_value = 0.0;
+        for (std::size_t pi = 0; pi < params.size(); ++pi) {
+            const TunableParam &p = params[pi];
+            double span = p.hi - p.lo;
+            for (double delta :
+                 {-0.6, -0.3, -0.12, 0.12, 0.3, 0.6}) {
+                double v = std::clamp(p.value + delta * span, p.lo,
+                                      p.hi);
+                if (p.integer)
+                    v = std::round(v);
+                if (std::fabs(v - p.value) < 1e-12 || is_tabu(pi, v))
+                    continue;
+                auto x = normalize(params);
+                x[pi] = span > 0 ? (v - p.lo) / span : 0.0;
+                MetricVector predicted = current.metrics;
+                for (Metric m : accuracyMetricSet())
+                    predicted[m] = trees_.at(m).predict(x);
+                double s = score(predicted);
+                if (s < best_pred) {
+                    best_pred = s;
+                    best_param = pi;
+                    best_value = v;
+                }
+            }
+        }
+        if (best_param >= params.size())
+            break;  // every move exhausted
+
+        // Feedback stage: apply, execute, accept or revert.
+        double previous = params[best_param].value;
+        proxy.setParameter(params[best_param].name, best_value);
+        ProxyResult trial = evaluate();
+        refit();
+        double trial_score = score(trial.metrics);
+        if (trial_score <= best_score) {
+            best_score = trial_score;
+            current = trial;
+            tabu.clear();
+        } else {
+            proxy.setParameter(params[best_param].name, previous);
+            tabu.emplace_back(best_param, best_value);
+        }
+    }
+
+    report.qualified = best_score <= config_.threshold;
+    report.max_deviation = 0.0;
+    for (Metric m : accuracyMetricSet()) {
+        report.max_deviation = std::max(
+            report.max_deviation,
+            metricDeviation(m, target_[m], current.metrics[m]));
+    }
+    report.metric_accuracy = accuracyVector(target_, current.metrics);
+    report.avg_accuracy = averageAccuracy(target_, current.metrics);
+    report.proxy_metrics = current.metrics;
+    report.final_result = current;
+    return report;
+}
+
+std::vector<std::pair<std::string, double>>
+AutoTuner::parameterImportance() const
+{
+    std::vector<double> agg(param_names_.size(), 0.0);
+    for (const auto &[metric, tree] : trees_) {
+        if (!tree.trained())
+            continue;
+        auto imp = tree.featureImportance();
+        // Normalise per tree so every metric votes equally.
+        double total = 0.0;
+        for (double v : imp)
+            total += v;
+        if (total <= 0.0)
+            continue;
+        for (std::size_t i = 0; i < imp.size() && i < agg.size(); ++i)
+            agg[i] += imp[i] / total;
+    }
+    std::vector<std::pair<std::string, double>> out;
+    for (std::size_t i = 0; i < param_names_.size(); ++i)
+        out.emplace_back(param_names_[i], agg[i]);
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        return a.second > b.second;
+    });
+    return out;
+}
+
+} // namespace dmpb

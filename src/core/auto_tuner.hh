@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The auto-tuning tool of Section II-B: impact analysis, decision-
+ * tree-guided parameter adjustment, and the feedback stage with the
+ * deviation gate.
+ *
+ * Flow (Fig. 3 of the paper):
+ *   1. Impact analysis -- change one parameter at a time, execute the
+ *      proxy, and record (P, M) samples.
+ *   2. Fit one regression tree per metric on the samples.
+ *   3. Adjusting stage -- when a metric deviates, query the trees for
+ *      the candidate single-parameter move that most reduces the
+ *      predicted deviation.
+ *   4. Feedback stage -- execute the adjusted proxy; if every metric
+ *      deviation is within the threshold (15% by default), the proxy
+ *      is qualified; otherwise feed the new sample back and iterate.
+ */
+
+#ifndef DMPB_CORE_AUTO_TUNER_HH
+#define DMPB_CORE_AUTO_TUNER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/decision_tree.hh"
+#include "core/proxy_benchmark.hh"
+#include "sim/metrics.hh"
+
+namespace dmpb {
+
+/** Tuner configuration. */
+struct TunerConfig
+{
+    /** Maximum allowed per-metric deviation (Section II-B4: 15%). */
+    double threshold = 0.15;
+    /** Adjust/feedback iterations before giving up. */
+    std::uint32_t max_iterations = 36;
+    /** One-at-a-time samples per parameter in the impact analysis. */
+    std::uint32_t impact_samples = 2;
+    /** Refit the trees after this many feedback samples. */
+    std::uint32_t refit_every = 4;
+    /** Per-edge traced-byte cap for proxy evaluations. */
+    std::uint64_t trace_cap = 2 * 1024 * 1024;
+    std::uint64_t seed = 99;
+};
+
+/** Outcome of a tuning session. */
+struct TunerReport
+{
+    bool qualified = false;
+    std::uint32_t iterations = 0;
+    std::uint32_t evaluations = 0;
+    double avg_accuracy = 0.0;          ///< Eq. 3 mean over Table V
+    double max_deviation = 0.0;
+    std::vector<double> metric_accuracy;  ///< accuracyMetricSet order
+    MetricVector proxy_metrics;
+    ProxyResult final_result;
+};
+
+/**
+ * Robust per-metric deviation |proxy - real| / real with an absolute
+ * floor per metric so near-zero references (e.g. the FP ratio of
+ * TeraSort) do not blow up the relative error.
+ */
+double metricDeviation(Metric m, double real, double proxy);
+
+/** Decision-tree-guided auto-tuner. */
+class AutoTuner
+{
+  public:
+    AutoTuner(MetricVector target, TunerConfig config = {});
+
+    /** Tune @p proxy in place toward the target metric vector. */
+    TunerReport tune(ProxyBenchmark &proxy,
+                     const MachineConfig &machine);
+
+    /** Per-metric models (available after tune). Keyed by metric. */
+    const std::map<Metric, DecisionTree> &trees() const
+    {
+        return trees_;
+    }
+
+    /**
+     * Aggregate feature importance across all metric trees: which
+     * parameter drives behaviour the most (for the ablation bench).
+     */
+    std::vector<std::pair<std::string, double>> parameterImportance()
+        const;
+
+  private:
+    /** Worst-case deviation over the accuracy metric set. */
+    double score(const MetricVector &proxy_metrics) const;
+
+    std::vector<double> normalize(
+        const std::vector<TunableParam> &params) const;
+
+    void refit();
+
+    MetricVector target_;
+    TunerConfig config_;
+    std::map<Metric, DecisionTree> trees_;
+    std::vector<std::vector<double>> samples_x_;
+    std::map<Metric, std::vector<double>> samples_y_;
+    std::vector<std::string> param_names_;
+    std::vector<TunableParam> param_space_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_AUTO_TUNER_HH

@@ -1,0 +1,178 @@
+#include "core/decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+DecisionTree::DecisionTree(Config config)
+    : config_(config)
+{
+}
+
+namespace {
+
+/** Mean of y over idx. */
+double
+subsetMean(const std::vector<double> &y,
+           const std::vector<std::size_t> &idx)
+{
+    double s = 0.0;
+    for (std::size_t i : idx)
+        s += y[i];
+    return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+/** Sum of squared deviation from the subset mean. */
+double
+subsetSse(const std::vector<double> &y,
+          const std::vector<std::size_t> &idx)
+{
+    double m = subsetMean(y, idx);
+    double s = 0.0;
+    for (std::size_t i : idx) {
+        double d = y[i] - m;
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+std::unique_ptr<DecisionTree::Node>
+DecisionTree::buildNode(const std::vector<std::vector<double>> &x,
+                        const std::vector<double> &y,
+                        const std::vector<std::size_t> &idx,
+                        std::uint32_t depth)
+{
+    auto node = std::make_unique<Node>();
+    node->value = subsetMean(y, idx);
+
+    if (depth >= config_.max_depth ||
+        idx.size() < 2 * config_.min_samples_leaf) {
+        return node;
+    }
+
+    double parent_sse = subsetSse(y, idx);
+    double best_gain = config_.min_variance_gain;
+    std::size_t best_feature = 0;
+    double best_threshold = 0.0;
+
+    for (std::size_t f = 0; f < num_features_; ++f) {
+        // Candidate thresholds: midpoints between sorted values.
+        std::vector<double> values;
+        values.reserve(idx.size());
+        for (std::size_t i : idx)
+            values.push_back(x[i][f]);
+        std::sort(values.begin(), values.end());
+        values.erase(std::unique(values.begin(), values.end()),
+                     values.end());
+        for (std::size_t v = 0; v + 1 < values.size(); ++v) {
+            double thr = 0.5 * (values[v] + values[v + 1]);
+            std::vector<std::size_t> left, right;
+            for (std::size_t i : idx)
+                (x[i][f] <= thr ? left : right).push_back(i);
+            if (left.size() < config_.min_samples_leaf ||
+                right.size() < config_.min_samples_leaf) {
+                continue;
+            }
+            double gain = parent_sse - subsetSse(y, left) -
+                          subsetSse(y, right);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold = thr;
+            }
+        }
+    }
+
+    if (best_gain <= config_.min_variance_gain)
+        return node;
+
+    std::vector<std::size_t> left, right;
+    for (std::size_t i : idx) {
+        (x[i][best_feature] <= best_threshold ? left : right)
+            .push_back(i);
+    }
+    node->leaf = false;
+    node->feature = best_feature;
+    node->threshold = best_threshold;
+    node->gain = best_gain;
+    node->left = buildNode(x, y, left, depth + 1);
+    node->right = buildNode(x, y, right, depth + 1);
+    return node;
+}
+
+void
+DecisionTree::fit(const std::vector<std::vector<double>> &x,
+                  const std::vector<double> &y)
+{
+    dmpb_assert(x.size() == y.size(), "feature/target count mismatch");
+    dmpb_assert(!x.empty(), "cannot fit a tree on zero samples");
+    num_features_ = x[0].size();
+    for (const auto &row : x) {
+        dmpb_assert(row.size() == num_features_,
+                    "inconsistent feature dimensionality");
+    }
+    std::vector<std::size_t> idx(x.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    root_ = buildNode(x, y, idx, 0);
+}
+
+double
+DecisionTree::predict(const std::vector<double> &features) const
+{
+    dmpb_assert(root_ != nullptr, "predict before fit");
+    dmpb_assert(features.size() == num_features_,
+                "feature dimensionality mismatch");
+    const Node *n = root_.get();
+    while (!n->leaf) {
+        n = features[n->feature] <= n->threshold ? n->left.get()
+                                                 : n->right.get();
+    }
+    return n->value;
+}
+
+std::size_t
+DecisionTree::nodeCount() const
+{
+    std::size_t count = 0;
+    // Iterative walk to avoid exposing Node externally.
+    std::vector<const Node *> stack;
+    if (root_)
+        stack.push_back(root_.get());
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        ++count;
+        if (!n->leaf) {
+            stack.push_back(n->left.get());
+            stack.push_back(n->right.get());
+        }
+    }
+    return count;
+}
+
+std::vector<double>
+DecisionTree::featureImportance() const
+{
+    std::vector<double> imp(num_features_, 0.0);
+    std::vector<const Node *> stack;
+    if (root_)
+        stack.push_back(root_.get());
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        if (!n->leaf) {
+            imp[n->feature] += n->gain;
+            stack.push_back(n->left.get());
+            stack.push_back(n->right.get());
+        }
+    }
+    return imp;
+}
+
+} // namespace dmpb

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CART regression tree.
+ *
+ * The paper's auto-tuning tool "learns the impact that each parameter
+ * in P will have on M and builds a decision tree" (Section II-B3).
+ * This is that model: a binary regression tree fit on
+ * (parameter-vector -> metric-value) samples with variance-reduction
+ * splits. One tree is trained per metric; the tuner queries the trees
+ * to predict how a candidate parameter move shifts each metric.
+ */
+
+#ifndef DMPB_CORE_DECISION_TREE_HH
+#define DMPB_CORE_DECISION_TREE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dmpb {
+
+/** Binary CART regression tree. */
+class DecisionTree
+{
+  public:
+    struct Config
+    {
+        std::uint32_t max_depth = 6;
+        std::uint32_t min_samples_leaf = 2;
+        double min_variance_gain = 1e-12;
+    };
+
+    DecisionTree() : DecisionTree(Config{}) {}
+    explicit DecisionTree(Config config);
+
+    /**
+     * Fit on @p x (rows = samples, equal-length feature vectors) and
+     * targets @p y. Refitting replaces the previous tree.
+     */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y);
+
+    /** Predict the target for one feature vector. */
+    double predict(const std::vector<double> &features) const;
+
+    /** True once fit() has been called with at least one sample. */
+    bool trained() const { return root_ != nullptr; }
+
+    /** Number of internal + leaf nodes (structure inspection). */
+    std::size_t nodeCount() const;
+
+    /**
+     * Total variance reduction attributed to each feature across all
+     * splits -- the "impact analysis" of the paper: which parameter
+     * matters most for this metric.
+     */
+    std::vector<double> featureImportance() const;
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        double value = 0.0;         ///< leaf prediction (mean)
+        std::size_t feature = 0;    ///< split feature index
+        double threshold = 0.0;     ///< go left when x <= threshold
+        double gain = 0.0;          ///< variance reduction of split
+        std::unique_ptr<Node> left;
+        std::unique_ptr<Node> right;
+    };
+
+    std::unique_ptr<Node> buildNode(
+        const std::vector<std::vector<double>> &x,
+        const std::vector<double> &y,
+        const std::vector<std::size_t> &idx, std::uint32_t depth);
+
+    Config config_;
+    std::size_t num_features_ = 0;
+    std::unique_ptr<Node> root_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_DECISION_TREE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ProxyBenchmark: the DAG-like combination of data motifs with
+ * weights that stands in for a real big-data or AI workload
+ * (Section II of the paper).
+ *
+ * Nodes represent original or intermediate data sets; each edge is a
+ * data motif processing the data of its source node. The proxy runs
+ * on a single node (as in the paper's evaluation), with num_tasks
+ * POSIX-style threads each processing a share of the data in
+ * chunk_size blocks, reading input from and spilling intermediate
+ * data to the simulated disk -- so it exhibits computation, memory
+ * *and* I/O patterns, which is what distinguishes data motifs from
+ * classic kernels.
+ */
+
+#ifndef DMPB_CORE_PROXY_BENCHMARK_HH
+#define DMPB_CORE_PROXY_BENCHMARK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "motifs/motif.hh"
+#include "sim/metrics.hh"
+
+namespace dmpb {
+
+/** One motif edge of the proxy DAG. */
+struct ProxyEdge
+{
+    const Motif *motif = nullptr;
+    double weight = 1.0;     ///< contribution (Table I)
+    std::uint32_t src_node = 0;  ///< data set consumed
+    std::uint32_t dst_node = 1;  ///< data set produced
+};
+
+/** Result of executing a proxy benchmark on one node. */
+struct ProxyResult
+{
+    double runtime_s = 0.0;
+    KernelProfile profile;
+    MetricVector metrics;
+    std::uint64_t checksum = 0;
+};
+
+/** A tunable parameter with its search range (Table I). */
+struct TunableParam
+{
+    std::string name;
+    double value = 0.0;
+    double lo = 0.0;
+    double hi = 1.0;
+    bool integer = false;
+};
+
+/** The proxy benchmark: DAG of motifs + the parameter vector P. */
+class ProxyBenchmark
+{
+  public:
+    ProxyBenchmark(std::string name, MotifParams base);
+
+    /** Append an edge; nodes are implied (chain by default). */
+    void addEdge(const std::string &motif_name, double weight,
+                 std::uint32_t src_node = 0, std::uint32_t dst_node = 0);
+
+    /**
+     * Execute on one node of @p machine with the current parameters.
+     *
+     * Execution is sampled: at most @p trace_cap bytes per edge are
+     * actually traced, and counters/time are extrapolated to the full
+     * dataSize -- the same SMARTS-style approach the real-workload
+     * engines use, keeping tuner iterations cheap.
+     */
+    ProxyResult execute(const MachineConfig &machine,
+                        std::uint64_t trace_cap = 2 * 1024 * 1024) const;
+
+    /** @{ The tunable parameter vector P (Table I). */
+    std::vector<TunableParam> parameters() const;
+    void setParameter(const std::string &name, double value);
+    double parameter(const std::string &name) const;
+    /** @} */
+
+    const std::string &name() const { return name_; }
+    const MotifParams &baseParams() const { return base_; }
+    MotifParams &baseParams() { return base_; }
+    const std::vector<ProxyEdge> &edges() const { return edges_; }
+
+    /** True if any edge is an AI motif (enables AI parameters). */
+    bool hasAiMotifs() const;
+
+    /** Normalise edge weights to sum to one. */
+    void normalizeWeights();
+
+    /**
+     * Intensity of the unified memory-management / chunk-management
+     * module (ops per processed byte). The paper's big-data motif
+     * implementations include a GC-like memory manager; this knob
+     * sets how much of that management work runs per byte.
+     */
+    double gcIntensity() const { return gc_intensity_; }
+    void setGcIntensity(double v) { gc_intensity_ = v; }
+
+  private:
+    std::string name_;
+    MotifParams base_;
+    std::vector<ProxyEdge> edges_;
+    double gc_intensity_ = 2.0;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_PROXY_BENCHMARK_HH

@@ -1,0 +1,116 @@
+#include "core/proxy_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+namespace {
+
+std::string
+sanitize(const std::string &key)
+{
+    std::string out;
+    for (char c : key) {
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c : '_');
+    }
+    return out;
+}
+
+std::string
+cachePath(const std::string &dir, const std::string &key)
+{
+    return dir + "/" + sanitize(key) + ".params";
+}
+
+} // namespace
+
+std::string
+defaultCacheDir()
+{
+    return "dmpb-cache";
+}
+
+bool
+saveProxyParams(const std::string &cache_dir, const std::string &key,
+                const ProxyBenchmark &proxy)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    std::ofstream out(cachePath(cache_dir, key));
+    if (!out)
+        return false;
+    out.precision(17);
+    for (const TunableParam &p : proxy.parameters())
+        out << p.name << "=" << p.value << "\n";
+    return static_cast<bool>(out);
+}
+
+bool
+loadProxyParams(const std::string &cache_dir, const std::string &key,
+                ProxyBenchmark &proxy)
+{
+    std::ifstream in(cachePath(cache_dir, key));
+    if (!in)
+        return false;
+    // Collect expected names for validation.
+    std::vector<std::string> expected;
+    for (const TunableParam &p : proxy.parameters())
+        expected.push_back(p.name);
+
+    std::vector<std::pair<std::string, double>> loaded;
+    std::string line;
+    while (std::getline(in, line)) {
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            return false;
+        loaded.emplace_back(line.substr(0, eq),
+                            std::stod(line.substr(eq + 1)));
+    }
+    if (loaded.size() != expected.size())
+        return false;
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        if (loaded[i].first != expected[i])
+            return false;
+    }
+    for (const auto &[name, value] : loaded)
+        proxy.setParameter(name, value);
+    return true;
+}
+
+TunerReport
+tuneWithCache(const std::string &cache_dir, const std::string &key,
+              ProxyBenchmark &proxy, const MetricVector &target,
+              const MachineConfig &machine, const TunerConfig &config)
+{
+    if (loadProxyParams(cache_dir, key, proxy)) {
+        // Rebuild the report by re-executing with the cached P.
+        ProxyResult r = proxy.execute(machine, config.trace_cap);
+        TunerReport report;
+        report.qualified = true;  // recorded as tuned previously
+        report.iterations = 0;
+        report.evaluations = 1;
+        report.metric_accuracy = accuracyVector(target, r.metrics);
+        report.avg_accuracy = averageAccuracy(target, r.metrics);
+        for (Metric m : accuracyMetricSet()) {
+            report.max_deviation = std::max(
+                report.max_deviation,
+                metricDeviation(m, target[m], r.metrics[m]));
+        }
+        report.qualified = report.max_deviation <= config.threshold;
+        report.proxy_metrics = r.metrics;
+        report.final_result = r;
+        return report;
+    }
+    AutoTuner tuner(target, config);
+    TunerReport report = tuner.tune(proxy, machine);
+    saveProxyParams(cache_dir, key, proxy);
+    return report;
+}
+
+} // namespace dmpb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tuned-parameter cache.
+ *
+ * Auto-tuning a proxy costs tens of proxy evaluations. The qualified
+ * parameter vector, however, is a deterministic function of (workload,
+ * cluster, tuner config), so bench binaries memoise it: the *search*
+ * is persisted as a small key=value text file, while every metric a
+ * bench reports is still recomputed by re-executing the proxy with the
+ * cached parameters. Delete the cache directory to force a full
+ * re-tune.
+ */
+
+#ifndef DMPB_CORE_PROXY_CACHE_HH
+#define DMPB_CORE_PROXY_CACHE_HH
+
+#include <string>
+
+#include "core/auto_tuner.hh"
+#include "core/proxy_benchmark.hh"
+
+namespace dmpb {
+
+/** Persist the tuned parameter vector of @p proxy under @p key. */
+bool saveProxyParams(const std::string &cache_dir,
+                     const std::string &key,
+                     const ProxyBenchmark &proxy);
+
+/** Restore a tuned parameter vector into @p proxy; false if absent
+ *  or incompatible (parameter names must match exactly). */
+bool loadProxyParams(const std::string &cache_dir,
+                     const std::string &key, ProxyBenchmark &proxy);
+
+/**
+ * Tune @p proxy toward @p target, memoised: on a cache hit the stored
+ * parameters are re-applied and the proxy re-executed to rebuild the
+ * report; on a miss the full decision-tree tuning runs and the result
+ * is stored.
+ */
+TunerReport tuneWithCache(const std::string &cache_dir,
+                          const std::string &key, ProxyBenchmark &proxy,
+                          const MetricVector &target,
+                          const MachineConfig &machine,
+                          const TunerConfig &config = {});
+
+/** Default cache directory ("dmpb-cache" under the working dir). */
+std::string defaultCacheDir();
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_PROXY_CACHE_HH

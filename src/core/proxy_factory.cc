@@ -1,0 +1,62 @@
+#include "core/proxy_factory.hh"
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace dmpb {
+
+ProxyBenchmark
+decomposeWorkload(const Workload &workload)
+{
+    MotifParams base;
+    // Section II-B2: dataSize/chunkSize initialised by scaling down
+    // the original input; numTasks from the original parallelism
+    // (one slave node's worth of task slots).
+    base.data_size = workload.proxyDataBytes();
+    base.chunk_size = std::min<std::uint64_t>(base.data_size / 4,
+                                              kMiB);
+    base.num_tasks = 12;
+    base.sparsity = workload.inputSparsity();
+    base.seed = 0x90b5ULL;
+    // AI shape defaults (overridden by tuning); sized so one tuner
+    // evaluation of a convolution edge stays ~10^7 MACs.
+    base.batch_size = 4;
+    base.height = 16;
+    base.width = 16;
+    base.channels = 12;
+    base.filters = 12;
+    base.kernel = 3;
+    base.stride = 1;
+
+    std::string short_name = workload.name();
+    std::size_t space = short_name.rfind(' ');
+    if (space != std::string::npos)
+        short_name = short_name.substr(space + 1);
+
+    ProxyBenchmark proxy("Proxy " + short_name, base);
+    for (const MotifWeight &mw : workload.decomposition())
+        proxy.addEdge(mw.motif, mw.weight);
+    proxy.normalizeWeights();
+    return proxy;
+}
+
+GeneratedProxy
+generateProxy(const Workload &workload, const ClusterConfig &cluster,
+              const TunerConfig &config)
+{
+    WorkloadResult real = workload.run(cluster);
+    return generateProxyFor(workload, real, cluster.node, config);
+}
+
+GeneratedProxy
+generateProxyFor(const Workload &workload, const WorkloadResult &real,
+                 const MachineConfig &node, const TunerConfig &config)
+{
+    ProxyBenchmark proxy = decomposeWorkload(workload);
+    AutoTuner tuner(real.metrics, config);
+    TunerReport report = tuner.tune(proxy, node);
+    return GeneratedProxy{workload.name(), std::move(proxy), real,
+                          std::move(report)};
+}
+
+} // namespace dmpb

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Benchmark decomposition (Section II-B1) and the end-to-end proxy
+ * generation pipeline: real workload -> hotspot/motif decomposition ->
+ * DAG proxy with initial weights -> decision-tree auto-tuning ->
+ * qualified proxy.
+ */
+
+#ifndef DMPB_CORE_PROXY_FACTORY_HH
+#define DMPB_CORE_PROXY_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/auto_tuner.hh"
+#include "core/proxy_benchmark.hh"
+#include "workloads/workload.hh"
+
+namespace dmpb {
+
+/**
+ * Benchmark decomposing: build the proxy skeleton for a workload from
+ * its Table III motif decomposition, with initial weights set to the
+ * hotspot execution ratios and the data parameters initialised from
+ * the (scaled-down) original input, preserving data type, pattern and
+ * distribution.
+ */
+ProxyBenchmark decomposeWorkload(const Workload &workload);
+
+/** A generated proxy together with its provenance. */
+struct GeneratedProxy
+{
+    std::string workload_name;
+    ProxyBenchmark proxy;
+    WorkloadResult real;     ///< reference measurement
+    TunerReport report;      ///< tuning outcome vs that reference
+};
+
+/**
+ * Full pipeline for one workload on one cluster: measure the real
+ * workload, decompose, auto-tune, and return the qualified proxy.
+ */
+GeneratedProxy generateProxy(const Workload &workload,
+                             const ClusterConfig &cluster,
+                             const TunerConfig &config = {});
+
+/**
+ * Like generateProxy() but reusing an existing real-workload
+ * measurement (benches share one expensive reference run).
+ */
+GeneratedProxy generateProxyFor(const Workload &workload,
+                                const WorkloadResult &real,
+                                const MachineConfig &node,
+                                const TunerConfig &config = {});
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_PROXY_FACTORY_HH

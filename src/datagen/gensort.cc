@@ -1,0 +1,76 @@
+#include "datagen/gensort.hh"
+
+#include <cstring>
+
+namespace dmpb {
+
+bool
+GensortRecord::operator<(const GensortRecord &other) const
+{
+    return std::memcmp(key.data(), other.key.data(), kKeyBytes) < 0;
+}
+
+bool
+GensortRecord::operator==(const GensortRecord &other) const
+{
+    return std::memcmp(key.data(), other.key.data(), kKeyBytes) == 0 &&
+           std::memcmp(payload.data(), other.payload.data(),
+                       kPayloadBytes) == 0;
+}
+
+std::uint64_t
+GensortRecord::keyPrefix() const
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        v = (v << 8) | key[i];
+    return v;
+}
+
+GensortGenerator::GensortGenerator(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+GensortRecord
+GensortGenerator::makeRecord(std::uint64_t key_value)
+{
+    GensortRecord r;
+    // gensort ASCII mode: keys drawn from ' ' .. '~' (95 printable
+    // characters); we expand a 64-bit value into that alphabet.
+    std::uint64_t v = key_value;
+    for (std::size_t i = 0; i < GensortRecord::kKeyBytes; ++i) {
+        r.key[i] = static_cast<std::uint8_t>(' ' + v % 95);
+        v = splitmix64(v);
+    }
+    std::uint64_t p = mix64(key_value ^ 0xfeedULL);
+    for (std::size_t i = 0; i < GensortRecord::kPayloadBytes; ++i) {
+        r.payload[i] = static_cast<std::uint8_t>('A' + p % 26);
+        p = splitmix64(p);
+    }
+    return r;
+}
+
+std::vector<GensortRecord>
+GensortGenerator::generate(std::size_t n)
+{
+    std::vector<GensortRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(makeRecord(rng_.next()));
+    return out;
+}
+
+std::vector<GensortRecord>
+GensortGenerator::generateSkewed(std::size_t n,
+                                 std::uint64_t key_universe, double theta)
+{
+    ZipfSampler zipf(key_universe, theta);
+    std::vector<GensortRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(makeRecord(mix64(zipf.sample(rng_))));
+    return out;
+}
+
+} // namespace dmpb

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gensort-format record generator.
+ *
+ * The paper drives Hadoop TeraSort with text data produced by the
+ * gensort utility (ordinal.com/gensort): 100-byte records made of a
+ * 10-byte key and a 90-byte payload. This module reproduces that
+ * format deterministically so TeraSort and Proxy TeraSort see the same
+ * data type and distribution as the original.
+ */
+
+#ifndef DMPB_DATAGEN_GENSORT_HH
+#define DMPB_DATAGEN_GENSORT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace dmpb {
+
+/** One 100-byte gensort record: 10-byte key + 90-byte payload. */
+struct GensortRecord
+{
+    static constexpr std::size_t kKeyBytes = 10;
+    static constexpr std::size_t kPayloadBytes = 90;
+    static constexpr std::size_t kRecordBytes = kKeyBytes + kPayloadBytes;
+
+    std::array<std::uint8_t, kKeyBytes> key{};
+    std::array<std::uint8_t, kPayloadBytes> payload{};
+
+    /** Lexicographic key comparison (what TeraSort sorts by). */
+    bool operator<(const GensortRecord &other) const;
+    bool operator==(const GensortRecord &other) const;
+
+    /** First 8 key bytes as a big-endian integer (cheap prefix). */
+    std::uint64_t keyPrefix() const;
+};
+
+/** Deterministic generator of gensort-style records. */
+class GensortGenerator
+{
+  public:
+    explicit GensortGenerator(std::uint64_t seed = 1);
+
+    /** Generate @p n records with uniformly random printable keys. */
+    std::vector<GensortRecord> generate(std::size_t n);
+
+    /** Generate records whose keys follow a Zipf distribution over
+     *  @p key_universe distinct values (skewed partitions). */
+    std::vector<GensortRecord> generateSkewed(std::size_t n,
+                                              std::uint64_t key_universe,
+                                              double theta);
+
+  private:
+    GensortRecord makeRecord(std::uint64_t key_value);
+
+    Rng rng_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_DATAGEN_GENSORT_HH

@@ -1,0 +1,61 @@
+#include "datagen/graph.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+std::vector<std::uint32_t>
+Graph::inDegrees() const
+{
+    std::vector<std::uint32_t> in(num_vertices, 0);
+    for (std::uint32_t t : out_edges)
+        ++in[t];
+    return in;
+}
+
+GraphGenerator::GraphGenerator(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+Graph
+GraphGenerator::generate(std::uint64_t vertices, double avg_degree,
+                         double theta)
+{
+    dmpb_assert(vertices > 1, "graph needs at least two vertices");
+    dmpb_assert(avg_degree > 0.0, "average degree must be positive");
+
+    Graph g;
+    g.num_vertices = vertices;
+    g.out_offset.reserve(vertices + 1);
+    g.out_offset.push_back(0);
+
+    ZipfSampler target_zipf(vertices, theta);
+
+    // Out-degrees: geometric-like spread around the mean so a few
+    // vertices fan out widely (power-law tail) but the mean holds.
+    for (std::uint64_t v = 0; v < vertices; ++v) {
+        double u = rng_.nextDouble();
+        // Inverse-CDF of a truncated Pareto-ish degree distribution.
+        auto deg = static_cast<std::uint64_t>(
+            avg_degree * 0.5 +
+            avg_degree * 0.5 / std::sqrt(1.0 - 0.999 * u));
+        if (deg > vertices / 2)
+            deg = vertices / 2;
+        for (std::uint64_t e = 0; e < deg; ++e) {
+            std::uint64_t t = target_zipf.sample(rng_);
+            // Scatter the Zipf rank over vertex ids so "popular" ids
+            // are spread across the id space (as BDGS does).
+            t = mix64(t) % vertices;
+            if (t == v)
+                t = (t + 1) % vertices;
+            g.out_edges.push_back(static_cast<std::uint32_t>(t));
+        }
+        g.out_offset.push_back(g.out_edges.size());
+    }
+    return g;
+}
+
+} // namespace dmpb

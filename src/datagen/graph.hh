@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Directed-graph data sets in CSR form.
+ *
+ * BDGS generates the paper's 2^26-vertex PageRank input; this module
+ * produces the same class of graph -- power-law (Zipf) out-degrees
+ * with preferential target selection -- at any scale, determin-
+ * istically.
+ */
+
+#ifndef DMPB_DATAGEN_GRAPH_HH
+#define DMPB_DATAGEN_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace dmpb {
+
+/** Directed graph in compressed-sparse-row form. */
+struct Graph
+{
+    std::uint64_t num_vertices = 0;
+
+    /** out_offset[v] .. out_offset[v+1] index into out_edges. */
+    std::vector<std::uint64_t> out_offset;
+    std::vector<std::uint32_t> out_edges;
+
+    std::uint64_t numEdges() const { return out_edges.size(); }
+    std::uint64_t outDegree(std::uint64_t v) const
+    {
+        return out_offset[v + 1] - out_offset[v];
+    }
+
+    /** In-degree of every vertex (computed on demand). */
+    std::vector<std::uint32_t> inDegrees() const;
+};
+
+/** Deterministic scale-free graph generator. */
+class GraphGenerator
+{
+  public:
+    explicit GraphGenerator(std::uint64_t seed = 13);
+
+    /**
+     * Generate a graph with Zipfian out-degrees and Zipf-skewed
+     * edge targets (popular vertices attract more in-edges).
+     *
+     * @param vertices    Vertex count.
+     * @param avg_degree  Mean out-degree.
+     * @param theta       Skew of the target popularity (0=uniform).
+     */
+    Graph generate(std::uint64_t vertices, double avg_degree,
+                   double theta = 0.6);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_DATAGEN_GRAPH_HH

@@ -1,0 +1,85 @@
+#include "datagen/images.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+ImageGenerator::ImageGenerator(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+ImageBatch
+ImageGenerator::generate(std::size_t batch, std::size_t channels,
+                         std::size_t height, std::size_t width,
+                         std::size_t num_classes, DataLayout layout)
+{
+    dmpb_assert(batch > 0 && channels > 0 && height > 0 && width > 0,
+                "empty image batch requested");
+    ImageBatch b;
+    b.batch = batch;
+    b.channels = channels;
+    b.height = height;
+    b.width = width;
+    b.layout = layout;
+    b.data.resize(batch * channels * height * width);
+    b.labels.resize(batch);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        b.labels[n] = static_cast<std::uint32_t>(
+            rng_.nextU64(num_classes));
+        // Low-frequency content: two sinusoid gradients per channel.
+        for (std::size_t c = 0; c < channels; ++c) {
+            double fx = rng_.nextDouble(0.5, 3.0);
+            double fy = rng_.nextDouble(0.5, 3.0);
+            double phase = rng_.nextDouble(0.0, 6.28318);
+            double base = rng_.nextDouble(0.2, 0.8);
+            for (std::size_t y = 0; y < height; ++y) {
+                for (std::size_t x = 0; x < width; ++x) {
+                    double v = base +
+                        0.25 * std::sin(fx * x /
+                                        static_cast<double>(width) *
+                                        6.28318 + phase) +
+                        0.25 * std::cos(fy * y /
+                                        static_cast<double>(height) *
+                                        6.28318) +
+                        0.05 * rng_.nextGaussian();
+                    if (v < 0.0)
+                        v = 0.0;
+                    if (v > 1.0)
+                        v = 1.0;
+                    std::size_t idx;
+                    if (layout == DataLayout::NCHW) {
+                        idx = ((n * channels + c) * height + y) * width +
+                              x;
+                    } else {
+                        idx = ((n * height + y) * width + x) * channels +
+                              c;
+                    }
+                    b.data[idx] = static_cast<float>(v);
+                }
+            }
+        }
+    }
+    return b;
+}
+
+ImageBatch
+ImageGenerator::cifar10(std::size_t batch)
+{
+    return generate(batch, 3, 32, 32, 10);
+}
+
+ImageBatch
+ImageGenerator::ilsvrc2012(std::size_t batch, double scale)
+{
+    dmpb_assert(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    auto dim = static_cast<std::size_t>(299 * scale);
+    if (dim < 32)
+        dim = 32;
+    return generate(batch, 3, dim, dim, 1000);
+}
+
+} // namespace dmpb

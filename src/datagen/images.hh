@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic image batches for the AI workloads.
+ *
+ * CIFAR-10 and ILSVRC2012 are not redistributable here, so AlexNet and
+ * Inception-V3 consume synthetic images with the same shapes (32x32x3
+ * and 299x299x3), value range, and the spatial correlation natural
+ * images exhibit (generated as low-frequency gradients plus noise).
+ * What the workloads exercise -- tensor shapes, layouts and arithmetic
+ * -- is preserved exactly.
+ */
+
+#ifndef DMPB_DATAGEN_IMAGES_HH
+#define DMPB_DATAGEN_IMAGES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace dmpb {
+
+/** Tensor memory layouts (TensorFlow naming). */
+enum class DataLayout : std::uint8_t
+{
+    NCHW,
+    NHWC
+};
+
+/** A batch of images as a flat float tensor. */
+struct ImageBatch
+{
+    std::size_t batch = 0;
+    std::size_t channels = 0;
+    std::size_t height = 0;
+    std::size_t width = 0;
+    DataLayout layout = DataLayout::NCHW;
+    std::vector<float> data;
+    std::vector<std::uint32_t> labels;
+
+    std::size_t imageElems() const { return channels * height * width; }
+    std::uint64_t bytes() const { return data.size() * sizeof(float); }
+};
+
+/** Deterministic natural-image-like batch generator. */
+class ImageGenerator
+{
+  public:
+    explicit ImageGenerator(std::uint64_t seed = 21);
+
+    /**
+     * Generate a batch of smooth-gradient-plus-noise images in
+     * [0, 1], with random class labels in [0, num_classes).
+     */
+    ImageBatch generate(std::size_t batch, std::size_t channels,
+                        std::size_t height, std::size_t width,
+                        std::size_t num_classes = 10,
+                        DataLayout layout = DataLayout::NCHW);
+
+    /** CIFAR-10-shaped batch (3x32x32, 10 classes). */
+    ImageBatch cifar10(std::size_t batch);
+
+    /** ILSVRC2012-shaped batch (3x299x299 as Inception-V3 consumes,
+     *  1000 classes), optionally spatially scaled by @p scale to
+     *  bound trace-simulation cost. */
+    ImageBatch ilsvrc2012(std::size_t batch, double scale = 1.0);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_DATAGEN_IMAGES_HH

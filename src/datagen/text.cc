@@ -1,0 +1,65 @@
+#include "datagen/text.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+TextGenerator::TextGenerator(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+std::vector<std::uint32_t>
+TextGenerator::generateTokens(std::size_t n, std::uint32_t vocab,
+                              double theta)
+{
+    dmpb_assert(vocab > 0, "vocabulary must be non-empty");
+    ZipfSampler zipf(vocab, theta);
+    std::vector<std::uint32_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Scatter ranks over ids so frequent words are not clustered.
+        std::uint64_t rank = zipf.sample(rng_);
+        out.push_back(static_cast<std::uint32_t>(mix64(rank) % vocab));
+    }
+    return out;
+}
+
+std::string
+TextGenerator::tokenWord(std::uint32_t id)
+{
+    std::string w = "w";
+    std::uint32_t v = id;
+    do {
+        w.push_back(static_cast<char>('a' + v % 26));
+        v /= 26;
+    } while (v != 0);
+    return w;
+}
+
+std::vector<std::uint64_t>
+TextGenerator::generateIdSet(std::size_t n, std::uint64_t universe)
+{
+    dmpb_assert(n <= universe, "cannot draw ", n,
+                " unique ids from universe ", universe);
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    // Draw-and-dedup; fine for n << universe which is our use case.
+    std::uint64_t attempts = 0;
+    while (out.size() < n) {
+        out.push_back(rng_.nextU64(universe));
+        if (++attempts % (n + 1) == 0 || out.size() == n) {
+            std::sort(out.begin(), out.end());
+            out.erase(std::unique(out.begin(), out.end()), out.end());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    while (out.size() > n)
+        out.pop_back();
+    return out;
+}
+
+} // namespace dmpb

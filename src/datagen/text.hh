@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Zipf-distributed word/document generator for the set and statistics
+ * motifs (key collections, term frequencies).
+ */
+
+#ifndef DMPB_DATAGEN_TEXT_HH
+#define DMPB_DATAGEN_TEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace dmpb {
+
+/** Deterministic generator of Zipf-distributed token streams. */
+class TextGenerator
+{
+  public:
+    explicit TextGenerator(std::uint64_t seed = 31);
+
+    /**
+     * Generate @p n token ids from a vocabulary of @p vocab words
+     * with Zipf skew @p theta (word frequency follows Zipf's law, as
+     * in natural text).
+     */
+    std::vector<std::uint32_t> generateTokens(std::size_t n,
+                                              std::uint32_t vocab,
+                                              double theta = 0.8);
+
+    /** Materialise a token id as a word string ("w<id>" base-26). */
+    static std::string tokenWord(std::uint32_t id);
+
+    /** Generate sorted unique id collections for the set motif. */
+    std::vector<std::uint64_t> generateIdSet(std::size_t n,
+                                             std::uint64_t universe);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_DATAGEN_TEXT_HH

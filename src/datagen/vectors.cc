@@ -1,0 +1,51 @@
+#include "datagen/vectors.hh"
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+VectorGenerator::VectorGenerator(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+VectorDataset
+VectorGenerator::generate(std::size_t n, std::size_t dim, double sparsity,
+                          std::size_t centers)
+{
+    dmpb_assert(sparsity >= 0.0 && sparsity <= 1.0,
+                "sparsity must be in [0,1]");
+    dmpb_assert(centers >= 1, "need at least one cluster center");
+
+    VectorDataset ds;
+    ds.num_vectors = n;
+    ds.dim = dim;
+    ds.sparsity = sparsity;
+    ds.dense.assign(n * dim, 0.0f);
+
+    std::vector<float> centroids(centers * dim);
+    for (auto &c : centroids)
+        c = static_cast<float>(rng_.nextDouble(-8.0, 8.0));
+
+    ds.csr_row_offset.reserve(n + 1);
+    ds.csr_row_offset.push_back(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t cluster = rng_.nextU64(centers);
+        const float *center = &centroids[cluster * dim];
+        for (std::size_t d = 0; d < dim; ++d) {
+            if (rng_.nextBool(sparsity))
+                continue;  // zero element
+            float v = center[d] +
+                      static_cast<float>(rng_.nextGaussian());
+            if (v == 0.0f)
+                v = 0.1f;  // keep "non-zero" semantics exact
+            ds.dense[i * dim + d] = v;
+            ds.csr_col.push_back(static_cast<std::uint32_t>(d));
+            ds.csr_val.push_back(v);
+        }
+        ds.csr_row_offset.push_back(ds.csr_val.size());
+    }
+    return ds;
+}
+
+} // namespace dmpb

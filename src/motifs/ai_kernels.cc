@@ -1,0 +1,388 @@
+#include "motifs/ai_kernels.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "motifs/kernel_util.hh"
+
+namespace dmpb {
+namespace kernels {
+
+namespace {
+
+/** Charge the cost of one transcendental evaluation. */
+inline void
+chargeTranscendental(TraceContext &ctx)
+{
+    ctx.emitOps(OpClass::FpMul, 2);
+    ctx.emitOps(OpClass::FpAlu, 4);
+}
+
+} // namespace
+
+std::uint32_t
+convOutDim(std::uint32_t in, std::uint32_t kernel, std::uint32_t stride,
+           std::uint32_t pad)
+{
+    dmpb_assert(in + 2 * pad >= kernel, "window larger than padded input");
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+Shape4
+conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
+       const Shape4 &ishape, const TracedBuffer<float> &weights,
+       const TracedBuffer<float> &bias, TracedBuffer<float> &out,
+       std::uint32_t filters, std::uint32_t kernel, std::uint32_t stride,
+       std::uint32_t pad, DataLayout layout)
+{
+    Shape4 oshape{ishape.n, filters,
+                  convOutDim(ishape.h, kernel, stride, pad),
+                  convOutDim(ishape.w, kernel, stride, pad)};
+    dmpb_assert(in.size() >= ishape.elems(), "conv input too small");
+    dmpb_assert(weights.size() >=
+                    static_cast<std::size_t>(filters) * ishape.c *
+                        kernel * kernel,
+                "conv weights too small");
+    dmpb_assert(out.size() >= oshape.elems(), "conv output too small");
+
+    const std::size_t wstride_o =
+        static_cast<std::size_t>(ishape.c) * kernel * kernel;
+    for (std::uint32_t n = 0; n < ishape.n; ++n) {
+        for (std::uint32_t o = 0; o < filters; ++o) {
+            for (std::uint32_t oy = 0; oy < oshape.h; ++oy) {
+                for (std::uint32_t ox = 0; ox < oshape.w; ++ox) {
+                    float acc = 0.0f;
+                    for (std::uint32_t c = 0; c < ishape.c; ++c) {
+                        for (std::uint32_t ky = 0; ky < kernel; ++ky) {
+                            std::int64_t iy =
+                                static_cast<std::int64_t>(oy) * stride +
+                                ky - pad;
+                            if (iy < 0 ||
+                                iy >= static_cast<std::int64_t>(
+                                          ishape.h)) {
+                                continue;
+                            }
+                            for (std::uint32_t kx = 0; kx < kernel;
+                                 ++kx) {
+                                std::int64_t ix =
+                                    static_cast<std::int64_t>(ox) *
+                                        stride + kx - pad;
+                                if (ix < 0 ||
+                                    ix >= static_cast<std::int64_t>(
+                                              ishape.w)) {
+                                    continue;
+                                }
+                                float iv = in.rd(ishape.index(
+                                    layout, n, c,
+                                    static_cast<std::uint32_t>(iy),
+                                    static_cast<std::uint32_t>(ix)));
+                                float wv = weights.rd(
+                                    o * wstride_o +
+                                    (static_cast<std::size_t>(c) *
+                                         kernel + ky) * kernel + kx);
+                                acc += iv * wv;
+                                ctx.emitOps(OpClass::FpMul, 1);
+                                ctx.emitOps(OpClass::FpAlu, 1);
+                            }
+                        }
+                    }
+                    if (!bias.empty()) {
+                        acc += bias.rd(o);
+                        ctx.emitOps(OpClass::FpAlu, 1);
+                    }
+                    out.wr(oshape.index(layout, n, o, oy, ox), acc);
+                }
+            }
+        }
+    }
+    return oshape;
+}
+
+namespace {
+
+template <bool kMax>
+Shape4
+pool2d(TraceContext &ctx, const TracedBuffer<float> &in,
+       const Shape4 &ishape, TracedBuffer<float> &out,
+       std::uint32_t kernel, std::uint32_t stride, DataLayout layout)
+{
+    Shape4 oshape{ishape.n, ishape.c,
+                  convOutDim(ishape.h, kernel, stride, 0),
+                  convOutDim(ishape.w, kernel, stride, 0)};
+    dmpb_assert(out.size() >= oshape.elems(), "pool output too small");
+    for (std::uint32_t n = 0; n < ishape.n; ++n) {
+        for (std::uint32_t c = 0; c < ishape.c; ++c) {
+            for (std::uint32_t oy = 0; oy < oshape.h; ++oy) {
+                for (std::uint32_t ox = 0; ox < oshape.w; ++ox) {
+                    float acc = kMax ? -1e30f : 0.0f;
+                    for (std::uint32_t ky = 0; ky < kernel; ++ky) {
+                        for (std::uint32_t kx = 0; kx < kernel; ++kx) {
+                            float v = in.rd(ishape.index(
+                                layout, n, c, oy * stride + ky,
+                                ox * stride + kx));
+                            if (kMax) {
+                                bool larger = v > acc;
+                                DMPB_BR(ctx, larger);
+                                if (larger)
+                                    acc = v;
+                            } else {
+                                acc += v;
+                                ctx.emitOps(OpClass::FpAlu, 1);
+                            }
+                        }
+                    }
+                    if (!kMax) {
+                        acc /= static_cast<float>(kernel * kernel);
+                        ctx.emitOps(OpClass::FpMul, 1);
+                    }
+                    out.wr(oshape.index(layout, n, c, oy, ox), acc);
+                }
+            }
+        }
+    }
+    return oshape;
+}
+
+} // namespace
+
+Shape4
+maxPool2d(TraceContext &ctx, const TracedBuffer<float> &in,
+          const Shape4 &ishape, TracedBuffer<float> &out,
+          std::uint32_t kernel, std::uint32_t stride, DataLayout layout)
+{
+    return pool2d<true>(ctx, in, ishape, out, kernel, stride, layout);
+}
+
+Shape4
+avgPool2d(TraceContext &ctx, const TracedBuffer<float> &in,
+          const Shape4 &ishape, TracedBuffer<float> &out,
+          std::uint32_t kernel, std::uint32_t stride, DataLayout layout)
+{
+    return pool2d<false>(ctx, in, ishape, out, kernel, stride, layout);
+}
+
+void
+fullyConnected(TraceContext &ctx, const TracedBuffer<float> &in,
+               std::size_t batch, std::size_t in_dim,
+               const TracedBuffer<float> &weights,
+               const TracedBuffer<float> &bias, TracedBuffer<float> &out,
+               std::size_t out_dim)
+{
+    dmpb_assert(in.size() >= batch * in_dim, "fc input too small");
+    dmpb_assert(weights.size() >= out_dim * in_dim,
+                "fc weights too small");
+    dmpb_assert(out.size() >= batch * out_dim, "fc output too small");
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t o = 0; o < out_dim; ++o) {
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < in_dim; ++i) {
+                float x = in.rd(b * in_dim + i);
+                float w = weights.rd(o * in_dim + i);
+                acc += x * w;
+                ctx.emitOps(OpClass::FpMul, 1);
+                ctx.emitOps(OpClass::FpAlu, 1);
+            }
+            if (!bias.empty()) {
+                acc += bias.rd(o);
+                ctx.emitOps(OpClass::FpAlu, 1);
+            }
+            out.wr(b * out_dim + o, acc);
+        }
+    }
+}
+
+void
+relu(TraceContext &ctx, TracedBuffer<float> &x)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        float v = x.rd(i);
+        bool neg = v < 0.0f;
+        DMPB_BR(ctx, neg);
+        if (neg)
+            x.wr(i, 0.0f);
+    }
+}
+
+void
+sigmoid(TraceContext &ctx, TracedBuffer<float> &x)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        float v = x.rd(i);
+        chargeTranscendental(ctx);
+        ctx.emitOps(OpClass::FpAlu, 1);
+        x.wr(i, 1.0f / (1.0f + std::exp(-v)));
+    }
+}
+
+void
+tanhAct(TraceContext &ctx, TracedBuffer<float> &x)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        float v = x.rd(i);
+        chargeTranscendental(ctx);
+        x.wr(i, std::tanh(v));
+    }
+}
+
+void
+softmax(TraceContext &ctx, TracedBuffer<float> &x, std::size_t rows,
+        std::size_t dim)
+{
+    dmpb_assert(x.size() >= rows * dim, "softmax shape mismatch");
+    for (std::size_t r = 0; r < rows; ++r) {
+        float mx = -1e30f;
+        for (std::size_t d = 0; d < dim; ++d) {
+            float v = x.rd(r * dim + d);
+            bool larger = v > mx;
+            DMPB_BR(ctx, larger);
+            if (larger)
+                mx = v;
+        }
+        float sum = 0.0f;
+        for (std::size_t d = 0; d < dim; ++d) {
+            float e = std::exp(x.rd(r * dim + d) - mx);
+            chargeTranscendental(ctx);
+            ctx.emitOps(OpClass::FpAlu, 2);
+            x.wr(r * dim + d, e);
+            sum += e;
+        }
+        for (std::size_t d = 0; d < dim; ++d) {
+            x.wr(r * dim + d, x.rd(r * dim + d) / sum);
+            ctx.emitOps(OpClass::FpMul, 1);
+        }
+    }
+}
+
+std::size_t
+dropout(TraceContext &ctx, TracedBuffer<float> &x, double drop_rate,
+        Rng &rng)
+{
+    dmpb_assert(drop_rate >= 0.0 && drop_rate < 1.0,
+                "drop rate must be in [0,1)");
+    float scale = static_cast<float>(1.0 / (1.0 - drop_rate));
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        bool drop = rng.nextBool(drop_rate);
+        ctx.emitOps(OpClass::IntAlu, 2);
+        DMPB_BR(ctx, drop);
+        if (drop) {
+            x.wr(i, 0.0f);
+        } else {
+            x.wr(i, x.rd(i) * scale);
+            ctx.emitOps(OpClass::FpMul, 1);
+            ++kept;
+        }
+    }
+    return kept;
+}
+
+void
+batchNorm(TraceContext &ctx, TracedBuffer<float> &x, const Shape4 &shape,
+          const TracedBuffer<float> &gamma,
+          const TracedBuffer<float> &beta, float epsilon,
+          DataLayout layout)
+{
+    dmpb_assert(x.size() >= shape.elems(), "batchnorm input too small");
+    const double count =
+        static_cast<double>(shape.n) * shape.h * shape.w;
+    for (std::uint32_t c = 0; c < shape.c; ++c) {
+        double sum = 0.0, sq = 0.0;
+        for (std::uint32_t n = 0; n < shape.n; ++n) {
+            for (std::uint32_t y = 0; y < shape.h; ++y) {
+                for (std::uint32_t xw = 0; xw < shape.w; ++xw) {
+                    float v = x.rd(shape.index(layout, n, c, y, xw));
+                    sum += v;
+                    sq += static_cast<double>(v) * v;
+                    ctx.emitOps(OpClass::FpAlu, 2);
+                    ctx.emitOps(OpClass::FpMul, 1);
+                }
+            }
+        }
+        double mean = sum / count;
+        double var = sq / count - mean * mean;
+        if (var < 0.0)
+            var = 0.0;
+        float inv_std =
+            static_cast<float>(1.0 / std::sqrt(var + epsilon));
+        chargeTranscendental(ctx);
+        float g = gamma.empty() ? 1.0f : gamma.rd(c);
+        float b = beta.empty() ? 0.0f : beta.rd(c);
+        for (std::uint32_t n = 0; n < shape.n; ++n) {
+            for (std::uint32_t y = 0; y < shape.h; ++y) {
+                for (std::uint32_t xw = 0; xw < shape.w; ++xw) {
+                    std::size_t idx = shape.index(layout, n, c, y, xw);
+                    float v = x.rd(idx);
+                    v = (v - static_cast<float>(mean)) * inv_std * g + b;
+                    ctx.emitOps(OpClass::FpAlu, 2);
+                    ctx.emitOps(OpClass::FpMul, 2);
+                    x.wr(idx, v);
+                }
+            }
+        }
+    }
+}
+
+void
+cosineNorm(TraceContext &ctx, TracedBuffer<float> &x, std::size_t rows,
+           std::size_t dim)
+{
+    dmpb_assert(x.size() >= rows * dim, "cosine-norm shape mismatch");
+    for (std::size_t r = 0; r < rows; ++r) {
+        double norm = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            float v = x.rd(r * dim + d);
+            norm += static_cast<double>(v) * v;
+            ctx.emitOps(OpClass::FpMul, 1);
+            ctx.emitOps(OpClass::FpAlu, 1);
+        }
+        chargeTranscendental(ctx);
+        float inv = norm > 0.0
+                        ? static_cast<float>(1.0 / std::sqrt(norm))
+                        : 0.0f;
+        for (std::size_t d = 0; d < dim; ++d) {
+            x.wr(r * dim + d, x.rd(r * dim + d) * inv);
+            ctx.emitOps(OpClass::FpMul, 1);
+        }
+    }
+}
+
+double
+reduceSum(TraceContext &ctx, const TracedBuffer<float> &x)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sum += x.rd(i);
+        ctx.emitOps(OpClass::FpAlu, 1);
+    }
+    return sum;
+}
+
+float
+reduceMax(TraceContext &ctx, const TracedBuffer<float> &x)
+{
+    dmpb_assert(!x.empty(), "reduceMax of empty input");
+    float mx = x.rd(0);
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        float v = x.rd(i);
+        bool larger = v > mx;
+        DMPB_BR(ctx, larger);
+        if (larger)
+            mx = v;
+    }
+    return mx;
+}
+
+void
+elementWiseMul(TraceContext &ctx, const TracedBuffer<float> &a,
+               const TracedBuffer<float> &b, TracedBuffer<float> &out)
+{
+    dmpb_assert(a.size() == b.size() && out.size() >= a.size(),
+                "elementwise size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out.wr(i, a.rd(i) * b.rd(i));
+        ctx.emitOps(OpClass::FpMul, 1);
+    }
+}
+
+} // namespace kernels
+} // namespace dmpb

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Instrumented AI computation kernels (Fig. 2, right).
+ *
+ * These are the layer-level units of computation shared by the AI
+ * motifs and by the tensorlite network executor: convolution, pooling,
+ * fully-connected, activations, normalisations and reductions. All of
+ * them honour the Section II-A shape vocabulary: batch size, height,
+ * width, channel count, filter shape, stride, padding and the
+ * NCHW/NHWC storage formats of TensorFlow.
+ *
+ * Real arithmetic is performed (unit tests check numerics); every
+ * element access and every flop is reported to the TraceContext.
+ * Transcendental functions (exp/tanh/sqrt) are charged a fixed
+ * polynomial-evaluation cost of 2 FpMul + 4 FpAlu.
+ */
+
+#ifndef DMPB_MOTIFS_AI_KERNELS_HH
+#define DMPB_MOTIFS_AI_KERNELS_HH
+
+#include <cstdint>
+
+#include "base/rng.hh"
+#include "datagen/images.hh"
+#include "sim/traced_buffer.hh"
+
+namespace dmpb {
+
+/** Dense 4-D tensor shape (batch, channels, height, width). */
+struct Shape4
+{
+    std::uint32_t n = 1;
+    std::uint32_t c = 1;
+    std::uint32_t h = 1;
+    std::uint32_t w = 1;
+
+    std::size_t elems() const
+    {
+        return static_cast<std::size_t>(n) * c * h * w;
+    }
+
+    /** Flat index honouring the storage layout. */
+    std::size_t
+    index(DataLayout layout, std::uint32_t in, std::uint32_t ic,
+          std::uint32_t iy, std::uint32_t ix) const
+    {
+        if (layout == DataLayout::NCHW) {
+            return ((static_cast<std::size_t>(in) * c + ic) * h + iy) *
+                       w + ix;
+        }
+        return ((static_cast<std::size_t>(in) * h + iy) * w + ix) * c +
+               ic;
+    }
+
+    bool operator==(const Shape4 &o) const = default;
+};
+
+namespace kernels {
+
+/** Output spatial size of a conv/pool window sweep. */
+std::uint32_t convOutDim(std::uint32_t in, std::uint32_t kernel,
+                         std::uint32_t stride, std::uint32_t pad);
+
+/**
+ * Direct 2-D convolution.
+ *
+ * @param in       Input activations with shape @p ishape.
+ * @param weights  Filters, OIHW order: [filters][ishape.c][k][k].
+ * @param bias     One value per output channel (may be empty).
+ * @param out      Output buffer, shape (ishape.n, filters, oh, ow).
+ * @return the output shape.
+ */
+Shape4 conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
+              const Shape4 &ishape, const TracedBuffer<float> &weights,
+              const TracedBuffer<float> &bias, TracedBuffer<float> &out,
+              std::uint32_t filters, std::uint32_t kernel,
+              std::uint32_t stride, std::uint32_t pad,
+              DataLayout layout = DataLayout::NCHW);
+
+/** Max pooling over k x k windows. @return output shape. */
+Shape4 maxPool2d(TraceContext &ctx, const TracedBuffer<float> &in,
+                 const Shape4 &ishape, TracedBuffer<float> &out,
+                 std::uint32_t kernel, std::uint32_t stride,
+                 DataLayout layout = DataLayout::NCHW);
+
+/** Average pooling over k x k windows. @return output shape. */
+Shape4 avgPool2d(TraceContext &ctx, const TracedBuffer<float> &in,
+                 const Shape4 &ishape, TracedBuffer<float> &out,
+                 std::uint32_t kernel, std::uint32_t stride,
+                 DataLayout layout = DataLayout::NCHW);
+
+/** Fully-connected layer: out[b][o] = sum_i in[b][i]*w[o][i] + bias. */
+void fullyConnected(TraceContext &ctx, const TracedBuffer<float> &in,
+                    std::size_t batch, std::size_t in_dim,
+                    const TracedBuffer<float> &weights,
+                    const TracedBuffer<float> &bias,
+                    TracedBuffer<float> &out, std::size_t out_dim);
+
+/** In-place ReLU (Logic motif in Fig. 2). */
+void relu(TraceContext &ctx, TracedBuffer<float> &x);
+
+/** In-place logistic sigmoid. */
+void sigmoid(TraceContext &ctx, TracedBuffer<float> &x);
+
+/** In-place tanh. */
+void tanhAct(TraceContext &ctx, TracedBuffer<float> &x);
+
+/** Row-wise softmax over @p rows rows of @p dim values, in place. */
+void softmax(TraceContext &ctx, TracedBuffer<float> &x, std::size_t rows,
+             std::size_t dim);
+
+/** Inverted dropout in place; returns number of kept elements. */
+std::size_t dropout(TraceContext &ctx, TracedBuffer<float> &x,
+                    double drop_rate, Rng &rng);
+
+/**
+ * Batch normalisation over (n, h, w) per channel, in place,
+ * with learned gamma/beta (may be empty for identity affine).
+ */
+void batchNorm(TraceContext &ctx, TracedBuffer<float> &x,
+               const Shape4 &shape, const TracedBuffer<float> &gamma,
+               const TracedBuffer<float> &beta, float epsilon = 1e-5f,
+               DataLayout layout = DataLayout::NCHW);
+
+/** Row-wise L2 (cosine) normalisation in place. */
+void cosineNorm(TraceContext &ctx, TracedBuffer<float> &x,
+                std::size_t rows, std::size_t dim);
+
+/** Sum of all elements (Statistics / reduce-sum in Fig. 2). */
+double reduceSum(TraceContext &ctx, const TracedBuffer<float> &x);
+
+/** Maximum element (Sort / reduce-max in Fig. 2). */
+float reduceMax(TraceContext &ctx, const TracedBuffer<float> &x);
+
+/** Element-wise product: out = a .* b. */
+void elementWiseMul(TraceContext &ctx, const TracedBuffer<float> &a,
+                    const TracedBuffer<float> &b,
+                    TracedBuffer<float> &out);
+
+} // namespace kernels
+} // namespace dmpb
+
+#endif // DMPB_MOTIFS_AI_KERNELS_HH

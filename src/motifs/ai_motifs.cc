@@ -1,0 +1,308 @@
+#include "motifs/ai_motifs.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "motifs/ai_kernels.hh"
+#include "motifs/kernel_util.hh"
+
+namespace dmpb {
+
+namespace {
+
+/** Batch-input shape from the motif parameters. */
+Shape4
+inputShape(const MotifParams &p)
+{
+    return Shape4{std::max<std::uint32_t>(1, p.batch_size),
+                  std::max<std::uint32_t>(1, p.channels),
+                  std::max<std::uint32_t>(1, p.height),
+                  std::max<std::uint32_t>(1, p.width)};
+}
+
+/** Iterations needed to cover total_size samples (>= 1). */
+std::size_t
+iterationCount(const MotifParams &p)
+{
+    if (p.total_size == 0)
+        return 1;
+    std::uint64_t batch = std::max<std::uint32_t>(1, p.batch_size);
+    return static_cast<std::size_t>((p.total_size + batch - 1) / batch);
+}
+
+/** Fill a buffer with deterministic activations. */
+void
+fillUniform(TracedBuffer<float> &buf, Rng &rng, double lo = -1.0,
+            double hi = 1.0)
+{
+    for (auto &v : buf.raw())
+        v = static_cast<float>(rng.nextDouble(lo, hi));
+}
+
+std::uint64_t
+checksumBuffer(const TracedBuffer<float> &buf)
+{
+    std::uint64_t cs = buf.size();
+    for (std::size_t i = 0; i < buf.size();
+         i += std::max<std::size_t>(1, buf.size() / 64)) {
+        cs = checksumMixF(cs, buf.raw()[i]);
+    }
+    return cs;
+}
+
+} // namespace
+
+std::uint64_t
+FullyConnectedMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    const std::size_t in_dim =
+        static_cast<std::size_t>(s.c) * s.h * s.w;
+    const std::size_t out_dim = std::max<std::uint32_t>(1, p.filters);
+    Rng rng(p.seed);
+    TracedBuffer<float> x(ctx, s.n * in_dim);
+    TracedBuffer<float> w(ctx, out_dim * in_dim);
+    TracedBuffer<float> bias(ctx, out_dim);
+    TracedBuffer<float> y(ctx, s.n * out_dim);
+    fillUniform(w, rng);
+    fillUniform(bias, rng);
+
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng);
+        kernels::fullyConnected(ctx, x, s.n, in_dim, w, bias, y,
+                                out_dim);
+        checksum = checksumMix(checksum, checksumBuffer(y));
+    }
+    return checksum;
+}
+
+std::uint64_t
+ElementMulMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    Rng rng(p.seed);
+    TracedBuffer<float> a(ctx, s.elems());
+    TracedBuffer<float> b(ctx, s.elems());
+    TracedBuffer<float> out(ctx, s.elems());
+    fillUniform(b, rng);
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(a, rng);
+        kernels::elementWiseMul(ctx, a, b, out);
+        checksum = checksumMix(checksum, checksumBuffer(out));
+    }
+    return checksum;
+}
+
+namespace {
+
+/** Shared driver for the in-place activation motifs. */
+template <typename Fn>
+std::uint64_t
+runActivation(TraceContext &ctx, const MotifParams &p, Fn &&activation)
+{
+    Shape4 s = inputShape(p);
+    Rng rng(p.seed);
+    TracedBuffer<float> x(ctx, s.elems());
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng, -4.0, 4.0);
+        activation(x);
+        checksum = checksumMix(checksum, checksumBuffer(x));
+    }
+    return checksum;
+}
+
+} // namespace
+
+std::uint64_t
+SigmoidMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    return runActivation(ctx, p, [&](TracedBuffer<float> &x) {
+        kernels::sigmoid(ctx, x);
+    });
+}
+
+std::uint64_t
+TanhMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    return runActivation(ctx, p, [&](TracedBuffer<float> &x) {
+        kernels::tanhAct(ctx, x);
+    });
+}
+
+std::uint64_t
+ReluMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    return runActivation(ctx, p, [&](TracedBuffer<float> &x) {
+        kernels::relu(ctx, x);
+    });
+}
+
+std::uint64_t
+SoftmaxMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    const std::size_t dim = static_cast<std::size_t>(s.c) * s.h * s.w;
+    return runActivation(ctx, p, [&](TracedBuffer<float> &x) {
+        kernels::softmax(ctx, x, s.n, dim);
+    });
+}
+
+namespace {
+
+std::uint64_t
+runPool(TraceContext &ctx, const MotifParams &p, bool is_max)
+{
+    Shape4 s = inputShape(p);
+    std::uint32_t kernel = std::max<std::uint32_t>(2, p.kernel);
+    std::uint32_t stride = std::max<std::uint32_t>(2, p.stride);
+    // Shrink the window if the input is tiny.
+    kernel = std::min({kernel, s.h, s.w});
+    Rng rng(p.seed);
+    TracedBuffer<float> in(ctx, s.elems());
+    TracedBuffer<float> out(ctx, s.elems());
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(in, rng, 0.0, 1.0);
+        if (is_max) {
+            kernels::maxPool2d(ctx, in, s, out, kernel, stride,
+                               p.layout);
+        } else {
+            kernels::avgPool2d(ctx, in, s, out, kernel, stride,
+                               p.layout);
+        }
+        checksum = checksumMix(checksum, checksumBuffer(out));
+    }
+    return checksum;
+}
+
+} // namespace
+
+std::uint64_t
+MaxPoolMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    return runPool(ctx, p, true);
+}
+
+std::uint64_t
+AvgPoolMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    return runPool(ctx, p, false);
+}
+
+std::uint64_t
+ConvolutionMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    std::uint32_t filters = std::max<std::uint32_t>(1, p.filters);
+    std::uint32_t kernel =
+        std::min({std::max<std::uint32_t>(1, p.kernel), s.h, s.w});
+    std::uint32_t stride = std::max<std::uint32_t>(1, p.stride);
+    std::uint32_t pad = kernel / 2;
+
+    Rng rng(p.seed);
+    TracedBuffer<float> in(ctx, s.elems());
+    TracedBuffer<float> w(
+        ctx, static_cast<std::size_t>(filters) * s.c * kernel * kernel);
+    TracedBuffer<float> bias(ctx, filters);
+    fillUniform(w, rng, -0.5, 0.5);
+    fillUniform(bias, rng, -0.1, 0.1);
+    Shape4 oshape{s.n, filters,
+                  kernels::convOutDim(s.h, kernel, stride, pad),
+                  kernels::convOutDim(s.w, kernel, stride, pad)};
+    TracedBuffer<float> out(ctx, oshape.elems());
+
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(in, rng, 0.0, 1.0);
+        kernels::conv2d(ctx, in, s, w, bias, out, filters, kernel,
+                        stride, pad, p.layout);
+        checksum = checksumMix(checksum, checksumBuffer(out));
+    }
+    return checksum;
+}
+
+std::uint64_t
+DropoutMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    Rng rng(p.seed);
+    Rng mask_rng(p.seed ^ 0xd0d0ULL);
+    TracedBuffer<float> x(ctx, s.elems());
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng);
+        std::size_t kept = kernels::dropout(ctx, x, 0.5, mask_rng);
+        checksum = checksumMix(checksum, kept);
+    }
+    return checksum;
+}
+
+std::uint64_t
+BatchNormMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    Rng rng(p.seed);
+    TracedBuffer<float> x(ctx, s.elems());
+    TracedBuffer<float> gamma(ctx, s.c);
+    TracedBuffer<float> beta(ctx, s.c);
+    fillUniform(gamma, rng, 0.5, 1.5);
+    fillUniform(beta, rng, -0.5, 0.5);
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng, -2.0, 2.0);
+        kernels::batchNorm(ctx, x, s, gamma, beta, 1e-5f, p.layout);
+        checksum = checksumMix(checksum, checksumBuffer(x));
+    }
+    return checksum;
+}
+
+std::uint64_t
+CosineNormMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    const std::size_t dim = static_cast<std::size_t>(s.c) * s.h * s.w;
+    Rng rng(p.seed);
+    TracedBuffer<float> x(ctx, s.elems());
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng);
+        kernels::cosineNorm(ctx, x, s.n, dim);
+        checksum = checksumMix(checksum, checksumBuffer(x));
+    }
+    return checksum;
+}
+
+std::uint64_t
+ReduceSumMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    Rng rng(p.seed);
+    TracedBuffer<float> x(ctx, s.elems());
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng);
+        checksum = checksumMixF(checksum, kernels::reduceSum(ctx, x));
+    }
+    return checksum;
+}
+
+std::uint64_t
+ReduceMaxMotif::run(TraceContext &ctx, const MotifParams &p) const
+{
+    Shape4 s = inputShape(p);
+    Rng rng(p.seed);
+    TracedBuffer<float> x(ctx, s.elems());
+    std::uint64_t checksum = 0;
+    for (std::size_t it = 0; it < iterationCount(p); ++it) {
+        fillUniform(x, rng);
+        checksum = checksumMixF(checksum,
+                                static_cast<double>(
+                                    kernels::reduceMax(ctx, x)));
+    }
+    return checksum;
+}
+
+} // namespace dmpb

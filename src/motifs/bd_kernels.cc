@@ -1,0 +1,799 @@
+#include "motifs/bd_kernels.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "motifs/kernel_util.hh"
+
+namespace dmpb {
+namespace kernels {
+
+// ---------------------------------------------------------------- Sort
+
+namespace {
+
+/** Traced compare of two already-loaded values. */
+inline bool
+cmpLess(TraceContext &ctx, std::uint64_t x, std::uint64_t y)
+{
+    ctx.emitOps(OpClass::IntAlu, 1);
+    bool less = x < y;
+    DMPB_BR(ctx, less);
+    return less;
+}
+
+} // namespace
+
+void
+quickSortU64(TraceContext &ctx, TracedBuffer<std::uint64_t> &a,
+             std::size_t lo, std::size_t hi)
+{
+    if (hi <= lo)
+        return;
+    // Explicit stack of [lo, hi] inclusive ranges.
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(lo, hi);
+    while (!stack.empty()) {
+        auto [l, h] = stack.back();
+        stack.pop_back();
+        while (l < h) {
+            if (h - l < 12) {
+                // Insertion sort for small ranges.
+                for (std::size_t i = l + 1; i <= h; ++i) {
+                    std::uint64_t v = a.rd(i);
+                    std::size_t j = i;
+                    while (j > l && cmpLess(ctx, v, a.rd(j - 1))) {
+                        a.wr(j, a.raw()[j - 1]);
+                        --j;
+                    }
+                    a.wr(j, v);
+                }
+                break;
+            }
+            // Median-of-three pivot.
+            std::size_t mid = l + (h - l) / 2;
+            std::uint64_t p0 = a.rd(l), p1 = a.rd(mid), p2 = a.rd(h);
+            std::uint64_t pivot =
+                std::max(std::min(p0, p1), std::min(std::max(p0, p1), p2));
+            ctx.emitOps(OpClass::IntAlu, 4);
+
+            // Hoare partition.
+            std::size_t i = l, j = h;
+            for (;;) {
+                while (cmpLess(ctx, a.rd(i), pivot))
+                    ++i;
+                while (cmpLess(ctx, pivot, a.rd(j)))
+                    --j;
+                if (i >= j)
+                    break;
+                std::uint64_t vi = a.raw()[i], vj = a.raw()[j];
+                a.wr(i, vj);
+                a.wr(j, vi);
+                ++i;
+                if (j > 0)
+                    --j;
+            }
+            // Recurse into the smaller side; iterate on the larger.
+            if (j - l < h - (j + 1)) {
+                if (j > l)
+                    stack.emplace_back(l, j);
+                l = j + 1;
+            } else {
+                if (j + 1 < h)
+                    stack.emplace_back(j + 1, h);
+                h = j;
+            }
+        }
+    }
+}
+
+void
+mergeSortU64(TraceContext &ctx, TracedBuffer<std::uint64_t> &a)
+{
+    const std::size_t n = a.size();
+    if (n < 2)
+        return;
+    TracedBuffer<std::uint64_t> tmp(ctx, n);
+    TracedBuffer<std::uint64_t> *src = &a, *dst = &tmp;
+    for (std::size_t width = 1; width < n; width *= 2) {
+        for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+            std::size_t mid = std::min(lo + width, n);
+            std::size_t hi = std::min(lo + 2 * width, n);
+            std::size_t i = lo, j = mid, k = lo;
+            while (i < mid && j < hi) {
+                std::uint64_t vi = src->rd(i), vj = src->rd(j);
+                if (cmpLess(ctx, vj, vi)) {
+                    dst->wr(k++, vj);
+                    ++j;
+                } else {
+                    dst->wr(k++, vi);
+                    ++i;
+                }
+            }
+            while (i < mid)
+                dst->wr(k++, src->rd(i++));
+            while (j < hi)
+                dst->wr(k++, src->rd(j++));
+        }
+        std::swap(src, dst);
+    }
+    if (src != &a) {
+        for (std::size_t i = 0; i < n; ++i)
+            a.wr(i, src->rd(i));
+    }
+}
+
+// ------------------------------------------------------------ Sampling
+
+std::size_t
+randomSample(TraceContext &ctx, const TracedBuffer<std::uint64_t> &in,
+             TracedBuffer<std::uint64_t> &out, double rate, Rng &rng)
+{
+    dmpb_assert(out.size() >= in.size(), "sample output too small");
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        std::uint64_t v = in.rd(i);
+        bool take = rng.nextBool(rate);
+        ctx.emitOps(OpClass::IntAlu, 2);  // rng advance + compare
+        DMPB_BR(ctx, take);
+        if (take)
+            out.wr(k++, v);
+    }
+    return k;
+}
+
+std::size_t
+intervalSample(TraceContext &ctx, const TracedBuffer<std::uint64_t> &in,
+               TracedBuffer<std::uint64_t> &out, std::size_t interval)
+{
+    dmpb_assert(interval > 0, "interval must be positive");
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < in.size(); i += interval) {
+        std::uint64_t v = in.rd(i);
+        ctx.emitOps(OpClass::IntAlu, 1);
+        out.wr(k++, v);
+    }
+    return k;
+}
+
+// --------------------------------------------------------------- Graph
+
+Graph
+graphConstruct(TraceContext &ctx,
+               const std::vector<std::pair<std::uint32_t,
+                                           std::uint32_t>> &edges,
+               std::uint64_t num_vertices)
+{
+    Graph g;
+    g.num_vertices = num_vertices;
+    std::vector<std::uint64_t> degree(num_vertices, 0);
+    // Counting pass.
+    for (const auto &e : edges) {
+        ctx.emitLoad(&e, sizeof(e));
+        ctx.emitLoad(&degree[e.first], 8);
+        ++degree[e.first];
+        ctx.emitStore(&degree[e.first], 8);
+        ctx.emitOps(OpClass::IntAlu, 1);
+    }
+    // Prefix sum.
+    g.out_offset.resize(num_vertices + 1, 0);
+    for (std::uint64_t v = 0; v < num_vertices; ++v) {
+        ctx.emitLoad(&degree[v], 8);
+        g.out_offset[v + 1] = g.out_offset[v] + degree[v];
+        ctx.emitOps(OpClass::IntAlu, 1);
+        ctx.emitStore(&g.out_offset[v + 1], 8);
+    }
+    // Scatter pass.
+    g.out_edges.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.out_offset.begin(),
+                                      g.out_offset.end() - 1);
+    for (const auto &e : edges) {
+        ctx.emitLoad(&e, sizeof(e));
+        ctx.emitLoad(&cursor[e.first], 8);
+        std::uint64_t pos = cursor[e.first]++;
+        ctx.emitStore(&cursor[e.first], 8);
+        g.out_edges[pos] = e.second;
+        ctx.emitStore(&g.out_edges[pos], 4);
+        ctx.emitOps(OpClass::IntAlu, 1);
+    }
+    return g;
+}
+
+std::uint64_t
+graphBfs(TraceContext &ctx, const Graph &g, std::uint32_t root,
+         std::vector<std::uint8_t> &visited)
+{
+    dmpb_assert(visited.size() >= g.num_vertices,
+                "visited bitmap too small");
+    std::vector<std::uint32_t> frontier, next;
+    frontier.push_back(root);
+    visited[root] = 1;
+    ctx.emitStore(&visited[root], 1);
+    std::uint64_t reached = 1;
+    while (!frontier.empty()) {
+        next.clear();
+        for (std::uint32_t v : frontier) {
+            ctx.emitLoad(&g.out_offset[v], 16);
+            std::uint64_t b = g.out_offset[v], e = g.out_offset[v + 1];
+            for (std::uint64_t i = b; i < e; ++i) {
+                std::uint32_t t = g.out_edges[i];
+                ctx.emitLoad(&g.out_edges[i], 4);
+                ctx.emitLoad(&visited[t], 1);
+                bool seen = visited[t] != 0;
+                DMPB_BR(ctx, seen);
+                if (!seen) {
+                    visited[t] = 1;
+                    ctx.emitStore(&visited[t], 1);
+                    next.push_back(t);
+                    ++reached;
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    return reached;
+}
+
+// --------------------------------------------------------------- Logic
+
+namespace {
+
+constexpr std::uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::uint32_t kMd5S[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+struct Md5State
+{
+    std::uint32_t a = 0x67452301;
+    std::uint32_t b = 0xefcdab89;
+    std::uint32_t c = 0x98badcfe;
+    std::uint32_t d = 0x10325476;
+};
+
+void
+md5Block(TraceContext &ctx, Md5State &st, const std::uint32_t m[16])
+{
+    std::uint32_t a = st.a, b = st.b, c = st.c, d = st.d;
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        std::uint32_t tmp = d;
+        d = c;
+        c = b;
+        std::uint32_t x = a + f + kMd5K[i] + m[g];
+        b = b + std::rotl(x, static_cast<int>(kMd5S[i]));
+        a = tmp;
+        // ~7 integer ops per round (bit ops, adds, rotate).
+        ctx.emitOps(OpClass::IntAlu, 7);
+    }
+    st.a += a;
+    st.b += b;
+    st.c += c;
+    st.d += d;
+    ctx.emitOps(OpClass::IntAlu, 4);
+}
+
+} // namespace
+
+std::uint64_t
+md5Digest(TraceContext &ctx, const TracedBuffer<std::uint8_t> &data)
+{
+    Md5State st;
+    const std::uint8_t *raw = data.data();
+    const std::size_t n = data.size();
+    std::uint32_t m[16];
+
+    std::size_t full = n / 64;
+    for (std::size_t blk = 0; blk < full; ++blk) {
+        for (int w = 0; w < 16; ++w) {
+            ctx.emitLoad(raw + blk * 64 + w * 4, 4);
+            std::memcpy(&m[w], raw + blk * 64 + w * 4, 4);
+        }
+        md5Block(ctx, st, m);
+    }
+
+    // Padding: 0x80, zeros, 8-byte little-endian bit length.
+    std::uint8_t tail[128] = {};
+    std::size_t rem = n - full * 64;
+    for (std::size_t i = 0; i < rem; ++i) {
+        ctx.emitLoad(raw + full * 64 + i, 1);
+        tail[i] = raw[full * 64 + i];
+    }
+    tail[rem] = 0x80;
+    std::size_t tail_blocks = rem + 9 <= 64 ? 1 : 2;
+    std::uint64_t bits = static_cast<std::uint64_t>(n) * 8;
+    std::memcpy(tail + tail_blocks * 64 - 8, &bits, 8);
+    for (std::size_t blk = 0; blk < tail_blocks; ++blk) {
+        std::memcpy(m, tail + blk * 64, 64);
+        md5Block(ctx, st, m);
+    }
+
+    std::uint8_t digest[16];
+    std::memcpy(digest + 0, &st.a, 4);
+    std::memcpy(digest + 4, &st.b, 4);
+    std::memcpy(digest + 8, &st.c, 4);
+    std::memcpy(digest + 12, &st.d, 4);
+    std::uint64_t lo, hi;
+    std::memcpy(&lo, digest, 8);
+    std::memcpy(&hi, digest + 8, 8);
+    return lo ^ hi;
+}
+
+std::uint64_t
+xteaEncrypt(TraceContext &ctx, TracedBuffer<std::uint32_t> &words,
+            const std::uint32_t key[4])
+{
+    constexpr std::uint32_t kDelta = 0x9e3779b9;
+    std::uint64_t checksum = 0;
+    std::size_t blocks = words.size() / 2;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        std::uint32_t v0 = words.rd(2 * b);
+        std::uint32_t v1 = words.rd(2 * b + 1);
+        std::uint32_t sum = 0;
+        for (int r = 0; r < 32; ++r) {
+            v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^
+                  (sum + key[sum & 3]);
+            sum += kDelta;
+            v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+                  (sum + key[(sum >> 11) & 3]);
+            ctx.emitOps(OpClass::IntAlu, 14);
+        }
+        words.wr(2 * b, v0);
+        words.wr(2 * b + 1, v1);
+        checksum = checksumMix(checksum,
+                               (static_cast<std::uint64_t>(v0) << 32) |
+                               v1);
+    }
+    return checksum;
+}
+
+// ----------------------------------------------------------------- Set
+
+namespace {
+
+enum class SetOp { Union, Intersect, Difference };
+
+std::size_t
+setMerge(TraceContext &ctx, const TracedBuffer<std::uint64_t> &a,
+         const TracedBuffer<std::uint64_t> &b,
+         TracedBuffer<std::uint64_t> &out, SetOp op)
+{
+    std::size_t i = 0, j = 0, k = 0;
+    while (i < a.size() && j < b.size()) {
+        std::uint64_t va = a.rd(i), vb = b.rd(j);
+        ctx.emitOps(OpClass::IntAlu, 1);
+        bool less = va < vb;
+        DMPB_BR(ctx, less);
+        if (less) {
+            if (op != SetOp::Intersect)
+                out.wr(k++, va);
+            ++i;
+        } else {
+            ctx.emitOps(OpClass::IntAlu, 1);
+            bool greater = vb < va;
+            DMPB_BR(ctx, greater);
+            if (greater) {
+                if (op == SetOp::Union)
+                    out.wr(k++, vb);
+                ++j;
+            } else {
+                if (op != SetOp::Difference)
+                    out.wr(k++, va);
+                ++i;
+                ++j;
+            }
+        }
+    }
+    if (op != SetOp::Intersect) {
+        while (i < a.size())
+            out.wr(k++, a.rd(i++));
+    }
+    if (op == SetOp::Union) {
+        while (j < b.size())
+            out.wr(k++, b.rd(j++));
+    }
+    return k;
+}
+
+} // namespace
+
+std::size_t
+setUnion(TraceContext &ctx, const TracedBuffer<std::uint64_t> &a,
+         const TracedBuffer<std::uint64_t> &b,
+         TracedBuffer<std::uint64_t> &out)
+{
+    return setMerge(ctx, a, b, out, SetOp::Union);
+}
+
+std::size_t
+setIntersect(TraceContext &ctx, const TracedBuffer<std::uint64_t> &a,
+             const TracedBuffer<std::uint64_t> &b,
+             TracedBuffer<std::uint64_t> &out)
+{
+    return setMerge(ctx, a, b, out, SetOp::Intersect);
+}
+
+std::size_t
+setDifference(TraceContext &ctx, const TracedBuffer<std::uint64_t> &a,
+              const TracedBuffer<std::uint64_t> &b,
+              TracedBuffer<std::uint64_t> &out)
+{
+    return setMerge(ctx, a, b, out, SetOp::Difference);
+}
+
+// ---------------------------------------------------------- Statistics
+
+std::size_t
+hashGroupStats(TraceContext &ctx, const TracedBuffer<std::uint32_t> &keys,
+               const TracedBuffer<float> &values,
+               std::vector<std::uint32_t> &out_keys,
+               std::vector<std::uint64_t> &out_counts,
+               std::vector<double> &out_sums)
+{
+    dmpb_assert(keys.size() == values.size(),
+                "group-by key/value size mismatch");
+    constexpr std::uint32_t kEmpty = 0xffffffffu;
+    struct Slot
+    {
+        std::uint32_t key = 0xffffffffu;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+    std::size_t cap = std::bit_ceil(keys.size() * 2 + 16);
+    std::vector<Slot> table(cap);
+    const std::uint64_t mask = cap - 1;
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        std::uint32_t key = keys.rd(i);
+        float val = values.rd(i);
+        std::uint64_t h = mix64(key) & mask;
+        ctx.emitOps(OpClass::IntAlu, 3);  // hash + mask
+        for (;;) {
+            Slot &slot = table[h];
+            ctx.emitLoad(&slot, sizeof(Slot));
+            bool hit = slot.key == key;
+            DMPB_BR(ctx, hit);
+            if (hit) {
+                ++slot.count;
+                slot.sum += val;
+                ctx.emitOps(OpClass::IntAlu, 1);
+                ctx.emitOps(OpClass::FpAlu, 1);
+                ctx.emitStore(&slot, sizeof(Slot));
+                break;
+            }
+            bool empty = slot.key == kEmpty;
+            DMPB_BR(ctx, empty);
+            if (empty) {
+                slot.key = key;
+                slot.count = 1;
+                slot.sum = val;
+                ctx.emitStore(&slot, sizeof(Slot));
+                break;
+            }
+            h = (h + 1) & mask;
+            ctx.emitOps(OpClass::IntAlu, 1);
+        }
+    }
+
+    out_keys.clear();
+    out_counts.clear();
+    out_sums.clear();
+    for (const Slot &slot : table) {
+        ctx.emitLoad(&slot, sizeof(Slot));
+        bool used = slot.key != kEmpty;
+        DMPB_BR(ctx, used);
+        if (used) {
+            out_keys.push_back(slot.key);
+            out_counts.push_back(slot.count);
+            out_sums.push_back(slot.sum);
+        }
+    }
+    return out_keys.size();
+}
+
+double
+probabilityStats(TraceContext &ctx,
+                 const TracedBuffer<std::uint32_t> &tokens,
+                 std::uint32_t vocab)
+{
+    std::vector<std::uint64_t> hist(vocab, 0);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        std::uint32_t t = tokens.rd(i);
+        dmpb_assert(t < vocab, "token outside vocabulary");
+        ctx.emitLoad(&hist[t], 8);
+        ++hist[t];
+        ctx.emitStore(&hist[t], 8);
+        ctx.emitOps(OpClass::IntAlu, 1);
+    }
+    double total = static_cast<double>(tokens.size());
+    double entropy = 0.0;
+    for (std::uint32_t w = 0; w < vocab; ++w) {
+        ctx.emitLoad(&hist[w], 8);
+        bool nonzero = hist[w] != 0;
+        DMPB_BR(ctx, nonzero);
+        if (nonzero) {
+            double p = static_cast<double>(hist[w]) / total;
+            entropy -= p * std::log2(p);
+            ctx.emitOps(OpClass::FpMul, 2);  // divide + multiply
+            ctx.emitOps(OpClass::FpAlu, 6);  // log2 approx + accumulate
+        }
+    }
+    return entropy;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+minMaxScan(TraceContext &ctx, const TracedBuffer<std::uint64_t> &a)
+{
+    dmpb_assert(!a.empty(), "min/max of empty input");
+    std::uint64_t mn = a.rd(0), mx = mn;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        std::uint64_t v = a.rd(i);
+        ctx.emitOps(OpClass::IntAlu, 2);
+        bool lower = v < mn;
+        DMPB_BR(ctx, lower);
+        if (lower)
+            mn = v;
+        bool higher = v > mx;
+        DMPB_BR(ctx, higher);
+        if (higher)
+            mx = v;
+    }
+    return {mn, mx};
+}
+
+// -------------------------------------------------------------- Matrix
+
+void
+matMul(TraceContext &ctx, const TracedBuffer<float> &a,
+       const TracedBuffer<float> &b, TracedBuffer<float> &c,
+       std::size_t m, std::size_t k, std::size_t n)
+{
+    dmpb_assert(a.size() >= m * k && b.size() >= k * n &&
+                c.size() >= m * n, "matmul shape mismatch");
+    for (std::size_t i = 0; i < m * n; ++i)
+        c.raw()[i] = 0.0f;
+    // i-k-j loop order: streaming access over B and C rows.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            float av = a.rd(i * k + kk);
+            for (std::size_t j = 0; j < n; ++j) {
+                float bv = b.rd(kk * n + j);
+                float &cv = c.rmw(i * n + j);
+                cv += av * bv;
+                ctx.emitOps(OpClass::FpMul, 1);
+                ctx.emitOps(OpClass::FpAlu, 1);
+            }
+        }
+    }
+}
+
+double
+euclideanAssign(TraceContext &ctx, const TracedBuffer<float> &points,
+                std::size_t num_points, std::size_t dim,
+                const TracedBuffer<float> &centroids,
+                std::size_t num_centroids,
+                TracedBuffer<std::uint32_t> &assignment)
+{
+    dmpb_assert(points.size() >= num_points * dim, "points too small");
+    dmpb_assert(centroids.size() >= num_centroids * dim,
+                "centroids too small");
+    dmpb_assert(assignment.size() >= num_points, "assignment too small");
+    double sse = 0.0;
+    for (std::size_t p = 0; p < num_points; ++p) {
+        double best = 0.0;
+        std::uint32_t best_c = 0;
+        for (std::size_t c = 0; c < num_centroids; ++c) {
+            double dist = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) {
+                float pv = points.rd(p * dim + d);
+                float cv = centroids.rd(c * dim + d);
+                double diff = static_cast<double>(pv) - cv;
+                dist += diff * diff;
+                ctx.emitOps(OpClass::FpAlu, 2);
+                ctx.emitOps(OpClass::FpMul, 1);
+            }
+            bool better = c == 0 || dist < best;
+            DMPB_BR(ctx, better);
+            if (better) {
+                best = dist;
+                best_c = static_cast<std::uint32_t>(c);
+            }
+        }
+        assignment.wr(p, best_c);
+        sse += best;
+        ctx.emitOps(OpClass::FpAlu, 1);
+    }
+    return sse;
+}
+
+double
+cosineSimilarity(TraceContext &ctx, const TracedBuffer<float> &rows,
+                 std::size_t num_rows, std::size_t dim)
+{
+    dmpb_assert(num_rows >= 2, "cosine needs at least two rows");
+    double acc = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t r = 0; r + 1 < num_rows; r += 2) {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            float x = rows.rd(r * dim + d);
+            float y = rows.rd((r + 1) * dim + d);
+            dot += static_cast<double>(x) * y;
+            na += static_cast<double>(x) * x;
+            nb += static_cast<double>(y) * y;
+            ctx.emitOps(OpClass::FpMul, 3);
+            ctx.emitOps(OpClass::FpAlu, 3);
+        }
+        double denom = std::sqrt(na) * std::sqrt(nb);
+        ctx.emitOps(OpClass::FpMul, 3);
+        bool ok = denom > 0.0;
+        DMPB_BR(ctx, ok);
+        if (ok) {
+            acc += dot / denom;
+            ++pairs;
+        }
+    }
+    return pairs ? acc / static_cast<double>(pairs) : 0.0;
+}
+
+// ----------------------------------------------------------- Transform
+
+void
+fftRadix2(TraceContext &ctx, TracedBuffer<double> &reim, std::size_t n,
+          bool inverse)
+{
+    dmpb_assert(n >= 2 && std::has_single_bit(n),
+                "FFT size must be a power of two >= 2");
+    dmpb_assert(reim.size() >= 2 * n, "FFT buffer too small");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        ctx.emitOps(OpClass::IntAlu, 3);
+        bool do_swap = i < j;
+        DMPB_BR(ctx, do_swap);
+        if (do_swap) {
+            double re_i = reim.rd(2 * i), im_i = reim.rd(2 * i + 1);
+            double re_j = reim.rd(2 * j), im_j = reim.rd(2 * j + 1);
+            reim.wr(2 * i, re_j);
+            reim.wr(2 * i + 1, im_j);
+            reim.wr(2 * j, re_i);
+            reim.wr(2 * j + 1, im_i);
+        }
+    }
+
+    // Twiddle table (setup; accesses during butterflies are traced).
+    std::vector<double> tw_re(n / 2), tw_im(n / 2);
+    double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        double ang = sign * 2.0 * M_PI * static_cast<double>(k) /
+                     static_cast<double>(n);
+        tw_re[k] = std::cos(ang);
+        tw_im[k] = std::sin(ang);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        std::size_t step = n / len;
+        for (std::size_t i = 0; i < n; i += len) {
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                std::size_t a = i + k, b = i + k + len / 2;
+                std::size_t tw = k * step;
+                ctx.emitLoad(&tw_re[tw], 8);
+                ctx.emitLoad(&tw_im[tw], 8);
+                double ar = reim.rd(2 * a), ai = reim.rd(2 * a + 1);
+                double br = reim.rd(2 * b), bi = reim.rd(2 * b + 1);
+                double tr = br * tw_re[tw] - bi * tw_im[tw];
+                double ti = br * tw_im[tw] + bi * tw_re[tw];
+                reim.wr(2 * a, ar + tr);
+                reim.wr(2 * a + 1, ai + ti);
+                reim.wr(2 * b, ar - tr);
+                reim.wr(2 * b + 1, ai - ti);
+                ctx.emitOps(OpClass::FpMul, 4);
+                ctx.emitOps(OpClass::FpAlu, 6);
+            }
+        }
+    }
+
+    if (inverse) {
+        double inv = 1.0 / static_cast<double>(n);
+        for (std::size_t i = 0; i < 2 * n; ++i) {
+            reim.wr(i, reim.rd(i) * inv);
+            ctx.emitOps(OpClass::FpMul, 1);
+        }
+    }
+}
+
+void
+dct8x8Blocks(TraceContext &ctx, TracedBuffer<float> &samples)
+{
+    // Precompute the 8x8 DCT-II basis (setup, untraced).
+    static thread_local float basis[8][8];
+    static thread_local bool init = false;
+    if (!init) {
+        for (int k = 0; k < 8; ++k) {
+            double ck = k == 0 ? std::sqrt(0.125) : 0.5;
+            for (int x = 0; x < 8; ++x) {
+                basis[k][x] = static_cast<float>(
+                    ck * std::cos((2 * x + 1) * k * M_PI / 16.0));
+            }
+        }
+        init = true;
+    }
+
+    std::size_t blocks = samples.size() / 64;
+    float tmp[64], out[64];
+    for (std::size_t b = 0; b < blocks; ++b) {
+        std::size_t base = b * 64;
+        // Row transform.
+        for (int r = 0; r < 8; ++r) {
+            for (int k = 0; k < 8; ++k) {
+                float acc = 0.0f;
+                for (int x = 0; x < 8; ++x) {
+                    float v = samples.rd(base + r * 8 + x);
+                    ctx.emitLoad(&basis[k][x], 4);
+                    acc += v * basis[k][x];
+                    ctx.emitOps(OpClass::FpMul, 1);
+                    ctx.emitOps(OpClass::FpAlu, 1);
+                }
+                tmp[k * 8 + r] = acc;  // transpose as we go
+                ctx.emitStore(&tmp[k * 8 + r], 4);
+            }
+        }
+        // Column transform (on the transposed rows).
+        for (int r = 0; r < 8; ++r) {
+            for (int k = 0; k < 8; ++k) {
+                float acc = 0.0f;
+                for (int x = 0; x < 8; ++x) {
+                    ctx.emitLoad(&tmp[r * 8 + x], 4);
+                    ctx.emitLoad(&basis[k][x], 4);
+                    acc += tmp[r * 8 + x] * basis[k][x];
+                    ctx.emitOps(OpClass::FpMul, 1);
+                    ctx.emitOps(OpClass::FpAlu, 1);
+                }
+                out[k * 8 + r] = acc;
+                ctx.emitStore(&out[k * 8 + r], 4);
+            }
+        }
+        for (int i = 0; i < 64; ++i)
+            samples.wr(base + i, out[i]);
+    }
+}
+
+} // namespace kernels
+} // namespace dmpb

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Instrumented big-data computation kernels.
+ *
+ * These free functions are the shared units of computation: the big-
+ * data motif implementations (Fig. 2, left) wrap them with data
+ * generation, and the hadooplite "real" workloads call the very same
+ * kernels from inside the heavy stack -- mirroring the paper's
+ * observation that workload hotspots *are* motif computations.
+ *
+ * Every kernel performs the real computation (results are verified in
+ * unit tests) while reporting loads/stores/ops/branches to a
+ * TraceContext.
+ */
+
+#ifndef DMPB_MOTIFS_BD_KERNELS_HH
+#define DMPB_MOTIFS_BD_KERNELS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/rng.hh"
+#include "datagen/graph.hh"
+#include "sim/traced_buffer.hh"
+
+namespace dmpb {
+namespace kernels {
+
+/** @{ Sort motif. */
+
+/** In-place traced quicksort (Hoare partition, iterative). */
+void quickSortU64(TraceContext &ctx, TracedBuffer<std::uint64_t> &a,
+                  std::size_t lo, std::size_t hi);
+
+/** Traced bottom-up merge sort; stable. */
+void mergeSortU64(TraceContext &ctx, TracedBuffer<std::uint64_t> &a);
+
+/** @} */
+
+/** @{ Sampling motif. */
+
+/** Bernoulli sampling at @p rate; returns selected count. */
+std::size_t randomSample(TraceContext &ctx,
+                         const TracedBuffer<std::uint64_t> &in,
+                         TracedBuffer<std::uint64_t> &out, double rate,
+                         Rng &rng);
+
+/** Keep every @p interval-th element; returns selected count. */
+std::size_t intervalSample(TraceContext &ctx,
+                           const TracedBuffer<std::uint64_t> &in,
+                           TracedBuffer<std::uint64_t> &out,
+                           std::size_t interval);
+
+/** @} */
+
+/** @{ Graph motif. */
+
+/** Build a CSR graph from an edge list (traced counting + scatter). */
+Graph graphConstruct(TraceContext &ctx,
+                     const std::vector<std::pair<std::uint32_t,
+                                                 std::uint32_t>> &edges,
+                     std::uint64_t num_vertices);
+
+/**
+ * Traced breadth-first traversal from @p root.
+ * @return number of vertices reached (root included).
+ */
+std::uint64_t graphBfs(TraceContext &ctx, const Graph &g,
+                       std::uint32_t root,
+                       std::vector<std::uint8_t> &visited);
+
+/** @} */
+
+/** @{ Logic motif. */
+
+/** Real MD5 (RFC 1321) over @p data; digest folded to 64 bits. */
+std::uint64_t md5Digest(TraceContext &ctx,
+                        const TracedBuffer<std::uint8_t> &data);
+
+/** Real XTEA encryption (64 rounds/block) in place over pairs of
+ *  32-bit words; returns checksum of ciphertext. */
+std::uint64_t xteaEncrypt(TraceContext &ctx,
+                          TracedBuffer<std::uint32_t> &words,
+                          const std::uint32_t key[4]);
+
+/** @} */
+
+/** @{ Set motif (inputs must be sorted and unique). */
+
+std::size_t setUnion(TraceContext &ctx,
+                     const TracedBuffer<std::uint64_t> &a,
+                     const TracedBuffer<std::uint64_t> &b,
+                     TracedBuffer<std::uint64_t> &out);
+
+std::size_t setIntersect(TraceContext &ctx,
+                         const TracedBuffer<std::uint64_t> &a,
+                         const TracedBuffer<std::uint64_t> &b,
+                         TracedBuffer<std::uint64_t> &out);
+
+std::size_t setDifference(TraceContext &ctx,
+                          const TracedBuffer<std::uint64_t> &a,
+                          const TracedBuffer<std::uint64_t> &b,
+                          TracedBuffer<std::uint64_t> &out);
+
+/** @} */
+
+/** @{ Statistics motif. */
+
+/** Open-addressing group-by: count and sum per key.
+ *  @return number of distinct keys. */
+std::size_t hashGroupStats(TraceContext &ctx,
+                           const TracedBuffer<std::uint32_t> &keys,
+                           const TracedBuffer<float> &values,
+                           std::vector<std::uint32_t> &out_keys,
+                           std::vector<std::uint64_t> &out_counts,
+                           std::vector<double> &out_sums);
+
+/** Histogram + empirical probabilities + entropy over tokens. */
+double probabilityStats(TraceContext &ctx,
+                        const TracedBuffer<std::uint32_t> &tokens,
+                        std::uint32_t vocab);
+
+/** Traced min/max scan. */
+std::pair<std::uint64_t, std::uint64_t>
+minMaxScan(TraceContext &ctx, const TracedBuffer<std::uint64_t> &a);
+
+/** @} */
+
+/** @{ Matrix motif. */
+
+/** Dense single-precision matmul C[m x n] = A[m x k] * B[k x n],
+ *  blocked; buffers are row-major. */
+void matMul(TraceContext &ctx, const TracedBuffer<float> &a,
+            const TracedBuffer<float> &b, TracedBuffer<float> &c,
+            std::size_t m, std::size_t k, std::size_t n);
+
+/**
+ * Euclidean distances from every row of @p points to every centroid;
+ * writes the arg-min assignment per point.
+ * @return sum of squared distances (K-means objective contribution).
+ */
+double euclideanAssign(TraceContext &ctx, const TracedBuffer<float> &points,
+                       std::size_t num_points, std::size_t dim,
+                       const TracedBuffer<float> &centroids,
+                       std::size_t num_centroids,
+                       TracedBuffer<std::uint32_t> &assignment);
+
+/** Cosine similarity between consecutive row pairs; returns mean. */
+double cosineSimilarity(TraceContext &ctx, const TracedBuffer<float> &rows,
+                        std::size_t num_rows, std::size_t dim);
+
+/** @} */
+
+/** @{ Transform motif. */
+
+/** In-place iterative radix-2 FFT over interleaved re/im doubles
+ *  (size 2*n for n complex points, n a power of two);
+ *  @p inverse selects the IFFT. */
+void fftRadix2(TraceContext &ctx, TracedBuffer<double> &reim,
+               std::size_t n, bool inverse);
+
+/** Separable 8x8 2-D DCT-II applied to every 64-sample block. */
+void dct8x8Blocks(TraceContext &ctx, TracedBuffer<float> &samples);
+
+/** @} */
+
+} // namespace kernels
+} // namespace dmpb
+
+#endif // DMPB_MOTIFS_BD_KERNELS_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Big-data motif implementations (Fig. 2, left half).
+ *
+ * Every class generates its own input data (type, pattern and
+ * distribution are parameterised, per Section II-A), processes it in
+ * chunk_size blocks -- the paper's "chunk data allocation per thread"
+ * -- and runs the corresponding instrumented kernel(s).
+ */
+
+#ifndef DMPB_MOTIFS_BD_MOTIFS_HH
+#define DMPB_MOTIFS_BD_MOTIFS_HH
+
+#include "motifs/motif.hh"
+
+namespace dmpb {
+
+/** Declare a concrete motif class with the standard interface. */
+#define DMPB_DECLARE_MOTIF(ClassName, motif_name, motif_class, is_ai)     \
+    class ClassName : public Motif                                        \
+    {                                                                     \
+      public:                                                             \
+        std::string name() const override { return motif_name; }         \
+        MotifClass motifClass() const override                            \
+        {                                                                 \
+            return MotifClass::motif_class;                               \
+        }                                                                 \
+        bool isAi() const override { return is_ai; }                     \
+        std::uint64_t run(TraceContext &ctx,                              \
+                          const MotifParams &p) const override;           \
+    }
+
+/** @{ Sort motif: quick sort and merge sort over gensort records. */
+DMPB_DECLARE_MOTIF(QuickSortMotif, "quick_sort", Sort, false);
+DMPB_DECLARE_MOTIF(MergeSortMotif, "merge_sort", Sort, false);
+/** @} */
+
+/** @{ Sampling motif: Bernoulli and strided selection. */
+DMPB_DECLARE_MOTIF(RandomSamplingMotif, "random_sampling", Sampling,
+                   false);
+DMPB_DECLARE_MOTIF(IntervalSamplingMotif, "interval_sampling", Sampling,
+                   false);
+/** @} */
+
+/** @{ Graph motif: CSR construction and BFS traversal. */
+DMPB_DECLARE_MOTIF(GraphConstructMotif, "graph_construct", Graph, false);
+DMPB_DECLARE_MOTIF(GraphTraverseMotif, "graph_traverse", Graph, false);
+/** @} */
+
+/** @{ Set motif (relational-algebra primitives). */
+DMPB_DECLARE_MOTIF(SetUnionMotif, "set_union", Set, false);
+DMPB_DECLARE_MOTIF(SetIntersectionMotif, "set_intersection", Set, false);
+DMPB_DECLARE_MOTIF(SetDifferenceMotif, "set_difference", Set, false);
+/** @} */
+
+/** @{ Statistics motif. */
+DMPB_DECLARE_MOTIF(CountAvgStatsMotif, "count_avg_stats", Statistics,
+                   false);
+DMPB_DECLARE_MOTIF(ProbabilityStatsMotif, "probability_stats", Statistics,
+                   false);
+DMPB_DECLARE_MOTIF(MinMaxMotif, "min_max", Statistics, false);
+/** @} */
+
+/** @{ Logic motif: MD5 hashing and XTEA encryption. */
+DMPB_DECLARE_MOTIF(Md5Motif, "md5_hash", Logic, false);
+DMPB_DECLARE_MOTIF(EncryptionMotif, "encryption", Logic, false);
+/** @} */
+
+/** @{ Transform motif: FFT/IFFT round trip and 8x8 DCT. */
+DMPB_DECLARE_MOTIF(FftMotif, "fft", Transform, false);
+DMPB_DECLARE_MOTIF(DctMotif, "dct", Transform, false);
+/** @} */
+
+/** @{ Matrix motif: dense multiply and distance computations. */
+DMPB_DECLARE_MOTIF(MatMulMotif, "matrix_multiply", Matrix, false);
+DMPB_DECLARE_MOTIF(EuclideanDistanceMotif, "euclidean_distance", Matrix,
+                   false);
+DMPB_DECLARE_MOTIF(CosineDistanceMotif, "cosine_distance", Matrix, false);
+/** @} */
+
+} // namespace dmpb
+
+#endif // DMPB_MOTIFS_BD_MOTIFS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Helpers shared by the instrumented kernels.
+ */
+
+#ifndef DMPB_MOTIFS_KERNEL_UTIL_HH
+#define DMPB_MOTIFS_KERNEL_UTIL_HH
+
+#include <cstdint>
+
+#include "base/rng.hh"
+#include "sim/trace.hh"
+
+/**
+ * Emit a conditional branch with a unique per-call-site id.
+ *
+ * The id is derived from the address of a function-local static, so
+ * each textual occurrence is a distinct "static branch" for the
+ * predictor, like a distinct PC in real code.
+ */
+#define DMPB_BR(ctx, taken)                                               \
+    do {                                                                  \
+        static const int _dmpb_site_anchor = 0;                           \
+        (ctx).emitBranch(::dmpb::mix64(reinterpret_cast<std::uint64_t>(   \
+                             &_dmpb_site_anchor)),                        \
+                         (taken));                                        \
+    } while (0)
+
+namespace dmpb {
+
+/** Mix a value into a running checksum. */
+inline std::uint64_t
+checksumMix(std::uint64_t acc, std::uint64_t v)
+{
+    return mix64(acc ^ (v + 0x9e3779b97f4a7c15ULL));
+}
+
+/** Mix a double bit-pattern into a running checksum. */
+inline std::uint64_t
+checksumMixF(std::uint64_t acc, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return checksumMix(acc, bits);
+}
+
+} // namespace dmpb
+
+#endif // DMPB_MOTIFS_KERNEL_UTIL_HH

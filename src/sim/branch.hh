@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Branch-direction predictors for the machine model.
+ *
+ * Kernels report each conditional branch as (site, taken); the
+ * predictor supplies the branch-misprediction ratio of Table V.
+ * A gshare predictor is the default; a simple bimodal table is kept
+ * for unit tests and for modelling older front ends.
+ */
+
+#ifndef DMPB_SIM_BRANCH_HH
+#define DMPB_SIM_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dmpb {
+
+/** Counters shared by all predictor types. */
+struct BranchStats
+{
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    double missRatio() const;
+    void merge(const BranchStats &other);
+    void scale(double factor);
+};
+
+/** Abstract branch-direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict-then-update for one dynamic branch.
+     *
+     * @param site  Static branch identifier (any stable hash).
+     * @param taken Actual outcome.
+     * @return true if the prediction was correct.
+     */
+    virtual bool record(std::uint64_t site, bool taken) = 0;
+
+    const BranchStats &stats() const { return stats_; }
+    BranchStats &stats() { return stats_; }
+
+  protected:
+    BranchStats stats_;
+};
+
+/** Per-site 2-bit saturating counters, no history. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint32_t table_bits = 12);
+
+    bool record(std::uint64_t site, bool taken) override;
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+};
+
+/** Global-history XOR site-indexed 2-bit counters (McFarling gshare). */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param table_bits   log2 of the counter-table size.
+     * @param history_bits Global-history length (<= table_bits).
+     */
+    explicit GsharePredictor(std::uint32_t table_bits = 14,
+                             std::uint32_t history_bits = 12);
+
+    bool record(std::uint64_t site, bool taken) override;
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t history_mask_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_BRANCH_HH

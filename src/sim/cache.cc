@@ -1,0 +1,161 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+std::uint64_t
+CacheParams::numSets() const
+{
+    return size_bytes / (static_cast<std::uint64_t>(associativity) *
+                         line_bytes);
+}
+
+double
+CacheStats::hitRatio() const
+{
+    if (accesses == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(misses) /
+                 static_cast<double>(accesses);
+}
+
+void
+CacheStats::merge(const CacheStats &other)
+{
+    accesses += other.accesses;
+    misses += other.misses;
+    writebacks += other.writebacks;
+}
+
+void
+CacheStats::scale(double factor)
+{
+    accesses = static_cast<std::uint64_t>(accesses * factor);
+    misses = static_cast<std::uint64_t>(misses * factor);
+    writebacks = static_cast<std::uint64_t>(writebacks * factor);
+}
+
+CacheModel::CacheModel(const CacheParams &params)
+    : params_(params)
+{
+    dmpb_assert(params.line_bytes > 0 &&
+                std::has_single_bit(params.line_bytes),
+                "cache line size must be a power of two");
+    std::uint64_t sets = params.numSets();
+    dmpb_assert(sets > 0, params.name,
+                ": cache must have at least one set (size=",
+                params.size_bytes, " assoc=", params.associativity, ")");
+    ways_.resize(sets * params.associativity);
+    // Non-power-of-two set counts (e.g. the 12288-set Westmere L3) are
+    // indexed by modulo, standing in for the hash-based indexing real
+    // LLCs use.
+    num_sets_ = sets;
+    line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(params.line_bytes));
+}
+
+bool
+CacheModel::access(std::uint64_t addr, bool write)
+{
+    ++stats_.accesses;
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint64_t set = line % num_sets_;
+    const std::uint64_t tag = line / num_sets_;
+    Way *base = &ways_[set * params_.associativity];
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < params_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = ++tick_;
+            way.dirty = way.dirty || write;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+
+    ++stats_.misses;
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++tick_;
+    victim->dirty = write;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+        way.tag = ~0ULL;
+        way.lru = 0;
+    }
+}
+
+namespace {
+
+CacheParams
+sliceL3(CacheParams l3, std::uint32_t sharers)
+{
+    if (sharers <= 1)
+        return l3;
+    std::uint64_t way_line = static_cast<std::uint64_t>(l3.associativity) *
+                             l3.line_bytes;
+    std::uint64_t sets = l3.size_bytes / sharers / way_line;
+    if (sets == 0)
+        sets = 1;
+    l3.size_bytes = sets * way_line;
+    return l3;
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const Params &params,
+                               std::uint32_t l3_sharers)
+    : l1i_(params.l1i),
+      l1d_(params.l1d),
+      l2_(params.l2),
+      l3_(sliceL3(params.l3, l3_sharers))
+{
+}
+
+void
+CacheHierarchy::dataAccess(std::uint64_t addr, bool write)
+{
+    if (l1d_.access(addr, write))
+        return;
+    if (l2_.access(addr, write))
+        return;
+    l3_.access(addr, write);
+}
+
+void
+CacheHierarchy::instrAccess(std::uint64_t addr)
+{
+    if (l1i_.access(addr, false))
+        return;
+    if (l2_.access(addr, false))
+        return;
+    l3_.access(addr, false);
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    l3_.flush();
+}
+
+} // namespace dmpb

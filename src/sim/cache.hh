@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * This is the PMC substitute for cache-behaviour metrics: instrumented
+ * kernels push every (sampled) load/store through a three-level data
+ * hierarchy plus an instruction cache, and hit ratios fall out of the
+ * per-level counters exactly as they would from hardware counters.
+ */
+
+#ifndef DMPB_SIM_CACHE_HH
+#define DMPB_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmpb {
+
+/** Geometry and bookkeeping parameters of one cache level. */
+struct CacheParams
+{
+    std::string name;          ///< e.g. "L1D"
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint32_t associativity = 8;
+    std::uint32_t line_bytes = 64;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t numSets() const;
+};
+
+/** Hit/miss/writeback counters of one cache level. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double hitRatio() const;
+    void merge(const CacheStats &other);
+    /** Multiply all counters by @p factor (trace-sampling scale-up). */
+    void scale(double factor);
+};
+
+/**
+ * One set-associative, write-back, write-allocate cache level.
+ *
+ * True-LRU replacement via per-way age stamps; associativities used in
+ * this repo are <= 20 ways, so linear scans per access are cheap.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheParams &params);
+
+    /**
+     * Access one cache line.
+     *
+     * @param addr  Byte address (any address within the line).
+     * @param write True for stores (sets the dirty bit).
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr, bool write);
+
+    /** Drop all contents (not the statistics). */
+    void flush();
+
+    const CacheParams &params() const { return params_; }
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~0ULL;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    CacheParams params_;
+    CacheStats stats_;
+    std::vector<Way> ways_;   ///< sets * associativity, set-major
+    std::uint64_t tick_ = 0;  ///< global LRU clock
+    std::uint64_t num_sets_;
+    std::uint32_t line_shift_;
+};
+
+/**
+ * An L1I + L1D + unified L2 + unified L3 hierarchy for one hardware
+ * context. L3 sharing between cores is approximated by giving each
+ * context a private slice of the L3 (capacity / sharers); this keeps
+ * the per-access path lock-free, which matters because every traced
+ * memory reference passes through here.
+ */
+class CacheHierarchy
+{
+  public:
+    struct Params
+    {
+        CacheParams l1i;
+        CacheParams l1d;
+        CacheParams l2;
+        CacheParams l3;
+    };
+
+    /**
+     * @param params  Full-machine geometry.
+     * @param l3_sharers  Number of contexts sharing the L3; this
+     *                    context models l3.size / sharers bytes.
+     */
+    CacheHierarchy(const Params &params, std::uint32_t l3_sharers = 1);
+
+    /** Data access walking L1D -> L2 -> L3. */
+    void dataAccess(std::uint64_t addr, bool write);
+
+    /** Instruction-fetch access walking L1I -> L2 -> L3. */
+    void instrAccess(std::uint64_t addr);
+
+    const CacheModel &l1i() const { return l1i_; }
+    const CacheModel &l1d() const { return l1d_; }
+    const CacheModel &l2() const { return l2_; }
+    const CacheModel &l3() const { return l3_; }
+
+    void flush();
+
+  private:
+    CacheModel l1i_;
+    CacheModel l1d_;
+    CacheModel l2_;
+    CacheModel l3_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_CACHE_HH

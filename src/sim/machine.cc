@@ -1,0 +1,131 @@
+#include "sim/machine.hh"
+
+#include "sim/profile.hh"
+
+namespace dmpb {
+
+double
+CoreParams::cycles(const KernelProfile &profile) const
+{
+    double base = 0.0;
+    for (std::size_t c = 0; c < kNumOpClasses; ++c)
+        base += static_cast<double>(profile.ops[c]) * cpi[c];
+
+    double l1d_miss = static_cast<double>(profile.l1d.misses);
+    double l2_miss = static_cast<double>(profile.l2.misses);
+    double l3_miss = static_cast<double>(profile.l3.misses);
+    double data_stall = l1d_miss * lat_l2 +
+                        l2_miss * (lat_l3 - lat_l2) +
+                        l3_miss * (lat_mem - lat_l3);
+    double ifetch_stall =
+        static_cast<double>(profile.l1i.misses) * ifetch_penalty;
+    double branch_stall =
+        static_cast<double>(profile.branch.mispredicts) *
+        mispredict_penalty;
+
+    return base + data_stall / mlp + ifetch_stall + branch_stall;
+}
+
+double
+CoreParams::seconds(const KernelProfile &profile) const
+{
+    return cycles(profile) / (freq_ghz * 1e9);
+}
+
+double
+DiskParams::readSeconds(std::uint64_t bytes, std::uint64_t requests) const
+{
+    return static_cast<double>(bytes) / read_bw +
+           static_cast<double>(requests) * seek_s;
+}
+
+double
+DiskParams::writeSeconds(std::uint64_t bytes, std::uint64_t requests) const
+{
+    return static_cast<double>(bytes) / write_bw +
+           static_cast<double>(requests) * seek_s;
+}
+
+double
+NetworkParams::transferSeconds(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / bandwidth + latency_s;
+}
+
+MachineConfig
+westmereE5645()
+{
+    MachineConfig m;
+    m.name = "Xeon E5645 (Westmere)";
+    m.sockets = 2;
+    m.cores_per_socket = 6;
+    m.memory_bytes = 32ULL * 1024 * 1024 * 1024;
+
+    // Table IV: 6 x 32 KB L1D, 6 x 32 KB L1I, 6 x 256 KB L2, 12 MB L3
+    m.caches.l1i = {"L1I", 32 * 1024, 4, 64};
+    m.caches.l1d = {"L1D", 32 * 1024, 8, 64};
+    m.caches.l2 = {"L2", 256 * 1024, 8, 64};
+    m.caches.l3 = {"L3", 12ULL * 1024 * 1024, 16, 64};
+
+    m.core.freq_ghz = 2.4;
+    // Reciprocal throughputs of a 4-wide Westmere core (sustained).
+    m.core.cpi[static_cast<std::size_t>(OpClass::IntAlu)] = 0.36;
+    m.core.cpi[static_cast<std::size_t>(OpClass::IntMul)] = 1.00;
+    m.core.cpi[static_cast<std::size_t>(OpClass::FpAlu)] = 0.60;
+    m.core.cpi[static_cast<std::size_t>(OpClass::FpMul)] = 0.80;
+    m.core.cpi[static_cast<std::size_t>(OpClass::Load)] = 0.50;
+    m.core.cpi[static_cast<std::size_t>(OpClass::Store)] = 0.55;
+    m.core.cpi[static_cast<std::size_t>(OpClass::Branch)] = 0.50;
+    m.core.lat_l2 = 10.0;
+    m.core.lat_l3 = 40.0;
+    m.core.lat_mem = 170.0;
+    m.core.ifetch_penalty = 9.0;
+    m.core.mispredict_penalty = 17.0;
+    m.core.mlp = 2.4;
+
+    m.predictor = {14, 12};
+
+    // Four-spindle data-node storage (Hadoop-style JBOD).
+    m.disk = {600.0e6, 480.0e6, 4.0e-3};
+    m.net = {117.0e6, 120.0e-6};
+    return m;
+}
+
+MachineConfig
+haswellE52620v3()
+{
+    MachineConfig m;
+    m.name = "Xeon E5-2620 v3 (Haswell)";
+    m.sockets = 2;
+    m.cores_per_socket = 6;
+    m.memory_bytes = 64ULL * 1024 * 1024 * 1024;
+
+    m.caches.l1i = {"L1I", 32 * 1024, 8, 64};
+    m.caches.l1d = {"L1D", 32 * 1024, 8, 64};
+    m.caches.l2 = {"L2", 256 * 1024, 8, 64};
+    m.caches.l3 = {"L3", 15ULL * 1024 * 1024, 16, 64};
+
+    m.core.freq_ghz = 2.4;
+    // Haswell: wider issue, two FMA pipes, better load throughput.
+    m.core.cpi[static_cast<std::size_t>(OpClass::IntAlu)] = 0.27;
+    m.core.cpi[static_cast<std::size_t>(OpClass::IntMul)] = 0.85;
+    m.core.cpi[static_cast<std::size_t>(OpClass::FpAlu)] = 0.36;
+    m.core.cpi[static_cast<std::size_t>(OpClass::FpMul)] = 0.42;
+    m.core.cpi[static_cast<std::size_t>(OpClass::Load)] = 0.38;
+    m.core.cpi[static_cast<std::size_t>(OpClass::Store)] = 0.48;
+    m.core.cpi[static_cast<std::size_t>(OpClass::Branch)] = 0.42;
+    m.core.lat_l2 = 11.0;
+    m.core.lat_l3 = 34.0;
+    m.core.lat_mem = 155.0;
+    m.core.ifetch_penalty = 7.0;
+    m.core.mispredict_penalty = 15.0;
+    m.core.mlp = 3.4;
+
+    m.predictor = {15, 14};
+
+    m.disk = {680.0e6, 540.0e6, 3.5e-3};
+    m.net = {117.0e6, 110.0e-6};
+    return m;
+}
+
+} // namespace dmpb

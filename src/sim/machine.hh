@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine descriptions: core timing parameters, cache geometry, disk
+ * and network models, and the two Xeon presets used in the paper's
+ * evaluation (E5645 Westmere, Table IV; E5-2620 v3 Haswell, Sec. IV-C).
+ */
+
+#ifndef DMPB_SIM_MACHINE_HH
+#define DMPB_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/cache.hh"
+#include "sim/op.hh"
+
+namespace dmpb {
+
+struct KernelProfile;
+
+/**
+ * Analytic core timing parameters.
+ *
+ * The model charges each dynamic operation its reciprocal-throughput
+ * cost, then adds stall cycles for cache misses (overlapped by an MLP
+ * divisor), instruction-fetch misses and branch mispredicts:
+ *
+ *   cycles = sum_c n_c * cpi_c
+ *          + (L1D_miss*latL2 + L2_miss*(latL3-latL2)
+ *             + L3_miss*(latMem-latL3)) / mlp
+ *          + L1I_miss * ifetchPenalty + mispredicts * brPenalty
+ *
+ * This is the usual first-order superscalar model used by statistical
+ * simulators; it is deliberately simple because the paper's accuracy
+ * comparisons are between two workloads measured by the *same* model.
+ */
+struct CoreParams
+{
+    double freq_ghz = 2.4;
+    /** Reciprocal throughput per op class (cycles/op). */
+    std::array<double, kNumOpClasses> cpi{};
+    double lat_l2 = 10.0;       ///< L1 miss, L2 hit (cycles)
+    double lat_l3 = 38.0;       ///< L2 miss, L3 hit (cycles)
+    double lat_mem = 160.0;     ///< L3 miss, DRAM (cycles)
+    double ifetch_penalty = 8.0;
+    double mispredict_penalty = 17.0;
+    double mlp = 2.6;           ///< average overlap of data misses
+
+    /** Total core cycles for a profile. */
+    double cycles(const KernelProfile &profile) const;
+
+    /** Seconds of core time for a profile. */
+    double seconds(const KernelProfile &profile) const;
+};
+
+/** Sequential-transfer disk model (per node). */
+struct DiskParams
+{
+    double read_bw = 150.0e6;   ///< bytes/s sustained read
+    double write_bw = 120.0e6;  ///< bytes/s sustained write
+    double seek_s = 6.0e-3;     ///< per-request latency
+
+    double readSeconds(std::uint64_t bytes, std::uint64_t requests = 1)
+        const;
+    double writeSeconds(std::uint64_t bytes, std::uint64_t requests = 1)
+        const;
+};
+
+/** Full-duplex network interface model (per node). */
+struct NetworkParams
+{
+    double bandwidth = 117.0e6;  ///< bytes/s (1GbE with framing)
+    double latency_s = 120.0e-6;
+
+    double transferSeconds(std::uint64_t bytes) const;
+};
+
+/** Branch-predictor configuration. */
+struct PredictorParams
+{
+    std::uint32_t table_bits = 14;
+    std::uint32_t history_bits = 12;
+};
+
+/** A node: cores + caches + memory + disk + NIC. */
+struct MachineConfig
+{
+    std::string name;
+    CoreParams core;
+    CacheHierarchy::Params caches;
+    PredictorParams predictor;
+    std::uint32_t sockets = 2;
+    std::uint32_t cores_per_socket = 6;
+    std::uint64_t memory_bytes = 32ULL * 1024 * 1024 * 1024;
+    DiskParams disk;
+    NetworkParams net;
+
+    std::uint32_t totalCores() const { return sockets * cores_per_socket; }
+};
+
+/** Intel Xeon E5645 (Westmere-EP) node exactly as in Table IV. */
+MachineConfig westmereE5645();
+
+/** Intel Xeon E5-2620 v3 (Haswell-EP) node as in Section IV-C. */
+MachineConfig haswellE52620v3();
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_MACHINE_HH

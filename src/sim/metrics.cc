@@ -1,0 +1,177 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace dmpb {
+
+const char *
+metricName(Metric m)
+{
+    switch (m) {
+      case Metric::Runtime: return "runtime";
+      case Metric::Ipc: return "IPC";
+      case Metric::Mips: return "MIPS";
+      case Metric::RatioInt: return "int ratio";
+      case Metric::RatioFp: return "fp ratio";
+      case Metric::RatioLoad: return "load ratio";
+      case Metric::RatioStore: return "store ratio";
+      case Metric::RatioBranch: return "branch ratio";
+      case Metric::BranchMiss: return "br miss";
+      case Metric::L1iHit: return "L1I hitR";
+      case Metric::L1dHit: return "L1D hitR";
+      case Metric::L2Hit: return "L2 hitR";
+      case Metric::L3Hit: return "L3 hitR";
+      case Metric::MemReadBw: return "read bw";
+      case Metric::MemWriteBw: return "write bw";
+      case Metric::MemTotalBw: return "mem bw";
+      case Metric::DiskBw: return "disk bw";
+      default: return "invalid";
+    }
+}
+
+const std::vector<Metric> &
+accuracyMetricSet()
+{
+    static const std::vector<Metric> set = {
+        Metric::Ipc, Metric::Mips, Metric::RatioInt, Metric::RatioFp,
+        Metric::RatioLoad, Metric::RatioStore, Metric::RatioBranch,
+        Metric::BranchMiss, Metric::L1iHit, Metric::L1dHit,
+        Metric::L2Hit, Metric::L3Hit, Metric::MemReadBw,
+        Metric::MemWriteBw, Metric::MemTotalBw, Metric::DiskBw,
+    };
+    return set;
+}
+
+MetricVector
+MetricVector::average(const std::vector<MetricVector> &vs)
+{
+    MetricVector out;
+    if (vs.empty())
+        return out;
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        double s = 0.0;
+        for (const auto &v : vs)
+            s += v[static_cast<Metric>(i)];
+        out[static_cast<Metric>(i)] = s / static_cast<double>(vs.size());
+    }
+    return out;
+}
+
+std::string
+MetricVector::toString() const
+{
+    std::ostringstream os;
+    const MetricVector &m = *this;
+    os << "runtime=" << formatSeconds(m[Metric::Runtime])
+       << " IPC=" << formatDouble(m[Metric::Ipc])
+       << " MIPS=" << formatDouble(m[Metric::Mips], 0)
+       << "\n  mix: int=" << formatDouble(m[Metric::RatioInt] * 100, 1)
+       << "% fp=" << formatDouble(m[Metric::RatioFp] * 100, 1)
+       << "% ld=" << formatDouble(m[Metric::RatioLoad] * 100, 1)
+       << "% st=" << formatDouble(m[Metric::RatioStore] * 100, 1)
+       << "% br=" << formatDouble(m[Metric::RatioBranch] * 100, 1)
+       << "%  brMiss=" << formatDouble(m[Metric::BranchMiss] * 100, 2)
+       << "%\n  hit: L1I=" << formatDouble(m[Metric::L1iHit] * 100, 2)
+       << "% L1D=" << formatDouble(m[Metric::L1dHit] * 100, 2)
+       << "% L2=" << formatDouble(m[Metric::L2Hit] * 100, 2)
+       << "% L3=" << formatDouble(m[Metric::L3Hit] * 100, 2)
+       << "%\n  bw: read=" << formatRate(m[Metric::MemReadBw])
+       << " write=" << formatRate(m[Metric::MemWriteBw])
+       << " total=" << formatRate(m[Metric::MemTotalBw])
+       << " disk=" << formatRate(m[Metric::DiskBw]);
+    return os.str();
+}
+
+double
+accuracy(double real, double proxy)
+{
+    if (real == 0.0 && proxy == 0.0)
+        return 1.0;
+    if (real == 0.0)
+        return 0.0;
+    double acc = 1.0 - std::fabs((proxy - real) / real);
+    if (acc < 0.0)
+        acc = 0.0;
+    if (acc > 1.0)
+        acc = 1.0;
+    return acc;
+}
+
+std::vector<double>
+accuracyVector(const MetricVector &real, const MetricVector &proxy)
+{
+    std::vector<double> out;
+    out.reserve(accuracyMetricSet().size());
+    for (Metric m : accuracyMetricSet())
+        out.push_back(accuracy(real[m], proxy[m]));
+    return out;
+}
+
+double
+averageAccuracy(const MetricVector &real, const MetricVector &proxy)
+{
+    auto v = accuracyVector(real, proxy);
+    double s = 0.0;
+    for (double a : v)
+        s += a;
+    return v.empty() ? 1.0 : s / static_cast<double>(v.size());
+}
+
+double
+speedup(double time_a, double time_b)
+{
+    dmpb_assert(time_b > 0.0, "speedup denominator must be positive");
+    return time_a / time_b;
+}
+
+MetricVector
+computeMetrics(const KernelProfile &profile, const CoreParams &core,
+               double runtime_s, double nodes)
+{
+    dmpb_assert(runtime_s > 0.0, "runtime must be positive");
+    dmpb_assert(nodes >= 1.0, "node count must be >= 1");
+
+    MetricVector m;
+    const double instr = static_cast<double>(profile.instructions());
+
+    m[Metric::Runtime] = runtime_s;
+    double cycles = core.cycles(profile);
+    m[Metric::Ipc] = cycles > 0.0 ? instr / cycles : 0.0;
+    m[Metric::Mips] = instr / runtime_s / 1e6 / nodes;
+
+    if (instr > 0.0) {
+        auto frac = [&](OpClass c) {
+            return static_cast<double>(
+                       profile.ops[static_cast<std::size_t>(c)]) / instr;
+        };
+        m[Metric::RatioInt] = frac(OpClass::IntAlu) + frac(OpClass::IntMul);
+        m[Metric::RatioFp] = frac(OpClass::FpAlu) + frac(OpClass::FpMul);
+        m[Metric::RatioLoad] = frac(OpClass::Load);
+        m[Metric::RatioStore] = frac(OpClass::Store);
+        m[Metric::RatioBranch] = frac(OpClass::Branch);
+    }
+
+    m[Metric::BranchMiss] = profile.branch.missRatio();
+    m[Metric::L1iHit] = profile.l1i.hitRatio();
+    m[Metric::L1dHit] = profile.l1d.hitRatio();
+    m[Metric::L2Hit] = profile.l2.hitRatio();
+    m[Metric::L3Hit] = profile.l3.hitRatio();
+
+    const double line = 64.0;
+    double read_bytes = static_cast<double>(profile.l3.misses) * line;
+    double write_bytes = static_cast<double>(profile.l3.writebacks) * line;
+    m[Metric::MemReadBw] = read_bytes / runtime_s / nodes;
+    m[Metric::MemWriteBw] = write_bytes / runtime_s / nodes;
+    m[Metric::MemTotalBw] = (read_bytes + write_bytes) / runtime_s / nodes;
+
+    double disk_bytes = static_cast<double>(profile.disk_read_bytes +
+                                            profile.disk_write_bytes);
+    m[Metric::DiskBw] = disk_bytes / runtime_s / nodes;
+    return m;
+}
+
+} // namespace dmpb

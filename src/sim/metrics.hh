@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The metric vector M of the paper (Section II-B2 / Table V), the
+ * accuracy function (Equation 3) and the cross-architecture speedup
+ * (Equation 4).
+ */
+
+#ifndef DMPB_SIM_METRICS_HH
+#define DMPB_SIM_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/profile.hh"
+
+namespace dmpb {
+
+/**
+ * Indices into MetricVector.
+ *
+ * Runtime is part of M (Sec. II-B2) but is excluded from the Table V
+ * accuracy metric set: the proxy is *designed* to run ~100x shorter,
+ * so only rate and ratio metrics are compared (as the paper does in
+ * Fig. 4 -- runtime appears in Table VI instead).
+ */
+enum class Metric : std::uint8_t
+{
+    Runtime = 0,   ///< seconds (simulated)
+    Ipc,           ///< instructions per cycle
+    Mips,          ///< million instructions / second / node
+    RatioInt,      ///< integer fraction of the instruction mix
+    RatioFp,       ///< floating-point fraction
+    RatioLoad,     ///< load fraction
+    RatioStore,    ///< store fraction
+    RatioBranch,   ///< branch fraction
+    BranchMiss,    ///< branch misprediction ratio
+    L1iHit,        ///< L1 instruction-cache hit ratio
+    L1dHit,        ///< L1 data-cache hit ratio
+    L2Hit,         ///< L2 hit ratio
+    L3Hit,         ///< L3 hit ratio
+    MemReadBw,     ///< memory read bandwidth, bytes/s/node
+    MemWriteBw,    ///< memory write bandwidth, bytes/s/node
+    MemTotalBw,    ///< total memory bandwidth, bytes/s/node
+    DiskBw,        ///< disk I/O bandwidth (Eq. 2), bytes/s/node
+    NumMetrics
+};
+
+constexpr std::size_t kNumMetrics =
+    static_cast<std::size_t>(Metric::NumMetrics);
+
+/** Short name of a metric ("IPC", "L1D hitR", ...). */
+const char *metricName(Metric m);
+
+/** The Table V accuracy set: every metric except Runtime. */
+const std::vector<Metric> &accuracyMetricSet();
+
+/** Performance-data vector, indexable by Metric. */
+class MetricVector
+{
+  public:
+    double &operator[](Metric m) { return v_[static_cast<std::size_t>(m)]; }
+    double operator[](Metric m) const
+    {
+        return v_[static_cast<std::size_t>(m)];
+    }
+
+    /** Element-wise arithmetic mean of several vectors. */
+    static MetricVector average(const std::vector<MetricVector> &vs);
+
+    /** Render all metrics with units. */
+    std::string toString() const;
+
+  private:
+    std::array<double, kNumMetrics> v_{};
+};
+
+/**
+ * Equation 3: Accuracy(ValR, ValP) = 1 - |(ValP - ValR) / ValR|,
+ * clamped to [0, 1]. Both zero counts as perfect agreement.
+ */
+double accuracy(double real, double proxy);
+
+/** Per-metric Eq. 3 accuracies over the Table V metric set. */
+std::vector<double> accuracyVector(const MetricVector &real,
+                                   const MetricVector &proxy);
+
+/** Mean of accuracyVector: the "average accuracy" of Fig. 4/8/9. */
+double averageAccuracy(const MetricVector &real, const MetricVector &proxy);
+
+/** Equation 4: Speedup = Time_A / Time_B. */
+double speedup(double time_a, double time_b);
+
+/**
+ * Derive the full metric vector from raw totals.
+ *
+ * @param profile Aggregated (possibly scaled) event totals.
+ * @param core    Timing parameters used for IPC.
+ * @param runtime_s Wall time of the measured execution; rates are
+ *                per-node per-second over this interval.
+ * @param nodes   Node count the totals were gathered across.
+ */
+MetricVector computeMetrics(const KernelProfile &profile,
+                            const CoreParams &core, double runtime_s,
+                            double nodes = 1.0);
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_METRICS_HH

@@ -1,0 +1,29 @@
+#include "sim/op.hh"
+
+namespace dmpb {
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+      default: return "Invalid";
+    }
+}
+
+std::uint64_t
+totalOps(const OpCounts &counts)
+{
+    std::uint64_t sum = 0;
+    for (auto c : counts)
+        sum += c;
+    return sum;
+}
+
+} // namespace dmpb

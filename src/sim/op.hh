@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dynamic-operation taxonomy for the trace-driven machine model.
+ *
+ * Every instrumented kernel reports its work as a stream of abstract
+ * operations in these classes; the classes map one-to-one onto the
+ * instruction-mix categories of the paper's Table V (integer,
+ * floating-point, load, store, branch).
+ */
+
+#ifndef DMPB_SIM_OP_HH
+#define DMPB_SIM_OP_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dmpb {
+
+/** Abstract dynamic operation classes. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu = 0,   ///< integer add/sub/compare/bit ops
+    IntMul,       ///< integer multiply/divide
+    FpAlu,        ///< floating-point add/sub/compare
+    FpMul,        ///< floating-point multiply/divide/fma
+    Load,         ///< memory read
+    Store,        ///< memory write
+    Branch,       ///< conditional or indirect branch
+    NumClasses
+};
+
+constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+/** Printable name of an operation class. */
+const char *opClassName(OpClass c);
+
+/** Per-class dynamic-operation counters. */
+using OpCounts = std::array<std::uint64_t, kNumOpClasses>;
+
+/** Total operations across all classes. */
+std::uint64_t totalOps(const OpCounts &counts);
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_OP_HH

@@ -1,0 +1,38 @@
+#include "sim/profile.hh"
+
+namespace dmpb {
+
+void
+KernelProfile::merge(const KernelProfile &other)
+{
+    for (std::size_t c = 0; c < kNumOpClasses; ++c)
+        ops[c] += other.ops[c];
+    l1i.merge(other.l1i);
+    l1d.merge(other.l1d);
+    l2.merge(other.l2);
+    l3.merge(other.l3);
+    branch.merge(other.branch);
+    disk_read_bytes += other.disk_read_bytes;
+    disk_write_bytes += other.disk_write_bytes;
+    net_bytes += other.net_bytes;
+}
+
+void
+KernelProfile::scale(double factor)
+{
+    for (auto &c : ops)
+        c = static_cast<std::uint64_t>(static_cast<double>(c) * factor);
+    l1i.scale(factor);
+    l1d.scale(factor);
+    l2.scale(factor);
+    l3.scale(factor);
+    branch.scale(factor);
+    disk_read_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(disk_read_bytes) * factor);
+    disk_write_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(disk_write_bytes) * factor);
+    net_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(net_bytes) * factor);
+}
+
+} // namespace dmpb

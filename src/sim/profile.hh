@@ -1,0 +1,50 @@
+/**
+ * @file
+ * KernelProfile: the raw event totals produced by instrumented
+ * execution -- the direct analogue of a set of PMC readings plus the
+ * /proc-style disk and network byte counters the paper collects.
+ */
+
+#ifndef DMPB_SIM_PROFILE_HH
+#define DMPB_SIM_PROFILE_HH
+
+#include <cstdint>
+
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/op.hh"
+
+namespace dmpb {
+
+/** Aggregated dynamic-execution totals of one kernel or job phase. */
+struct KernelProfile
+{
+    OpCounts ops{};
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats l3;
+    BranchStats branch;
+    std::uint64_t disk_read_bytes = 0;
+    std::uint64_t disk_write_bytes = 0;
+    std::uint64_t net_bytes = 0;
+
+    /** Total dynamic operations (the "instructions" of Table V). */
+    std::uint64_t instructions() const { return totalOps(ops); }
+
+    /** Accumulate another profile (e.g. merge per-thread contexts). */
+    void merge(const KernelProfile &other);
+
+    /**
+     * Multiply every counter by @p factor.
+     *
+     * Used for sampled simulation: a kernel measured on an S-byte
+     * split is scaled by (logical bytes / S) to stand for the full
+     * input, mirroring SMARTS-style extrapolation.
+     */
+    void scale(double factor);
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_PROFILE_HH

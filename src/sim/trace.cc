@@ -1,0 +1,71 @@
+#include "sim/trace.hh"
+
+#include "base/logging.hh"
+
+namespace dmpb {
+
+TraceContext::TraceContext(const MachineConfig &machine,
+                           std::uint32_t l3_sharers,
+                           std::uint64_t sample_period)
+    : machine_(machine),
+      caches_(std::make_unique<CacheHierarchy>(machine.caches,
+                                               l3_sharers)),
+      predictor_(std::make_unique<GsharePredictor>(
+          machine.predictor.table_bits, machine.predictor.history_bits)),
+      code_footprint_(32 * 1024),
+      line_bytes_(machine.caches.l1d.line_bytes),
+      sample_period_(sample_period == 0 ? 1 : sample_period),
+      l3_sharers_(l3_sharers)
+{
+    dmpb_assert(line_bytes_ > 0, "bad line size");
+}
+
+void
+TraceContext::setCodeFootprint(std::uint64_t bytes)
+{
+    // Clamp to at least one line so advancePc always makes progress.
+    code_footprint_ = bytes < line_bytes_ ? line_bytes_ : bytes;
+    hot_base_ = 0;
+    hot_off_ = 0;
+}
+
+KernelProfile
+TraceContext::profile() const
+{
+    KernelProfile p;
+    p.ops = counts_;
+    p.l1i = caches_->l1i().stats();
+    p.l1d = caches_->l1d().stats();
+    p.l2 = caches_->l2().stats();
+    p.l3 = caches_->l3().stats();
+    if (sample_period_ > 1) {
+        double f = static_cast<double>(sample_period_);
+        p.l1i.scale(f);
+        p.l1d.scale(f);
+        p.l2.scale(f);
+        p.l3.scale(f);
+    }
+    p.branch = predictor_->stats();
+    p.disk_read_bytes = disk_read_;
+    p.disk_write_bytes = disk_write_;
+    p.net_bytes = net_;
+    return p;
+}
+
+void
+TraceContext::reset()
+{
+    counts_ = OpCounts{};
+    disk_read_ = disk_write_ = net_ = 0;
+    hot_base_ = hot_off_ = pc_bytes_ = 0;
+    ops_since_loop_br_ = 0;
+    if_lcg_ = 0x2545f4914f6cdd1dULL;
+    jump_countdown_ = 777;
+    sample_clock_ = 0;
+    caches_ = std::make_unique<CacheHierarchy>(machine_.caches,
+                                               l3_sharers_);
+    predictor_ = std::make_unique<GsharePredictor>(
+        machine_.predictor.table_bits, machine_.predictor.history_bits);
+}
+
+} // namespace dmpb

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * TraceContext: the per-thread instrumentation sink.
+ *
+ * Instrumented kernels do real computation on real data; alongside
+ * every load, store, branch and ALU operation they notify a
+ * TraceContext, which drives the cache hierarchy and the branch
+ * predictor and accumulates the op counters. One context models one
+ * hardware context (core); multi-threaded kernels use one context per
+ * worker and merge the resulting profiles.
+ *
+ * Instruction fetch is modelled implicitly: every op advances a
+ * program counter inside a configurable code footprint, and each
+ * 64-byte line crossing issues an L1I access. Small, loopy kernels
+ * therefore hit close to 100% in the L1I, while the heavy-software-
+ * stack executions (hadooplite/tensorlite) configure footprints of
+ * hundreds of KiB and naturally show the front-end pressure the paper
+ * attributes to Hadoop's stack.
+ */
+
+#ifndef DMPB_SIM_TRACE_HH
+#define DMPB_SIM_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/profile.hh"
+
+namespace dmpb {
+
+/** Per-thread event sink driving the micro-architecture models. */
+class TraceContext
+{
+  public:
+    /**
+     * @param machine     Node description (caches, predictor).
+     * @param l3_sharers  Contexts sharing the LLC (capacity slicing).
+     * @param sample_period Simulate one in N data accesses in the
+     *                    cache model (counters are scaled back up in
+     *                    profile()); 1 = full trace.
+     */
+    explicit TraceContext(const MachineConfig &machine,
+                          std::uint32_t l3_sharers = 1,
+                          std::uint64_t sample_period = 1);
+
+    /** Set the static code footprint (bytes) for i-fetch modelling. */
+    void setCodeFootprint(std::uint64_t bytes);
+    std::uint64_t codeFootprint() const { return code_footprint_; }
+
+    /** Emit @p n non-memory ops of class @p c. */
+    void
+    emitOps(OpClass c, std::uint64_t n = 1)
+    {
+        counts_[static_cast<std::size_t>(c)] += n;
+        advancePc(n);
+    }
+
+    /** Emit a data load covering [p, p+bytes). */
+    void
+    emitLoad(const void *p, std::size_t bytes = 8)
+    {
+        emitLoadAddr(reinterpret_cast<std::uint64_t>(p), bytes);
+    }
+
+    /** Emit a data store covering [p, p+bytes). */
+    void
+    emitStore(const void *p, std::size_t bytes = 8)
+    {
+        emitStoreAddr(reinterpret_cast<std::uint64_t>(p), bytes);
+    }
+
+    /** Load at an explicit (possibly synthetic) address. */
+    void
+    emitLoadAddr(std::uint64_t addr, std::size_t bytes = 8)
+    {
+        memAccess(addr, bytes, false);
+    }
+
+    /** Store at an explicit (possibly synthetic) address. */
+    void
+    emitStoreAddr(std::uint64_t addr, std::size_t bytes = 8)
+    {
+        memAccess(addr, bytes, true);
+    }
+
+    /** Emit one conditional branch with outcome @p taken. */
+    void
+    emitBranch(std::uint64_t site, bool taken)
+    {
+        counts_[static_cast<std::size_t>(OpClass::Branch)] += 1;
+        advancePc(1);
+        predictor_->record(site, taken);
+    }
+
+    /** @{ System-level byte counters (outside the core model). */
+    void addDiskRead(std::uint64_t bytes) { disk_read_ += bytes; }
+    void addDiskWrite(std::uint64_t bytes) { disk_write_ += bytes; }
+    void addNetTraffic(std::uint64_t bytes) { net_ += bytes; }
+    /** @} */
+
+    /**
+     * Snapshot the accumulated totals.
+     *
+     * Cache counters are scaled by the sampling period so that a
+     * sampled trace reports full-trace-equivalent magnitudes.
+     */
+    KernelProfile profile() const;
+
+    /** Clear counters and flush all modelled structures. */
+    void reset();
+
+    const MachineConfig &machine() const { return machine_; }
+
+  private:
+    void
+    advancePc(std::uint64_t n_ops)
+    {
+        // Implicit loop back-edges: the bulk of real branch streams
+        // are highly predictable loop branches; kernels only report
+        // their data-dependent branches explicitly, so back-edges are
+        // synthesised here -- one per 16 ops, always taken, site keyed
+        // by the current hot region (overall branch share lands near
+        // the ~6% the paper's Fig. 5 reports for these workloads).
+        ops_since_loop_br_ += n_ops;
+        while (ops_since_loop_br_ >= 16) {
+            ops_since_loop_br_ -= 16;
+            counts_[static_cast<std::size_t>(OpClass::Branch)] += 1;
+            predictor_->record(kLoopSite ^ hot_base_, true);
+        }
+
+        // Instruction fetch: 4 bytes per op, one L1I access per
+        // 64-byte line. Fetch is loopy, not cyclic: it spins inside a
+        // 4 KiB hot region (the current inner loop) and occasionally
+        // jumps to another region of the code footprint (calls into
+        // the framework/library) -- a cyclic walk would defeat LRU
+        // and model 0% L1I hits for any footprint over 32 KiB.
+        pc_bytes_ += 4 * n_ops;
+        while (pc_bytes_ >= line_bytes_) {
+            pc_bytes_ -= line_bytes_;
+            hot_off_ += line_bytes_;
+            std::uint64_t span = std::min<std::uint64_t>(
+                kHotSpan, code_footprint_);
+            if (hot_off_ >= span)
+                hot_off_ = 0;
+            if (--jump_countdown_ == 0) {
+                if_lcg_ = if_lcg_ * 6364136223846793005ULL +
+                          1442695040888963407ULL;
+                hot_base_ = ((if_lcg_ >> 17) % code_footprint_) &
+                            ~(line_bytes_ - 1);
+                jump_countdown_ = 512 + ((if_lcg_ >> 43) & 1023);
+            }
+            std::uint64_t addr = hot_base_ + hot_off_;
+            if (addr >= code_footprint_)
+                addr -= code_footprint_;
+            caches_->instrAccess(kCodeBase + addr);
+        }
+    }
+
+    void
+    memAccess(std::uint64_t addr, std::size_t bytes, bool write)
+    {
+        // Op count is one load/store per 8 bytes, independent of heap
+        // alignment, so instruction totals are deterministic across
+        // runs; the cache sees every 64-byte line actually touched.
+        // Each memory op carries one integer companion op (address
+        // generation / index update), as scalar memory code does.
+        std::uint64_t n_ops = (bytes + 7) / 8;
+        if (n_ops == 0)
+            n_ops = 1;
+        counts_[static_cast<std::size_t>(
+            write ? OpClass::Store : OpClass::Load)] += n_ops;
+        counts_[static_cast<std::size_t>(OpClass::IntAlu)] += n_ops;
+        advancePc(2 * n_ops);
+        std::uint64_t first = addr & ~(line_bytes_ - 1);
+        std::uint64_t last = (addr + (bytes ? bytes : 1) - 1) &
+                             ~(line_bytes_ - 1);
+        for (std::uint64_t a = first; a <= last; a += line_bytes_) {
+            if (sample_period_ == 1) {
+                caches_->dataAccess(a, write);
+            } else if (++sample_clock_ >= sample_period_) {
+                sample_clock_ = 0;
+                caches_->dataAccess(a, write);
+            }
+        }
+    }
+
+    static constexpr std::uint64_t kCodeBase = 0x7f0000000000ULL;
+    static constexpr std::uint64_t kLoopSite = 0x10095173ULL;
+    static constexpr std::uint64_t kHotSpan = 4 * 1024;
+
+    MachineConfig machine_;
+    std::unique_ptr<CacheHierarchy> caches_;
+    std::unique_ptr<BranchPredictor> predictor_;
+    OpCounts counts_{};
+    std::uint64_t disk_read_ = 0;
+    std::uint64_t disk_write_ = 0;
+    std::uint64_t net_ = 0;
+    std::uint64_t code_footprint_;
+    std::uint64_t hot_base_ = 0;
+    std::uint64_t hot_off_ = 0;
+    std::uint64_t pc_bytes_ = 0;
+    std::uint64_t ops_since_loop_br_ = 0;
+    std::uint64_t if_lcg_ = 0x2545f4914f6cdd1dULL;
+    std::uint64_t jump_countdown_ = 777;
+    std::uint64_t line_bytes_;
+    std::uint64_t sample_period_;
+    std::uint64_t sample_clock_ = 0;
+    std::uint32_t l3_sharers_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_TRACE_HH

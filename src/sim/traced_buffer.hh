@@ -1,0 +1,84 @@
+/**
+ * @file
+ * TracedBuffer<T>: an owning array whose element accesses are visible
+ * to a TraceContext.
+ *
+ * Kernels read and write through rd()/wr() so that every touched
+ * element produces exactly one load/store event at its real heap
+ * address -- real addresses give honest set-index and conflict
+ * behaviour in the cache model. Untraced raw access is available via
+ * data() for setup code that should not appear in the profile.
+ */
+
+#ifndef DMPB_SIM_TRACED_BUFFER_HH
+#define DMPB_SIM_TRACED_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/trace.hh"
+
+namespace dmpb {
+
+/** Array of T with per-access trace emission. */
+template <typename T>
+class TracedBuffer
+{
+  public:
+    /** Create a buffer of @p n default-initialised elements. */
+    TracedBuffer(TraceContext &ctx, std::size_t n)
+        : ctx_(&ctx), data_(n)
+    {
+    }
+
+    /** Wrap existing values (copies them). */
+    TracedBuffer(TraceContext &ctx, std::vector<T> values)
+        : ctx_(&ctx), data_(std::move(values))
+    {
+    }
+
+    /** Traced read of element @p i. */
+    const T &
+    rd(std::size_t i) const
+    {
+        ctx_->emitLoad(&data_[i], sizeof(T));
+        return data_[i];
+    }
+
+    /** Traced write of element @p i. */
+    void
+    wr(std::size_t i, const T &value)
+    {
+        data_[i] = value;
+        ctx_->emitStore(&data_[i], sizeof(T));
+    }
+
+    /** Traced read-modify-write reference access: load then store. */
+    T &
+    rmw(std::size_t i)
+    {
+        ctx_->emitLoad(&data_[i], sizeof(T));
+        ctx_->emitStore(&data_[i], sizeof(T));
+        return data_[i];
+    }
+
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Untraced raw access (setup / verification only). */
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+    std::vector<T> &raw() { return data_; }
+    const std::vector<T> &raw() const { return data_; }
+
+    TraceContext &ctx() { return *ctx_; }
+
+  private:
+    TraceContext *ctx_;
+    std::vector<T> data_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_TRACED_BUFFER_HH

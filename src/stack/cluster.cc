@@ -1,0 +1,35 @@
+#include "stack/cluster.hh"
+
+namespace dmpb {
+
+ClusterConfig
+paperCluster5()
+{
+    ClusterConfig c;
+    c.node = westmereE5645();
+    c.node.memory_bytes = 32ULL * 1024 * 1024 * 1024;
+    c.num_nodes = 5;
+    return c;
+}
+
+ClusterConfig
+paperCluster3()
+{
+    ClusterConfig c;
+    c.node = westmereE5645();
+    c.node.memory_bytes = 64ULL * 1024 * 1024 * 1024;
+    c.num_nodes = 3;
+    return c;
+}
+
+ClusterConfig
+haswellCluster3()
+{
+    ClusterConfig c;
+    c.node = haswellE52620v3();
+    c.node.memory_bytes = 64ULL * 1024 * 1024 * 1024;
+    c.num_nodes = 3;
+    return c;
+}
+
+} // namespace dmpb

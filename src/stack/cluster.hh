@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cluster descriptions for the two deployments in the paper:
+ * Section III-B (five nodes: one master + four slaves, 32 GB each) and
+ * Section IV-B (three nodes, 64 GB each). Nodes are Xeon E5645 unless
+ * the cross-architecture study (Section IV-C) swaps in Haswell.
+ */
+
+#ifndef DMPB_STACK_CLUSTER_HH
+#define DMPB_STACK_CLUSTER_HH
+
+#include <cstdint>
+
+#include "sim/machine.hh"
+
+namespace dmpb {
+
+/** A master + slaves deployment of identical nodes. */
+struct ClusterConfig
+{
+    MachineConfig node;
+    std::uint32_t num_nodes = 5;   ///< including the master
+
+    /** Worker (slave) node count; the master schedules only. */
+    std::uint32_t slaveNodes() const { return num_nodes - 1; }
+
+    /** Task slots available across all slaves (one per core). */
+    std::uint32_t
+    totalSlots() const
+    {
+        return slaveNodes() * node.totalCores();
+    }
+};
+
+/** The Section III evaluation cluster: 5 x E5645, 32 GB. */
+ClusterConfig paperCluster5();
+
+/** The Section IV-B cluster: 3 x E5645, 64 GB. */
+ClusterConfig paperCluster3();
+
+/** The Section IV-C Haswell cluster: 3 x E5-2620 v3, 64 GB. */
+ClusterConfig haswellCluster3();
+
+} // namespace dmpb
+
+#endif // DMPB_STACK_CLUSTER_HH

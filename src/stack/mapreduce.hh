@@ -1,0 +1,117 @@
+/**
+ * @file
+ * hadooplite: a miniature MapReduce execution engine with sampled
+ * micro-architecture simulation.
+ *
+ * The engine substitutes for the paper's Hadoop 2.7.1 deployment. A
+ * job declares its logical input size (e.g. TeraSort's 100 GB), its
+ * shuffle selectivity, and two *kernels* -- real instrumented
+ * computations executed on a sampled split. The engine:
+ *
+ *   1. runs the map and reduce kernels on sample-sized data inside a
+ *      heavy-stack TraceContext (large code footprint + ManagedHeap),
+ *   2. extrapolates per-task time and event totals from the sample to
+ *      the full logical split (SMARTS-style sampled simulation),
+ *   3. schedules map waves, shuffle and reduce waves over the cluster
+ *      (slots = slave cores), charging disk and network time through
+ *      the machine models, and
+ *   4. reports job runtime plus the cluster-aggregate KernelProfile /
+ *      MetricVector that a perf-style collector would have gathered
+ *      on the slaves during the run.
+ */
+
+#ifndef DMPB_STACK_MAPREDUCE_HH
+#define DMPB_STACK_MAPREDUCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/metrics.hh"
+#include "sim/profile.hh"
+#include "sim/trace.hh"
+#include "stack/cluster.hh"
+
+namespace dmpb {
+
+class ManagedHeap;
+
+/**
+ * Kernel callback: perform real computation on a split of
+ * @p sample_bytes logical bytes (the callback generates its own data
+ * from @p split_id), emitting events into @p ctx and allocating its
+ * intermediates through the GC-style @p heap.
+ */
+using TaskKernel = std::function<void(TraceContext &ctx,
+                                      ManagedHeap &heap,
+                                      std::uint64_t sample_bytes,
+                                      std::uint64_t split_id)>;
+
+/** Declarative description of one MapReduce job. */
+struct MapReduceJob
+{
+    std::string name;
+    std::uint64_t input_bytes = 0;     ///< logical input (e.g. 100 GB)
+    std::uint64_t split_bytes = 128ULL * 1024 * 1024;  ///< HDFS block
+    std::uint64_t sample_bytes = 4ULL * 1024 * 1024;   ///< traced split
+    double map_output_ratio = 1.0;     ///< shuffle bytes / input bytes
+    double reduce_output_ratio = 1.0;  ///< output bytes / shuffle bytes
+    std::uint32_t num_reducers = 16;
+    std::uint32_t iterations = 1;
+    TaskKernel map_kernel;
+    TaskKernel reduce_kernel;
+
+    /** Framework + JVM code resident during task execution. */
+    std::uint64_t code_footprint = 640ULL * 1024;
+    /** Young-generation size for the GC-style memory manager
+     *  (scaled to the sample split automatically). */
+    std::uint64_t gc_young_bytes = 64ULL * 1024 * 1024;
+    /** Per-task JVM/container launch overhead (seconds). */
+    double task_launch_s = 1.0;
+    /** Per-job setup/teardown overhead (seconds). */
+    double job_setup_s = 8.0;
+    /**
+     * Framework operations per input byte: the deserialisation,
+     * object-churn and dispatch work the JVM stack performs around
+     * the computational hotspot. Executed as real traced work, so it
+     * coherently slows the job down, shifts the instruction mix
+     * toward integer/branch, and pressures the caches -- the paper's
+     * "heavy software stack" effect.
+     */
+    double framework_ops_per_byte = 4.0;
+    /** Output replication factor (HDFS writes output copies). */
+    std::uint32_t output_replication = 2;
+};
+
+/** Timing breakdown and performance data of one job execution. */
+struct JobResult
+{
+    std::string name;
+    double runtime_s = 0.0;       ///< total (all iterations)
+    double map_time_s = 0.0;      ///< per iteration
+    double shuffle_time_s = 0.0;
+    double reduce_time_s = 0.0;
+    std::uint64_t num_maps = 0;
+    std::uint64_t map_waves = 0;
+    KernelProfile cluster_profile;  ///< whole-cluster event totals
+    MetricVector metrics;           ///< per-slave-node averages
+};
+
+/** The hadooplite engine. */
+class MapReduceEngine
+{
+  public:
+    explicit MapReduceEngine(const ClusterConfig &cluster);
+
+    /** Execute @p job and return timing plus performance data. */
+    JobResult run(const MapReduceJob &job) const;
+
+    const ClusterConfig &cluster() const { return cluster_; }
+
+  private:
+    ClusterConfig cluster_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_STACK_MAPREDUCE_HH

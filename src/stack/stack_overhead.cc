@@ -1,0 +1,48 @@
+#include "stack/stack_overhead.hh"
+
+#include <vector>
+
+#include "motifs/kernel_util.hh"
+
+namespace dmpb {
+
+void
+stackManagementWork(TraceContext &ctx, ManagedHeap &heap, Rng &rng,
+                    std::uint64_t bytes, double ops_per_byte)
+{
+    if (ops_per_byte <= 0.0 || bytes == 0)
+        return;
+    // Object heap the framework wanders through (larger than L2) and
+    // the stack/TLAB-like hot working set (fits L1D): the
+    // deserialise/dispatch path mostly touches locals and the current
+    // record, with an occasional cold object-graph reference.
+    static thread_local std::vector<std::uint64_t> pool(64 * 1024);
+    static thread_local std::vector<std::uint64_t> hot(512);
+    auto total_ops = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * ops_per_byte);
+    // Unit of ~16 ops: 7 int, 3 loads (one cold 1-in-8), 2 stores,
+    // 1 explicit branch (+ the context's implicit back-edges).
+    std::uint64_t units = total_ops / 16 + 1;
+    std::uint64_t cursor = rng.nextU64(pool.size());
+    std::uint64_t hot_cur = 0;
+    for (std::uint64_t u = 0; u < units; ++u) {
+        ctx.emitOps(OpClass::IntAlu, 7);
+        ctx.emitLoad(&hot[hot_cur % hot.size()], 8);
+        ctx.emitLoad(&hot[(hot_cur + 17) % hot.size()], 8);
+        if ((u & 7) == 0) {
+            ctx.emitLoad(&pool[cursor], 8);  // cold object reference
+            cursor = (cursor * 1103515245 + 12345 + pool[cursor]) %
+                     pool.size();
+        } else {
+            ctx.emitLoad(&hot[(hot_cur + 33) % hot.size()], 8);
+        }
+        ctx.emitStore(&hot[hot_cur % hot.size()], 8);
+        ctx.emitStore(&hot[(hot_cur + 5) % hot.size()], 8);
+        hot_cur += 3;
+        DMPB_BR(ctx, (cursor & 31) != 0);  // type check, mostly true
+        if ((u & 63) == 0)
+            heap.allocate(512);  // object churn
+    }
+}
+
+} // namespace dmpb

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared stack-management work: the deserialisation / dispatch /
+ * object-churn instruction stream that surrounds hotspot kernels.
+ *
+ * hadooplite charges it per input byte to model the Hadoop/JVM stack;
+ * the proxy benchmarks run the *same* routine as their "unified
+ * memory management module" (Section II-A: the paper's big-data motif
+ * implementations include a GC-like memory manager and per-chunk
+ * management precisely so the proxies exhibit framework-style
+ * behaviour). Sharing one implementation keeps the correspondence
+ * structural rather than coincidental.
+ */
+
+#ifndef DMPB_STACK_STACK_OVERHEAD_HH
+#define DMPB_STACK_STACK_OVERHEAD_HH
+
+#include <cstdint>
+
+#include "base/rng.hh"
+#include "sim/trace.hh"
+#include "stack/managed_heap.hh"
+
+namespace dmpb {
+
+/**
+ * Emit @p ops_per_byte * @p bytes operations of framework-flavoured
+ * work: integer-dominated, L1-resident loads/stores of locals with an
+ * occasional cold object-graph reference, object churn through the
+ * GC-style @p heap.
+ */
+void stackManagementWork(TraceContext &ctx, ManagedHeap &heap, Rng &rng,
+                         std::uint64_t bytes, double ops_per_byte);
+
+} // namespace dmpb
+
+#endif // DMPB_STACK_STACK_OVERHEAD_HH

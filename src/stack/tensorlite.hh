@@ -1,0 +1,168 @@
+/**
+ * @file
+ * tensorlite: a miniature TensorFlow-style stack.
+ *
+ * Networks are layer graphs (sequential trunk + inception-style
+ * parallel branches with channel concatenation) executed with the
+ * instrumented AI kernels. Distributed training follows the paper's
+ * deployment: one parameter-server node plus worker nodes, a fixed
+ * number of global steps divided among the workers, and gradient/
+ * parameter exchange over the NIC each step.
+ *
+ * A training step is simulated by sampled execution: a small batch is
+ * traced at (optionally) reduced spatial resolution, then extrapolated
+ * to the full batch, the backward pass (2x forward flops, the standard
+ * training cost model) and the full resolution.
+ */
+
+#ifndef DMPB_STACK_TENSORLITE_HH
+#define DMPB_STACK_TENSORLITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/images.hh"
+#include "motifs/ai_kernels.hh"
+#include "sim/metrics.hh"
+#include "stack/cluster.hh"
+
+namespace dmpb {
+
+/** One layer of a network. */
+struct LayerSpec
+{
+    enum class Type : std::uint8_t
+    {
+        Conv,
+        MaxPool,
+        AvgPool,
+        Fc,
+        Relu,
+        BatchNorm,
+        Softmax,
+        Dropout
+    };
+
+    Type type = Type::Relu;
+    std::uint32_t filters = 0;  ///< conv output channels
+    std::uint32_t kernel = 0;   ///< conv/pool window
+    std::uint32_t stride = 1;
+    std::uint32_t pad = 0;
+    std::uint32_t out_dim = 0;  ///< fc output width
+    double rate = 0.5;          ///< dropout rate
+
+    /** @{ Convenience constructors. */
+    static LayerSpec conv(std::uint32_t filters, std::uint32_t kernel,
+                          std::uint32_t stride = 1, std::uint32_t pad = 0);
+    static LayerSpec maxPool(std::uint32_t kernel, std::uint32_t stride);
+    static LayerSpec avgPool(std::uint32_t kernel, std::uint32_t stride);
+    static LayerSpec fc(std::uint32_t out_dim);
+    static LayerSpec relu();
+    static LayerSpec batchNorm();
+    static LayerSpec softmax();
+    static LayerSpec dropout(double rate);
+    /** @} */
+};
+
+/** One parallel branch of an inception module. */
+struct InceptionBranch
+{
+    std::vector<LayerSpec> layers;
+};
+
+/** A feed-forward network: sequential nodes, some of which are
+ *  inception modules (parallel branches concatenated on channels). */
+class Network
+{
+  public:
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    /** Append a plain layer. */
+    Network &add(const LayerSpec &spec);
+
+    /** Append an inception module; branches must preserve H x W. */
+    Network &addInception(std::vector<InceptionBranch> branches);
+
+    /**
+     * Run one forward pass on @p input (real arithmetic, traced).
+     * Weights are generated deterministically from @p weight_seed.
+     * @return the output shape.
+     */
+    Shape4 forward(TraceContext &ctx, const ImageBatch &input,
+                   std::uint64_t weight_seed = 0x5eedULL) const;
+
+    /** Learnable parameter count for an input of shape @p in. */
+    std::uint64_t paramCount(Shape4 in) const;
+
+    const std::string &name() const { return name_; }
+    std::size_t depth() const { return nodes_.size(); }
+
+  private:
+    struct NetNode
+    {
+        bool is_inception = false;
+        LayerSpec spec;
+        std::vector<InceptionBranch> branches;
+    };
+
+    std::string name_;
+    std::vector<NetNode> nodes_;
+};
+
+/** AlexNet adapted to CIFAR-10 inputs (as BigDataBench runs it). */
+Network buildAlexNet(std::uint32_t num_classes = 10);
+
+/** Inception-V3: stem + 5b/6a/7a-style modules + head. The layer
+ *  structure follows Szegedy et al. (2016); channel widths are exact,
+ *  spatial resolution is set by the input batch. */
+Network buildInceptionV3(std::uint32_t num_classes = 1000);
+
+/** Distributed training job description. */
+struct TrainJob
+{
+    std::string name;
+    const Network *net = nullptr;
+    std::uint32_t total_steps = 100;  ///< across all workers
+    std::uint32_t batch_size = 128;
+    std::uint32_t image_dim = 32;     ///< full H = W
+    std::uint32_t channels = 3;
+    std::uint32_t num_classes = 10;
+    /** Spatial resolution actually traced (<= image_dim); flops are
+     *  extrapolated by (image_dim/sim_dim)^2. Bounds host time for
+     *  299x299 Inception inputs. */
+    std::uint32_t sim_dim = 0;        ///< 0 = image_dim
+    std::uint32_t sample_batch = 2;   ///< images actually traced
+    double backward_multiplier = 2.0; ///< bwd flops / fwd flops
+    std::uint64_t code_footprint = 320ULL * 1024;
+    double setup_s = 30.0;            ///< session/bootstrap time
+};
+
+/** Result of a simulated training run. */
+struct TrainResult
+{
+    std::string name;
+    double runtime_s = 0.0;
+    double step_time_s = 0.0;    ///< per step per worker
+    std::uint64_t steps_per_worker = 0;
+    KernelProfile cluster_profile;
+    MetricVector metrics;        ///< per-worker-node averages
+};
+
+/** The tensorlite distributed training engine. */
+class TensorEngine
+{
+  public:
+    explicit TensorEngine(const ClusterConfig &cluster);
+
+    TrainResult run(const TrainJob &job) const;
+
+    const ClusterConfig &cluster() const { return cluster_; }
+
+  private:
+    ClusterConfig cluster_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_STACK_TENSORLITE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The two TensorFlow-style reference workloads on tensorlite:
+ * AlexNet on CIFAR-10-shaped data (batch 128, 10000 global steps) and
+ * Inception-V3 on ILSVRC2012-shaped data (batch 32, 1000 global
+ * steps), per Section III-B of the paper.
+ */
+
+#include "workloads/workload.hh"
+
+#include "base/units.hh"
+#include "stack/tensorlite.hh"
+
+namespace dmpb {
+
+namespace {
+
+class AlexNetWorkload : public Workload
+{
+  public:
+    AlexNetWorkload(std::uint32_t total_steps, std::uint32_t batch_size)
+        : total_steps_(total_steps), batch_size_(batch_size),
+          net_(buildAlexNet(10))
+    {
+    }
+
+    std::string name() const override { return "TensorFlow AlexNet"; }
+
+    std::vector<MotifWeight>
+    decomposition() const override
+    {
+        // Table III: Matrix (fully connected), Sampling (max pooling),
+        // Transform (convolution), Statistics (batch normalization).
+        return {{"convolution", 0.55}, {"fully_connected", 0.20},
+                {"max_pool", 0.10}, {"batch_norm", 0.10},
+                {"relu", 0.05}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 8 * kMiB; }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        TrainJob job;
+        job.name = name();
+        job.net = &net_;
+        job.total_steps = total_steps_;
+        job.batch_size = batch_size_;
+        job.image_dim = 32;   // CIFAR-10
+        job.channels = 3;
+        job.num_classes = 10;
+        job.sim_dim = 32;     // already small; no spatial scaling
+        job.sample_batch = 2;
+
+        TensorEngine engine(cluster);
+        TrainResult tr = engine.run(job);
+        return {name(), tr.runtime_s, tr.cluster_profile, tr.metrics};
+    }
+
+  private:
+    std::uint32_t total_steps_;
+    std::uint32_t batch_size_;
+    Network net_;
+};
+
+class InceptionV3Workload : public Workload
+{
+  public:
+    InceptionV3Workload(std::uint32_t total_steps,
+                        std::uint32_t batch_size)
+        : total_steps_(total_steps), batch_size_(batch_size),
+          net_(buildInceptionV3(1000))
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "TensorFlow Inception-V3";
+    }
+
+    std::vector<MotifWeight>
+    decomposition() const override
+    {
+        // Table III: Matrix (fc, softmax), Sampling (max/avg pooling,
+        // dropout), Logic (relu), Transform (convolution),
+        // Statistics (batch normalization).
+        return {{"convolution", 0.62}, {"fully_connected", 0.08},
+                {"max_pool", 0.06}, {"avg_pool", 0.05},
+                {"dropout", 0.03}, {"relu", 0.06},
+                {"batch_norm", 0.06}, {"softmax", 0.04}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 12 * kMiB; }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        TrainJob job;
+        job.name = name();
+        job.net = &net_;
+        job.total_steps = total_steps_;
+        job.batch_size = batch_size_;
+        job.image_dim = 299;  // ILSVRC2012 as Inception-V3 consumes it
+        job.channels = 3;
+        job.num_classes = 1000;
+        // Trace at reduced resolution to bound host time; flops are
+        // extrapolated by (299/53)^2 (see tensorlite.hh).
+        job.sim_dim = 53;
+        job.sample_batch = 1;
+
+        TensorEngine engine(cluster);
+        TrainResult tr = engine.run(job);
+        return {name(), tr.runtime_s, tr.cluster_profile, tr.metrics};
+    }
+
+  private:
+    std::uint32_t total_steps_;
+    std::uint32_t batch_size_;
+    Network net_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeAlexNet(std::uint32_t total_steps, std::uint32_t batch_size)
+{
+    return std::make_unique<AlexNetWorkload>(total_steps, batch_size);
+}
+
+std::unique_ptr<Workload>
+makeInceptionV3(std::uint32_t total_steps, std::uint32_t batch_size)
+{
+    return std::make_unique<InceptionV3Workload>(total_steps,
+                                                 batch_size);
+}
+
+std::vector<std::unique_ptr<Workload>>
+makePaperWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.push_back(makeTeraSort());
+    out.push_back(makeKMeans());
+    out.push_back(makePageRank());
+    out.push_back(makeAlexNet());
+    out.push_back(makeInceptionV3());
+    return out;
+}
+
+} // namespace dmpb

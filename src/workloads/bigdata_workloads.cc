@@ -1,0 +1,460 @@
+/**
+ * @file
+ * The three Hadoop-style reference workloads on hadooplite.
+ *
+ * Map/reduce kernels perform the real hotspot computation through the
+ * same instrumented kernels the motifs use -- this is the ground truth
+ * the paper's bottom-up hotspot analysis recovers: workload hotspots
+ * literally are motif computations, wrapped in framework overhead, GC
+ * and I/O.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "datagen/gensort.hh"
+#include "datagen/graph.hh"
+#include "datagen/vectors.hh"
+#include "motifs/bd_kernels.hh"
+#include "motifs/kernel_util.hh"
+#include "sim/traced_buffer.hh"
+#include "stack/managed_heap.hh"
+#include "stack/mapreduce.hh"
+
+namespace dmpb {
+
+namespace {
+
+// ------------------------------------------------------------ TeraSort
+
+class TeraSortWorkload : public Workload
+{
+  public:
+    explicit TeraSortWorkload(std::uint64_t input_bytes)
+        : input_bytes_(input_bytes)
+    {
+    }
+
+    std::string name() const override { return "Hadoop TeraSort"; }
+
+    std::vector<MotifWeight>
+    decomposition() const override
+    {
+        // Section II-B1: 70% sort, 10% sampling, 20% graph.
+        return {{"quick_sort", 0.40}, {"merge_sort", 0.30},
+                {"interval_sampling", 0.06}, {"random_sampling", 0.04},
+                {"graph_construct", 0.10}, {"graph_traverse", 0.10}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 48 * kMiB; }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        MapReduceJob job;
+        job.name = name();
+        job.input_bytes = input_bytes_;
+        job.sample_bytes = kMiB;
+        job.map_output_ratio = 1.0;   // the whole data set shuffles
+        job.reduce_output_ratio = 1.0;
+        job.num_reducers = cluster.totalSlots();
+        job.framework_ops_per_byte = 2.0;
+        job.output_replication = 2;
+
+        job.map_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                            std::uint64_t bytes, std::uint64_t id) {
+            std::size_t n = std::max<std::size_t>(
+                64, bytes / GensortRecord::kRecordBytes);
+            GensortGenerator gen(0x7357ULL + id);
+            auto records = gen.generate(n);
+            heap.allocate(n * 160);  // record + KV object headers
+
+            // Hotspot 1 (sampling motif): sample keys to locate the
+            // partition boundaries.
+            TracedBuffer<std::uint64_t> keys(ctx, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                ctx.emitLoad(&records[i],
+                             GensortRecord::kRecordBytes);
+                ctx.emitOps(OpClass::IntAlu, 3);
+                keys.wr(i, records[i].keyPrefix());
+            }
+            TracedBuffer<std::uint64_t> sampled(ctx, n / 16 + 1);
+            std::size_t s = kernels::intervalSample(ctx, keys, sampled,
+                                                    16);
+            kernels::quickSortU64(ctx, sampled, 0, s - 1);
+
+            // Hotspot 2 (graph motif): build the partition-boundary
+            // search structure and traverse it per record.
+            std::size_t parts = 32;
+            std::vector<std::uint64_t> bounds(parts);
+            for (std::size_t b = 0; b < parts; ++b)
+                bounds[b] = sampled.rd(b * s / parts);
+            std::vector<std::uint64_t> counts(parts, 0);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t k = keys.rd(i);
+                std::size_t lo = 0, hi = parts;
+                while (lo + 1 < hi) {  // trie-walk per record
+                    std::size_t mid = (lo + hi) / 2;
+                    ctx.emitLoad(&bounds[mid], 8);
+                    ctx.emitOps(OpClass::IntAlu, 2);
+                    bool right = k >= bounds[mid];
+                    DMPB_BR(ctx, right);
+                    if (right)
+                        lo = mid;
+                    else
+                        hi = mid;
+                }
+                ctx.emitLoad(&counts[lo], 8);
+                ++counts[lo];
+                ctx.emitStore(&counts[lo], 8);
+            }
+            heap.allocate(n * 24);  // partition buffers
+        };
+
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                               std::uint64_t bytes, std::uint64_t id) {
+            std::size_t n = std::max<std::size_t>(
+                64, bytes / GensortRecord::kRecordBytes);
+            GensortGenerator gen(0xced5ULL + id);
+            auto records = gen.generate(n);
+            heap.allocate(n * 160);
+
+            // Hotspot (sort motif): merge-sort the fetched partition
+            // and write records in order.
+            TracedBuffer<std::uint64_t> keys(ctx, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                ctx.emitLoad(&records[i],
+                             GensortRecord::kRecordBytes);
+                ctx.emitOps(OpClass::IntAlu, 3);
+                keys.wr(i, (records[i].keyPrefix() & ~0xffffffULL) |
+                               (i & 0xffffff));
+            }
+            kernels::mergeSortU64(ctx, keys);
+            std::vector<GensortRecord> out(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::size_t src = keys.rd(i) & 0xffffff;
+                ctx.emitLoad(&records[src],
+                             GensortRecord::kRecordBytes);
+                out[i] = records[src];
+                ctx.emitStore(&out[i], GensortRecord::kRecordBytes);
+            }
+        };
+
+        MapReduceEngine engine(cluster);
+        JobResult jr = engine.run(job);
+        return {name(), jr.runtime_s, jr.cluster_profile, jr.metrics};
+    }
+
+  private:
+    std::uint64_t input_bytes_;
+};
+
+// ------------------------------------------------------------- K-means
+
+class KMeansWorkload : public Workload
+{
+  public:
+    KMeansWorkload(std::uint64_t input_bytes, double sparsity)
+        : input_bytes_(input_bytes), sparsity_(sparsity)
+    {
+    }
+
+    std::string name() const override { return "Hadoop K-means"; }
+
+    std::vector<MotifWeight>
+    decomposition() const override
+    {
+        // Table III: Matrix (distances), Sort, Statistics.
+        return {{"euclidean_distance", 0.55}, {"cosine_distance", 0.15},
+                {"quick_sort", 0.10}, {"count_avg_stats", 0.15},
+                {"min_max", 0.05}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 24 * kMiB; }
+
+    double inputSparsity() const override { return sparsity_; }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        constexpr std::size_t kDim = 64;
+        constexpr std::size_t kCentroids = 16;
+        const double sparsity = sparsity_;
+
+        MapReduceJob job;
+        job.name = name();
+        job.input_bytes = input_bytes_;
+        job.sample_bytes = kMiB;
+        // Combiners: only per-mapper partial sums shuffle.
+        job.map_output_ratio = 2e-4;
+        job.reduce_output_ratio = 1.0;
+        job.num_reducers = kCentroids;
+        // Mahout-style per-record object churn dominates.
+        job.framework_ops_per_byte = 8.0;
+        job.output_replication = 1;
+
+        job.map_kernel = [sparsity](TraceContext &ctx, ManagedHeap &heap,
+                                    std::uint64_t bytes,
+                                    std::uint64_t id) {
+            // Vectors are stored sparse: ~8 bytes per non-zero plus a
+            // header, so a byte budget holds more sparse vectors.
+            double nnz_per_vec = kDim * (1.0 - sparsity);
+            std::size_t vec_bytes = static_cast<std::size_t>(
+                16 + 8.0 * std::max(1.0, nnz_per_vec));
+            std::size_t n = std::max<std::size_t>(8, bytes / vec_bytes);
+
+            VectorGenerator gen(0x63ULL + id);
+            VectorDataset ds = gen.generate(n, kDim, sparsity,
+                                            kCentroids);
+            heap.allocate(n * (vec_bytes + 48));
+
+            Rng crng(0xc3ULL);
+            TracedBuffer<float> centroids(ctx, kCentroids * kDim);
+            for (auto &v : centroids.raw())
+                v = static_cast<float>(crng.nextDouble(-8.0, 8.0));
+
+            // Hotspot (matrix motif): CSR euclidean distance to every
+            // centroid; parse + object cost per vector.
+            std::vector<double> cent_norm(kCentroids, 0.0);
+            for (std::size_t c = 0; c < kCentroids; ++c)
+                for (std::size_t d = 0; d < kDim; ++d)
+                    cent_norm[c] += static_cast<double>(
+                                        centroids.raw()[c * kDim + d]) *
+                                    centroids.raw()[c * kDim + d];
+
+            std::vector<double> sums(kCentroids * kDim, 0.0);
+            std::vector<std::uint64_t> cnt(kCentroids, 0);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t b = ds.csr_row_offset[i];
+                std::uint64_t e = ds.csr_row_offset[i + 1];
+                // Parse the stored record (traced sequential read).
+                ctx.emitLoadAddr(0x600000000000ULL + id * (1ULL << 32) +
+                                     b * 8,
+                                 (e - b) * 8 + 16);
+                ctx.emitOps(OpClass::IntAlu, 40);  // tokenise header
+                std::size_t best = 0;
+                double best_d = 1e300;
+                for (std::size_t c = 0; c < kCentroids; ++c) {
+                    double dot = 0.0, pnorm = 0.0;
+                    for (std::uint64_t k = b; k < e; ++k) {
+                        ctx.emitLoad(&ds.csr_col[k], 4);
+                        ctx.emitLoad(&ds.csr_val[k], 4);
+                        float cv = centroids.rd(c * kDim +
+                                                ds.csr_col[k]);
+                        dot += static_cast<double>(ds.csr_val[k]) * cv;
+                        pnorm += static_cast<double>(ds.csr_val[k]) *
+                                 ds.csr_val[k];
+                        ctx.emitOps(OpClass::FpMul, 2);
+                        ctx.emitOps(OpClass::FpAlu, 2);
+                    }
+                    double dist = pnorm - 2.0 * dot + cent_norm[c];
+                    ctx.emitOps(OpClass::FpAlu, 3);
+                    bool better = dist < best_d;
+                    DMPB_BR(ctx, better);
+                    if (better) {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                // Partial-sum accumulation (statistics motif).
+                for (std::uint64_t k = b; k < e; ++k) {
+                    double &slot = sums[best * kDim + ds.csr_col[k]];
+                    ctx.emitLoad(&slot, 8);
+                    slot += ds.csr_val[k];
+                    ctx.emitStore(&slot, 8);
+                    ctx.emitOps(OpClass::FpAlu, 1);
+                }
+                ++cnt[best];
+                heap.allocate(vec_bytes + 32);  // boxed vector objects
+            }
+        };
+
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                               std::uint64_t bytes, std::uint64_t id) {
+            // Average computation over gathered partial sums.
+            std::size_t n = std::max<std::size_t>(64, bytes / 8);
+            Rng rng(0xadd5ULL + id);
+            TracedBuffer<std::uint32_t> keys(ctx, n);
+            TracedBuffer<float> vals(ctx, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                keys.raw()[i] = static_cast<std::uint32_t>(
+                    rng.nextU64(kCentroids * kDim));
+                vals.raw()[i] = static_cast<float>(
+                    rng.nextDouble(0, 10));
+            }
+            heap.allocate(n * 12);
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, keys, vals, ok, oc, os);
+            for (std::size_t g = 0; g < ok.size(); ++g) {
+                ctx.emitOps(OpClass::FpMul, 1);  // divide
+                ctx.emitOps(OpClass::FpAlu, 1);
+            }
+        };
+
+        MapReduceEngine engine(cluster);
+        JobResult jr = engine.run(job);
+        return {name(), jr.runtime_s, jr.cluster_profile, jr.metrics};
+    }
+
+  private:
+    std::uint64_t input_bytes_;
+    double sparsity_;
+};
+
+// ------------------------------------------------------------ PageRank
+
+class PageRankWorkload : public Workload
+{
+  public:
+    explicit PageRankWorkload(std::uint64_t vertices)
+        : vertices_(vertices)
+    {
+    }
+
+    std::string name() const override { return "Hadoop PageRank"; }
+
+    std::vector<MotifWeight>
+    decomposition() const override
+    {
+        // Table III: Graph/Matrix (construction + multiplication),
+        // Sort, Statistics (degree counts, min/max).
+        return {{"graph_construct", 0.20}, {"graph_traverse", 0.25},
+                {"matrix_multiply", 0.20}, {"quick_sort", 0.10},
+                {"count_avg_stats", 0.15}, {"min_max", 0.10}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 32 * kMiB; }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        constexpr double kAvgDegree = 8.0;
+
+        MapReduceJob job;
+        job.name = name();
+        // Edge-list text: ~16 bytes per edge.
+        job.input_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(vertices_) * kAvgDegree * 16.0);
+        job.sample_bytes = kMiB;
+        job.map_output_ratio = 0.75;  // rank contributions
+        job.reduce_output_ratio = 0.05;
+        job.num_reducers = cluster.totalSlots();
+        job.framework_ops_per_byte = 3.0;
+        job.output_replication = 1;
+
+        job.map_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                            std::uint64_t bytes, std::uint64_t id) {
+            std::size_t edges = std::max<std::size_t>(64, bytes / 16);
+            std::uint64_t verts = std::max<std::uint64_t>(16,
+                                                          edges / 8);
+            Rng rng(0x9aULL + id);
+            ZipfSampler zipf(verts, 0.6);
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> el;
+            el.reserve(edges);
+            for (std::size_t i = 0; i < edges; ++i) {
+                auto s = static_cast<std::uint32_t>(
+                    rng.nextU64(verts));
+                auto t = static_cast<std::uint32_t>(
+                    mix64(zipf.sample(rng)) % verts);
+                el.emplace_back(s, t == s ? (t + 1) % verts : t);
+            }
+            heap.allocate(edges * 24);
+
+            // Hotspot 1 (graph motif): adjacency construction.
+            Graph g = kernels::graphConstruct(ctx, el, verts);
+
+            // Hotspot 2 (matrix motif): rank_v/deg_v scattered to all
+            // neighbours -- one sparse matrix-vector product row.
+            std::vector<float> rank(verts, 1.0f);
+            std::vector<float> contrib(verts, 0.0f);
+            for (std::uint64_t v = 0; v < verts; ++v) {
+                ctx.emitLoad(&g.out_offset[v], 16);
+                std::uint64_t b = g.out_offset[v],
+                              e = g.out_offset[v + 1];
+                if (b == e)
+                    continue;
+                ctx.emitLoad(&rank[v], 4);
+                float share = rank[v] /
+                              static_cast<float>(e - b);
+                ctx.emitOps(OpClass::FpMul, 1);
+                for (std::uint64_t k = b; k < e; ++k) {
+                    std::uint32_t t = g.out_edges[k];
+                    ctx.emitLoad(&g.out_edges[k], 4);
+                    ctx.emitLoad(&contrib[t], 4);
+                    contrib[t] += share;
+                    ctx.emitStore(&contrib[t], 4);
+                    ctx.emitOps(OpClass::FpAlu, 1);
+                }
+            }
+            heap.allocate(verts * 16);
+        };
+
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                               std::uint64_t bytes, std::uint64_t id) {
+            std::size_t n = std::max<std::size_t>(64, bytes / 8);
+            Rng rng(0x93ULL + id);
+            heap.allocate(n * 12);
+            // Sum contributions per vertex (statistics motif).
+            TracedBuffer<std::uint32_t> keys(ctx, n);
+            TracedBuffer<float> vals(ctx, n);
+            std::uint32_t verts = static_cast<std::uint32_t>(
+                std::max<std::size_t>(16, n / 8));
+            for (std::size_t i = 0; i < n; ++i) {
+                keys.raw()[i] = static_cast<std::uint32_t>(
+                    rng.nextU64(verts));
+                vals.raw()[i] = static_cast<float>(
+                    rng.nextDouble(0, 1));
+            }
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, keys, vals, ok, oc, os);
+            // Damping + min/max of new ranks; sort the top ranks.
+            TracedBuffer<std::uint64_t> ranks(ctx, ok.size());
+            for (std::size_t g = 0; g < ok.size(); ++g) {
+                ctx.emitOps(OpClass::FpMul, 1);  // damping multiply
+                ctx.emitOps(OpClass::FpAlu, 1);  // + (1-d)/N
+                ranks.raw()[g] = static_cast<std::uint64_t>(
+                    os[g] * 1e6);
+            }
+            if (!ranks.empty()) {
+                kernels::minMaxScan(ctx, ranks);
+                kernels::quickSortU64(ctx, ranks, 0, ranks.size() - 1);
+            }
+        };
+
+        MapReduceEngine engine(cluster);
+        JobResult jr = engine.run(job);
+        return {name(), jr.runtime_s, jr.cluster_profile, jr.metrics};
+    }
+
+  private:
+    std::uint64_t vertices_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTeraSort(std::uint64_t input_bytes)
+{
+    return std::make_unique<TeraSortWorkload>(input_bytes);
+}
+
+std::unique_ptr<Workload>
+makeKMeans(std::uint64_t input_bytes, double sparsity)
+{
+    return std::make_unique<KMeansWorkload>(input_bytes, sparsity);
+}
+
+std::unique_ptr<Workload>
+makePageRank(std::uint64_t vertices)
+{
+    return std::make_unique<PageRankWorkload>(vertices);
+}
+
+} // namespace dmpb

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The five real-world reference workloads of the paper's evaluation
+ * (BigDataBench 4.0 selections): Hadoop TeraSort, Hadoop K-means,
+ * Hadoop PageRank, TensorFlow AlexNet and TensorFlow Inception-V3 --
+ * reimplemented on the hadooplite / tensorlite stacks.
+ *
+ * Each workload can run on any ClusterConfig and yields the runtime
+ * plus the metric vector a perf-based collector would have measured;
+ * it also exposes its data-motif decomposition (Table III) with
+ * hotspot execution ratios, which seed the proxy generator's initial
+ * weights (Section II-B1).
+ */
+
+#ifndef DMPB_WORKLOADS_WORKLOAD_HH
+#define DMPB_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "stack/cluster.hh"
+
+namespace dmpb {
+
+/** Outcome of one real-workload execution. */
+struct WorkloadResult
+{
+    std::string name;
+    double runtime_s = 0.0;
+    KernelProfile profile;   ///< cluster-aggregate event totals
+    MetricVector metrics;    ///< per-slave-node averages
+};
+
+/** One entry of a Table III decomposition. */
+struct MotifWeight
+{
+    std::string motif;   ///< implementation name in the registry
+    double weight;       ///< hotspot execution ratio (sums to ~1)
+};
+
+/** A real-world reference workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Display name, e.g. "Hadoop TeraSort". */
+    virtual std::string name() const = 0;
+
+    /** Execute on @p cluster and collect performance data. */
+    virtual WorkloadResult run(const ClusterConfig &cluster) const = 0;
+
+    /**
+     * The workload's data-motif decomposition (Table III) with the
+     * initial weights the paper assigns from execution ratios
+     * (Section II-B1, e.g. TeraSort: 70% sort, 10% sampling,
+     * 20% graph).
+     */
+    virtual std::vector<MotifWeight> decomposition() const = 0;
+
+    /**
+     * Bytes of input data one proxy motif-task should start from
+     * (the paper scales down the original input to initialise
+     * dataSize); also fixes the data type/distribution coupling.
+     */
+    virtual std::uint64_t proxyDataBytes() const = 0;
+
+    /** Input sparsity (only meaningful for K-means; 0 otherwise). */
+    virtual double inputSparsity() const { return 0.0; }
+};
+
+/** TeraSort over gensort text records. */
+std::unique_ptr<Workload> makeTeraSort(
+    std::uint64_t input_bytes = 100ULL * 1024 * 1024 * 1024);
+
+/** K-means over (sparse) vector data. */
+std::unique_ptr<Workload> makeKMeans(
+    std::uint64_t input_bytes = 100ULL * 1024 * 1024 * 1024,
+    double sparsity = 0.9);
+
+/** PageRank over a 2^26-vertex scale-free graph. */
+std::unique_ptr<Workload> makePageRank(std::uint64_t vertices = 1ULL
+                                                               << 26);
+
+/** TensorFlow-style AlexNet training on CIFAR-10-shaped data. */
+std::unique_ptr<Workload> makeAlexNet(std::uint32_t total_steps = 10000,
+                                      std::uint32_t batch_size = 128);
+
+/** TensorFlow-style Inception-V3 training on ILSVRC2012-shaped data. */
+std::unique_ptr<Workload> makeInceptionV3(
+    std::uint32_t total_steps = 1000, std::uint32_t batch_size = 32);
+
+/** All five paper workloads with Section III-B inputs. */
+std::vector<std::unique_ptr<Workload>> makePaperWorkloads();
+
+} // namespace dmpb
+
+#endif // DMPB_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Correctness tests for the instrumented big-data kernels: the real
+ * computation must be right (compared against std:: reference
+ * implementations), and the emitted traces must be sane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "base/rng.hh"
+#include "datagen/text.hh"
+#include "motifs/bd_kernels.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+namespace dmpb {
+namespace {
+
+class BdKernelTest : public ::testing::Test
+{
+  protected:
+    BdKernelTest() : machine_(westmereE5645()), ctx_(machine_) {}
+
+    TracedBuffer<std::uint64_t>
+    randomU64(std::size_t n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        TracedBuffer<std::uint64_t> buf(ctx_, n);
+        for (auto &v : buf.raw())
+            v = rng.next();
+        return buf;
+    }
+
+    MachineConfig machine_;
+    TraceContext ctx_;
+};
+
+TEST_F(BdKernelTest, QuickSortSortsCorrectly)
+{
+    auto buf = randomU64(5000, 1);
+    auto ref = buf.raw();
+    kernels::quickSortU64(ctx_, buf, 0, buf.size() - 1);
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(buf.raw(), ref);
+}
+
+TEST_F(BdKernelTest, QuickSortHandlesDuplicatesAndSorted)
+{
+    // All-equal input.
+    TracedBuffer<std::uint64_t> eq(ctx_, 500);
+    std::fill(eq.raw().begin(), eq.raw().end(), 7ULL);
+    kernels::quickSortU64(ctx_, eq, 0, eq.size() - 1);
+    for (auto v : eq.raw())
+        EXPECT_EQ(v, 7ULL);
+
+    // Already sorted and reverse sorted.
+    TracedBuffer<std::uint64_t> asc(ctx_, 1000);
+    std::iota(asc.raw().begin(), asc.raw().end(), 0);
+    kernels::quickSortU64(ctx_, asc, 0, asc.size() - 1);
+    EXPECT_TRUE(std::is_sorted(asc.raw().begin(), asc.raw().end()));
+
+    TracedBuffer<std::uint64_t> desc(ctx_, 1000);
+    for (std::size_t i = 0; i < 1000; ++i)
+        desc.raw()[i] = 1000 - i;
+    kernels::quickSortU64(ctx_, desc, 0, desc.size() - 1);
+    EXPECT_TRUE(std::is_sorted(desc.raw().begin(), desc.raw().end()));
+}
+
+TEST_F(BdKernelTest, QuickSortTinyInputs)
+{
+    TracedBuffer<std::uint64_t> one(ctx_, 1);
+    one.raw()[0] = 3;
+    kernels::quickSortU64(ctx_, one, 0, 0);
+    EXPECT_EQ(one.raw()[0], 3u);
+
+    TracedBuffer<std::uint64_t> two(ctx_, 2);
+    two.raw() = {9, 4};
+    kernels::quickSortU64(ctx_, two, 0, 1);
+    EXPECT_EQ(two.raw()[0], 4u);
+    EXPECT_EQ(two.raw()[1], 9u);
+}
+
+TEST_F(BdKernelTest, MergeSortSortsCorrectly)
+{
+    auto buf = randomU64(4097, 2);  // deliberately not a power of two
+    auto ref = buf.raw();
+    kernels::mergeSortU64(ctx_, buf);
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(buf.raw(), ref);
+}
+
+TEST_F(BdKernelTest, SortEmitsComparisonBranches)
+{
+    auto buf = randomU64(2000, 3);
+    kernels::quickSortU64(ctx_, buf, 0, buf.size() - 1);
+    KernelProfile p = ctx_.profile();
+    // ~n log n comparisons -> branches and loads must be plentiful.
+    EXPECT_GT(p.branch.branches, 10000u);
+    EXPECT_GT(p.ops[static_cast<std::size_t>(OpClass::Load)], 10000u);
+}
+
+TEST_F(BdKernelTest, RandomSampleRate)
+{
+    auto in = randomU64(20000, 4);
+    TracedBuffer<std::uint64_t> out(ctx_, in.size());
+    Rng rng(99);
+    std::size_t k = kernels::randomSample(ctx_, in, out, 0.25, rng);
+    EXPECT_NEAR(static_cast<double>(k) / in.size(), 0.25, 0.02);
+}
+
+TEST_F(BdKernelTest, IntervalSampleExactCountAndValues)
+{
+    auto in = randomU64(1000, 5);
+    TracedBuffer<std::uint64_t> out(ctx_, 200);
+    std::size_t k = kernels::intervalSample(ctx_, in, out, 7);
+    EXPECT_EQ(k, (1000 + 6) / 7);
+    for (std::size_t i = 0; i < k; ++i)
+        EXPECT_EQ(out.raw()[i], in.raw()[i * 7]);
+}
+
+TEST_F(BdKernelTest, GraphConstructBuildsCorrectCsr)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges = {
+        {0, 1}, {0, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 3}, {3, 0}};
+    Graph g = kernels::graphConstruct(ctx_, edges, 4);
+    EXPECT_EQ(g.numEdges(), edges.size());
+    EXPECT_EQ(g.outDegree(0), 2u);
+    EXPECT_EQ(g.outDegree(1), 1u);
+    EXPECT_EQ(g.outDegree(2), 3u);
+    EXPECT_EQ(g.outDegree(3), 1u);
+    // Adjacency of 2 must contain exactly {0,1,3}.
+    std::set<std::uint32_t> adj(g.out_edges.begin() + g.out_offset[2],
+                                g.out_edges.begin() + g.out_offset[3]);
+    EXPECT_EQ(adj, (std::set<std::uint32_t>{0, 1, 3}));
+}
+
+TEST_F(BdKernelTest, BfsReachesConnectedComponent)
+{
+    // 0 -> 1 -> 2, 3 isolated.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges = {
+        {0, 1}, {1, 2}};
+    Graph g = kernels::graphConstruct(ctx_, edges, 4);
+    std::vector<std::uint8_t> visited(4, 0);
+    EXPECT_EQ(kernels::graphBfs(ctx_, g, 0, visited), 3u);
+    EXPECT_FALSE(visited[3]);
+    EXPECT_EQ(kernels::graphBfs(ctx_, g, 3, visited), 1u);
+}
+
+TEST_F(BdKernelTest, Md5MatchesRfc1321Vectors)
+{
+    // Reference digests from RFC 1321, folded as lo64 ^ hi64 (LE).
+    auto fold = [](const char *hex) {
+        std::uint8_t d[16];
+        for (int i = 0; i < 16; ++i) {
+            unsigned v;
+            std::sscanf(hex + 2 * i, "%02x", &v);
+            d[i] = static_cast<std::uint8_t>(v);
+        }
+        std::uint64_t lo, hi;
+        std::memcpy(&lo, d, 8);
+        std::memcpy(&hi, d + 8, 8);
+        return lo ^ hi;
+    };
+
+    auto digestOf = [&](const std::string &s) {
+        TracedBuffer<std::uint8_t> buf(
+            ctx_, std::vector<std::uint8_t>(s.begin(), s.end()));
+        return kernels::md5Digest(ctx_, buf);
+    };
+
+    EXPECT_EQ(digestOf(""), fold("d41d8cd98f00b204e9800998ecf8427e"));
+    EXPECT_EQ(digestOf("abc"), fold("900150983cd24fb0d6963f7d28e17f72"));
+    EXPECT_EQ(digestOf("message digest"),
+              fold("f96b697d7cb7938d525a2f31aaf161d0"));
+    EXPECT_EQ(digestOf("abcdefghijklmnopqrstuvwxyz"),
+              fold("c3fcd3d76192e4007dfb496cca67e13b"));
+    EXPECT_EQ(
+        digestOf("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                 "0123456789"),
+        fold("d174ab98d277d9f5a5611c2c9f419d9f"));
+}
+
+TEST_F(BdKernelTest, XteaMatchesReferenceImplementation)
+{
+    // Reference (untraced) XTEA.
+    auto ref_encrypt = [](std::uint32_t v[2], const std::uint32_t k[4]) {
+        std::uint32_t v0 = v[0], v1 = v[1], sum = 0;
+        for (int r = 0; r < 32; ++r) {
+            v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k[sum & 3]);
+            sum += 0x9e3779b9;
+            v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^
+                  (sum + k[(sum >> 11) & 3]);
+        }
+        v[0] = v0;
+        v[1] = v1;
+    };
+
+    Rng rng(8);
+    std::vector<std::uint32_t> words(64);
+    for (auto &w : words)
+        w = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t key[4] = {1, 2, 3, 4};
+
+    auto expected = words;
+    for (std::size_t b = 0; b < expected.size() / 2; ++b)
+        ref_encrypt(&expected[2 * b], key);
+
+    TracedBuffer<std::uint32_t> buf(ctx_, std::move(words));
+    kernels::xteaEncrypt(ctx_, buf, key);
+    EXPECT_EQ(buf.raw(), expected);
+}
+
+class SetOpTest : public BdKernelTest,
+                  public ::testing::WithParamInterface<int>
+{
+};
+
+TEST_P(SetOpTest, MatchesStdAlgorithms)
+{
+    TextGenerator ga(10 + GetParam()), gb(20 + GetParam());
+    auto va = ga.generateIdSet(400, 2000);
+    auto vb = gb.generateIdSet(300, 2000);
+    std::vector<std::uint64_t> expect;
+    switch (GetParam() % 3) {
+      case 0:
+        std::set_union(va.begin(), va.end(), vb.begin(), vb.end(),
+                       std::back_inserter(expect));
+        break;
+      case 1:
+        std::set_intersection(va.begin(), va.end(), vb.begin(),
+                              vb.end(), std::back_inserter(expect));
+        break;
+      default:
+        std::set_difference(va.begin(), va.end(), vb.begin(), vb.end(),
+                            std::back_inserter(expect));
+        break;
+    }
+    TracedBuffer<std::uint64_t> a(ctx_, std::move(va));
+    TracedBuffer<std::uint64_t> b(ctx_, std::move(vb));
+    TracedBuffer<std::uint64_t> out(ctx_, a.size() + b.size());
+    std::size_t k = 0;
+    switch (GetParam() % 3) {
+      case 0: k = kernels::setUnion(ctx_, a, b, out); break;
+      case 1: k = kernels::setIntersect(ctx_, a, b, out); break;
+      default: k = kernels::setDifference(ctx_, a, b, out); break;
+    }
+    ASSERT_EQ(k, expect.size());
+    for (std::size_t i = 0; i < k; ++i)
+        EXPECT_EQ(out.raw()[i], expect[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpsSeeds, SetOpTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_F(BdKernelTest, HashGroupStatsMatchesStdMap)
+{
+    Rng rng(9);
+    std::size_t n = 5000;
+    std::vector<std::uint32_t> keys(n);
+    std::vector<float> vals(n);
+    std::map<std::uint32_t, std::pair<std::uint64_t, double>> ref;
+    for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = static_cast<std::uint32_t>(rng.nextU64(300));
+        vals[i] = static_cast<float>(rng.nextDouble(0, 10));
+        ref[keys[i]].first++;
+        ref[keys[i]].second += vals[i];
+    }
+    TracedBuffer<std::uint32_t> tk(ctx_, std::move(keys));
+    TracedBuffer<float> tv(ctx_, std::move(vals));
+    std::vector<std::uint32_t> out_keys;
+    std::vector<std::uint64_t> out_counts;
+    std::vector<double> out_sums;
+    std::size_t groups = kernels::hashGroupStats(
+        ctx_, tk, tv, out_keys, out_counts, out_sums);
+    ASSERT_EQ(groups, ref.size());
+    for (std::size_t g = 0; g < groups; ++g) {
+        auto it = ref.find(out_keys[g]);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(out_counts[g], it->second.first);
+        EXPECT_NEAR(out_sums[g], it->second.second, 1e-2);
+    }
+}
+
+TEST_F(BdKernelTest, ProbabilityStatsEntropyBounds)
+{
+    TextGenerator g(11);
+    auto toks = g.generateTokens(20000, 256, 0.8);
+    TracedBuffer<std::uint32_t> buf(ctx_, std::move(toks));
+    double h = kernels::probabilityStats(ctx_, buf, 256);
+    EXPECT_GT(h, 0.0);
+    EXPECT_LE(h, 8.0 + 1e-9);  // log2(256)
+}
+
+TEST_F(BdKernelTest, ProbabilityStatsUniformHasMaxEntropy)
+{
+    std::vector<std::uint32_t> toks;
+    for (int rep = 0; rep < 100; ++rep)
+        for (std::uint32_t w = 0; w < 64; ++w)
+            toks.push_back(w);
+    TracedBuffer<std::uint32_t> buf(ctx_, std::move(toks));
+    EXPECT_NEAR(kernels::probabilityStats(ctx_, buf, 64), 6.0, 1e-9);
+}
+
+TEST_F(BdKernelTest, MinMaxScan)
+{
+    auto buf = randomU64(3000, 12);
+    auto [mn, mx] = kernels::minMaxScan(ctx_, buf);
+    EXPECT_EQ(mn, *std::min_element(buf.raw().begin(), buf.raw().end()));
+    EXPECT_EQ(mx, *std::max_element(buf.raw().begin(), buf.raw().end()));
+}
+
+TEST_F(BdKernelTest, MatMulMatchesNaive)
+{
+    const std::size_t m = 17, k = 23, n = 13;
+    Rng rng(13);
+    TracedBuffer<float> a(ctx_, m * k), b(ctx_, k * n), c(ctx_, m * n);
+    for (auto &v : a.raw())
+        v = static_cast<float>(rng.nextDouble(-1, 1));
+    for (auto &v : b.raw())
+        v = static_cast<float>(rng.nextDouble(-1, 1));
+    kernels::matMul(ctx_, a, b, c, m, k, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a.raw()[i * k + kk] * b.raw()[kk * n + j];
+            EXPECT_NEAR(c.raw()[i * n + j], acc, 1e-3);
+        }
+    }
+}
+
+TEST_F(BdKernelTest, EuclideanAssignPicksNearestCentroid)
+{
+    // Two well-separated centroids; points near each must map to it.
+    const std::size_t dim = 4;
+    std::vector<float> pts = {0, 0, 0, 0, 10, 10, 10, 10,
+                              0.5, 0, 0, 0, 9.5, 10, 10, 10};
+    std::vector<float> cents = {0, 0, 0, 0, 10, 10, 10, 10};
+    TracedBuffer<float> p(ctx_, std::move(pts));
+    TracedBuffer<float> c(ctx_, std::move(cents));
+    TracedBuffer<std::uint32_t> assign(ctx_, 4);
+    double sse = kernels::euclideanAssign(ctx_, p, 4, dim, c, 2, assign);
+    EXPECT_EQ(assign.raw()[0], 0u);
+    EXPECT_EQ(assign.raw()[1], 1u);
+    EXPECT_EQ(assign.raw()[2], 0u);
+    EXPECT_EQ(assign.raw()[3], 1u);
+    EXPECT_NEAR(sse, 0.25 + 0.25, 1e-6);
+}
+
+TEST_F(BdKernelTest, CosineSimilarityOfParallelVectorsIsOne)
+{
+    std::vector<float> rows = {1, 2, 3, 4, 2, 4, 6, 8};
+    TracedBuffer<float> buf(ctx_, std::move(rows));
+    EXPECT_NEAR(kernels::cosineSimilarity(ctx_, buf, 2, 4), 1.0, 1e-6);
+}
+
+TEST_F(BdKernelTest, FftRoundTripRecoversInput)
+{
+    const std::size_t n = 256;
+    Rng rng(14);
+    TracedBuffer<double> reim(ctx_, 2 * n);
+    std::vector<double> orig(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+        orig[i] = rng.nextDouble(-1, 1);
+        reim.raw()[i] = orig[i];
+    }
+    kernels::fftRadix2(ctx_, reim, n, false);
+    kernels::fftRadix2(ctx_, reim, n, true);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+        EXPECT_NEAR(reim.raw()[i], orig[i], 1e-9);
+}
+
+TEST_F(BdKernelTest, FftOfImpulseIsFlat)
+{
+    const std::size_t n = 64;
+    TracedBuffer<double> reim(ctx_, 2 * n);
+    std::fill(reim.raw().begin(), reim.raw().end(), 0.0);
+    reim.raw()[0] = 1.0;  // delta at t=0
+    kernels::fftRadix2(ctx_, reim, n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(reim.raw()[2 * i], 1.0, 1e-9);
+        EXPECT_NEAR(reim.raw()[2 * i + 1], 0.0, 1e-9);
+    }
+}
+
+TEST_F(BdKernelTest, FftIsFpHeavy)
+{
+    const std::size_t n = 1024;
+    TracedBuffer<double> reim(ctx_, 2 * n);
+    Rng rng(15);
+    for (auto &v : reim.raw())
+        v = rng.nextDouble(-1, 1);
+    kernels::fftRadix2(ctx_, reim, n, false);
+    KernelProfile p = ctx_.profile();
+    std::uint64_t fp =
+        p.ops[static_cast<std::size_t>(OpClass::FpAlu)] +
+        p.ops[static_cast<std::size_t>(OpClass::FpMul)];
+    EXPECT_GT(static_cast<double>(fp) /
+                  static_cast<double>(p.instructions()),
+              0.22);
+}
+
+TEST_F(BdKernelTest, DctConstantBlockConcentratesDc)
+{
+    TracedBuffer<float> samples(ctx_, 64);
+    std::fill(samples.raw().begin(), samples.raw().end(), 8.0f);
+    kernels::dct8x8Blocks(ctx_, samples);
+    // DC coefficient = 8 * 8 (sum * 1/8) = 64; all AC ~ 0.
+    EXPECT_NEAR(samples.raw()[0], 64.0f, 1e-3);
+    for (std::size_t i = 1; i < 64; ++i)
+        EXPECT_NEAR(samples.raw()[i], 0.0f, 1e-3);
+}
+
+} // namespace
+} // namespace dmpb

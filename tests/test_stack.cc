@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the hadooplite / tensorlite stacks: managed heap,
+ * MapReduce engine scheduling and extrapolation, network definitions
+ * and the parameter-server training model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "datagen/images.hh"
+#include "stack/cluster.hh"
+#include "stack/managed_heap.hh"
+#include "stack/mapreduce.hh"
+#include "stack/stack_overhead.hh"
+#include "stack/tensorlite.hh"
+
+namespace dmpb {
+namespace {
+
+TEST(Cluster, PaperConfigurations)
+{
+    ClusterConfig c5 = paperCluster5();
+    EXPECT_EQ(c5.num_nodes, 5u);
+    EXPECT_EQ(c5.slaveNodes(), 4u);
+    EXPECT_EQ(c5.totalSlots(), 4u * 12);
+    EXPECT_EQ(c5.node.memory_bytes, 32ull << 30);
+
+    ClusterConfig c3 = paperCluster3();
+    EXPECT_EQ(c3.slaveNodes(), 2u);
+    EXPECT_EQ(c3.node.memory_bytes, 64ull << 30);
+
+    ClusterConfig h3 = haswellCluster3();
+    EXPECT_NE(h3.node.name, c3.node.name);
+}
+
+TEST(ManagedHeap, TriggersGcAtYoungCapacity)
+{
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ManagedHeap heap(ctx, 1024 * 1024);
+    for (int i = 0; i < 40; ++i)
+        heap.allocate(100 * 1024);
+    // 4 MiB allocated through a 1 MiB young gen: at least 3 GCs.
+    EXPECT_GE(heap.minorGcs(), 3u);
+    EXPECT_EQ(heap.allocatedBytes(), 40u * 100 * 1024);
+}
+
+TEST(ManagedHeap, GcEmitsTraceWork)
+{
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ManagedHeap heap(ctx, 256 * 1024);
+    KernelProfile before = ctx.profile();
+    heap.allocate(10 * 1024 * 1024);
+    KernelProfile after = ctx.profile();
+    EXPECT_GT(after.instructions(), before.instructions());
+    EXPECT_GT(after.branch.branches, before.branch.branches);
+}
+
+TEST(ManagedHeap, ReleaseTracksLiveBytes)
+{
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ManagedHeap heap(ctx, 1024 * 1024);
+    heap.allocate(1000);
+    heap.release(400);
+    EXPECT_EQ(heap.liveBytes(), 600u);
+    heap.release(10000);  // over-release clamps at zero
+    EXPECT_EQ(heap.liveBytes(), 0u);
+}
+
+TEST(StackOverhead, EmitsRequestedOpVolume)
+{
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ManagedHeap heap(ctx, 1024 * 1024);
+    Rng rng(1);
+    stackManagementWork(ctx, heap, rng, 100000, 8.0);
+    // ~8 ops per byte requested; tolerance for unit rounding.
+    double ops = static_cast<double>(ctx.profile().instructions());
+    EXPECT_GT(ops, 0.8 * 800000);
+    EXPECT_LT(ops, 1.6 * 800000);
+}
+
+TEST(StackOverhead, MostlyL1Resident)
+{
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ManagedHeap heap(ctx, 64 * 1024 * 1024);  // no GC interference
+    Rng rng(2);
+    stackManagementWork(ctx, heap, rng, 500000, 8.0);
+    EXPECT_GT(ctx.profile().l1d.hitRatio(), 0.85);
+}
+
+class MapReduceTest : public ::testing::Test
+{
+  protected:
+    static MapReduceJob
+    trivialJob(std::uint64_t input)
+    {
+        MapReduceJob job;
+        job.name = "test";
+        job.input_bytes = input;
+        job.sample_bytes = 64 * 1024;
+        job.num_reducers = 8;
+        job.map_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                            std::uint64_t bytes, std::uint64_t) {
+            heap.allocate(bytes / 4);
+            ctx.emitOps(OpClass::IntAlu, bytes / 2);
+        };
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &,
+                               std::uint64_t bytes, std::uint64_t) {
+            ctx.emitOps(OpClass::IntAlu, bytes / 4);
+        };
+        return job;
+    }
+};
+
+TEST_F(MapReduceTest, SplitsAndWavesComputed)
+{
+    MapReduceEngine engine(paperCluster5());
+    MapReduceJob job = trivialJob(10ull << 30);  // 10 GiB
+    JobResult r = engine.run(job);
+    EXPECT_EQ(r.num_maps, 80u);  // 10 GiB / 128 MiB
+    EXPECT_EQ(r.map_waves, 2u);  // 80 maps / 48 slots
+    EXPECT_GT(r.runtime_s, 0.0);
+}
+
+TEST_F(MapReduceTest, MoreInputMeansLongerRuntime)
+{
+    MapReduceEngine engine(paperCluster5());
+    JobResult small = engine.run(trivialJob(4ull << 30));
+    JobResult big = engine.run(trivialJob(64ull << 30));
+    EXPECT_GT(big.runtime_s, small.runtime_s);
+}
+
+TEST_F(MapReduceTest, FewerNodesSlower)
+{
+    MapReduceJob job = trivialJob(32ull << 30);
+    JobResult on5 = MapReduceEngine(paperCluster5()).run(job);
+    JobResult on3 = MapReduceEngine(paperCluster3()).run(job);
+    EXPECT_GT(on3.runtime_s, on5.runtime_s);
+}
+
+TEST_F(MapReduceTest, IterationsMultiplyRuntime)
+{
+    MapReduceJob job = trivialJob(8ull << 30);
+    JobResult once = MapReduceEngine(paperCluster5()).run(job);
+    job.iterations = 3;
+    JobResult thrice = MapReduceEngine(paperCluster5()).run(job);
+    EXPECT_NEAR(thrice.runtime_s, 3.0 * once.runtime_s,
+                0.01 * thrice.runtime_s);
+}
+
+TEST_F(MapReduceTest, ShuffleScalesWithOutputRatio)
+{
+    MapReduceJob heavy = trivialJob(16ull << 30);
+    heavy.map_output_ratio = 1.0;
+    MapReduceJob light = trivialJob(16ull << 30);
+    light.map_output_ratio = 0.001;
+    JobResult h = MapReduceEngine(paperCluster5()).run(heavy);
+    JobResult l = MapReduceEngine(paperCluster5()).run(light);
+    EXPECT_GT(h.shuffle_time_s, 100.0 * l.shuffle_time_s);
+    EXPECT_GT(h.cluster_profile.net_bytes,
+              100 * l.cluster_profile.net_bytes);
+}
+
+TEST_F(MapReduceTest, MetricsArePerNodeRates)
+{
+    MapReduceEngine engine(paperCluster5());
+    JobResult r = engine.run(trivialJob(8ull << 30));
+    EXPECT_GT(r.metrics[Metric::Mips], 0.0);
+    EXPECT_GT(r.metrics[Metric::DiskBw], 0.0);
+    EXPECT_DOUBLE_EQ(r.metrics[Metric::Runtime], r.runtime_s);
+}
+
+TEST(LayerSpec, ConstructorsSetFields)
+{
+    LayerSpec c = LayerSpec::conv(64, 3, 2, 1);
+    EXPECT_EQ(c.type, LayerSpec::Type::Conv);
+    EXPECT_EQ(c.filters, 64u);
+    EXPECT_EQ(c.kernel, 3u);
+    EXPECT_EQ(c.stride, 2u);
+    EXPECT_EQ(c.pad, 1u);
+    EXPECT_EQ(LayerSpec::fc(100).out_dim, 100u);
+    EXPECT_DOUBLE_EQ(LayerSpec::dropout(0.3).rate, 0.3);
+}
+
+TEST(Network, AlexNetForwardShapes)
+{
+    Network net = buildAlexNet(10);
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ImageGenerator gen(1);
+    ImageBatch batch = gen.cifar10(2);
+    Shape4 out = net.forward(ctx, batch);
+    EXPECT_EQ(out.n, 2u);
+    EXPECT_EQ(out.c, 10u);  // class logits
+    EXPECT_EQ(out.h, 1u);
+    EXPECT_EQ(out.w, 1u);
+    EXPECT_GT(ctx.profile().instructions(), 1000000u);
+}
+
+TEST(Network, AlexNetParamCount)
+{
+    Network net = buildAlexNet(10);
+    std::uint64_t params = net.paramCount({1, 3, 32, 32});
+    // conv1 64*3*25 + conv2 64*64*25 + fc stack ~1.3M.
+    EXPECT_GT(params, 1000000u);
+    EXPECT_LT(params, 3000000u);
+}
+
+TEST(Network, InceptionDeeperAndWiderThanAlexNet)
+{
+    Network alex = buildAlexNet(10);
+    Network incep = buildInceptionV3(1000);
+    EXPECT_GT(incep.depth(), alex.depth());
+    EXPECT_GT(incep.paramCount({1, 3, 299, 299}),
+              5 * alex.paramCount({1, 3, 32, 32}));
+}
+
+TEST(Network, InceptionForwardProducesLogits)
+{
+    Network net = buildInceptionV3(1000);
+    MachineConfig m = westmereE5645();
+    TraceContext ctx(m);
+    ImageGenerator gen(2);
+    // Reduced resolution keeps this test fast; structure unchanged.
+    ImageBatch batch = gen.generate(1, 3, 39, 39, 1000);
+    Shape4 out = net.forward(ctx, batch);
+    EXPECT_EQ(out.c, 1000u);
+    EXPECT_EQ(out.h, 1u);
+}
+
+TEST(TensorEngine, TrainRunProducesSaneNumbers)
+{
+    Network net = buildAlexNet(10);
+    TrainJob job;
+    job.name = "alex-test";
+    job.net = &net;
+    job.total_steps = 100;
+    job.batch_size = 32;
+    job.image_dim = 32;
+    job.sample_batch = 1;
+    TensorEngine engine(paperCluster5());
+    TrainResult r = engine.run(job);
+    EXPECT_GT(r.step_time_s, 0.0);
+    EXPECT_EQ(r.steps_per_worker, 25u);
+    EXPECT_GT(r.runtime_s, r.step_time_s);
+    // AI training should be FP-heavy and disk-light.
+    EXPECT_GT(r.metrics[Metric::RatioFp], 0.15);
+    EXPECT_LT(r.metrics[Metric::DiskBw], 10e6);
+}
+
+TEST(TensorEngine, MoreStepsLongerRuntime)
+{
+    Network net = buildAlexNet(10);
+    TrainJob job;
+    job.name = "alex-steps";
+    job.net = &net;
+    job.batch_size = 32;
+    job.image_dim = 32;
+    job.sample_batch = 1;
+    TensorEngine engine(paperCluster5());
+    job.total_steps = 100;
+    TrainResult a = engine.run(job);
+    job.total_steps = 400;
+    TrainResult b = engine.run(job);
+    EXPECT_GT(b.runtime_s, 2.0 * a.runtime_s);
+}
+
+TEST(TensorEngine, HaswellFasterThanWestmere)
+{
+    Network net = buildAlexNet(10);
+    TrainJob job;
+    job.name = "alex-arch";
+    job.net = &net;
+    job.total_steps = 100;
+    job.batch_size = 32;
+    job.image_dim = 32;
+    job.sample_batch = 1;
+    TrainResult w = TensorEngine(paperCluster3()).run(job);
+    TrainResult h = TensorEngine(haswellCluster3()).run(job);
+    EXPECT_LT(h.runtime_s, w.runtime_s);
+}
+
+} // namespace
+} // namespace dmpb

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the five reference workloads: decompositions reference
+ * real motifs (Table III), workload patterns match the paper's
+ * characterisation (Section III-A), and the data-input effects of
+ * Section IV-A reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "motifs/motif.hh"
+#include "workloads/workload.hh"
+
+namespace dmpb {
+namespace {
+
+/** Scaled-down inputs so the whole suite stays fast. */
+std::vector<std::unique_ptr<Workload>>
+smallWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.push_back(makeTeraSort(4ULL << 30));
+    out.push_back(makeKMeans(4ULL << 30, 0.9));
+    out.push_back(makePageRank(1ULL << 20));
+    out.push_back(makeAlexNet(200, 64));
+    out.push_back(makeInceptionV3(40, 8));
+    return out;
+}
+
+TEST(Workloads, FiveWorkloadsWithPaperNames)
+{
+    auto all = makePaperWorkloads();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0]->name(), "Hadoop TeraSort");
+    EXPECT_EQ(all[1]->name(), "Hadoop K-means");
+    EXPECT_EQ(all[2]->name(), "Hadoop PageRank");
+    EXPECT_EQ(all[3]->name(), "TensorFlow AlexNet");
+    EXPECT_EQ(all[4]->name(), "TensorFlow Inception-V3");
+}
+
+TEST(Workloads, DecompositionsReferenceRegisteredMotifs)
+{
+    for (const auto &w : makePaperWorkloads()) {
+        double sum = 0.0;
+        for (const MotifWeight &mw : w->decomposition()) {
+            EXPECT_NE(findMotif(mw.motif), nullptr)
+                << w->name() << " -> " << mw.motif;
+            EXPECT_GT(mw.weight, 0.0);
+            sum += mw.weight;
+        }
+        EXPECT_NEAR(sum, 1.0, 0.02) << w->name();
+    }
+}
+
+TEST(Workloads, AiDecompositionsUseAiMotifs)
+{
+    auto all = makePaperWorkloads();
+    for (std::size_t i : {3u, 4u}) {
+        for (const MotifWeight &mw : all[i]->decomposition())
+            EXPECT_TRUE(findMotif(mw.motif)->isAi()) << mw.motif;
+    }
+}
+
+TEST(Workloads, TeraSortIsIoIntensive)
+{
+    auto w = makeTeraSort(8ULL << 30);
+    WorkloadResult r = w->run(paperCluster5());
+    // Section III-A: TeraSort is the I/O-intensive workload.
+    EXPECT_GT(r.metrics[Metric::DiskBw], 20e6);
+    EXPECT_LT(r.metrics[Metric::RatioFp], 0.02);
+}
+
+TEST(Workloads, KMeansIsFpAndCpuIntensive)
+{
+    auto w = makeKMeans(4ULL << 30, 0.9);
+    WorkloadResult r = w->run(paperCluster5());
+    EXPECT_GT(r.metrics[Metric::RatioFp], 0.05);
+    // CPU-intensive: far less disk pressure than TeraSort.
+    auto ts = makeTeraSort(4ULL << 30)->run(paperCluster5());
+    EXPECT_LT(r.metrics[Metric::DiskBw], ts.metrics[Metric::DiskBw]);
+}
+
+TEST(Workloads, AiWorkloadsAreFpHeavyAndDiskLight)
+{
+    auto w = makeAlexNet(100, 64);
+    WorkloadResult r = w->run(paperCluster5());
+    EXPECT_GT(r.metrics[Metric::RatioFp], 0.15);
+    EXPECT_LT(r.metrics[Metric::DiskBw], 5e6);
+    EXPECT_LT(r.metrics[Metric::BranchMiss], 0.05);
+}
+
+TEST(Workloads, DenseKMeansRaisesMemoryBandwidth)
+{
+    // The Fig. 7 effect at test scale: dense input sustains clearly
+    // more memory bandwidth than 90%-sparse input.
+    auto sparse = makeKMeans(2ULL << 30, 0.9)->run(paperCluster5());
+    auto dense = makeKMeans(2ULL << 30, 0.0)->run(paperCluster5());
+    // Direction matches the paper (dense > sparse); the magnitude is
+    // understated at simulated scale because our K-means job is more
+    // disk-bound than Mahout's (see EXPERIMENTS.md, Fig. 7).
+    EXPECT_GT(dense.metrics[Metric::MemTotalBw],
+              1.05 * sparse.metrics[Metric::MemTotalBw]);
+}
+
+TEST(Workloads, RuntimeScalesWithInput)
+{
+    auto small = makeTeraSort(2ULL << 30)->run(paperCluster5());
+    auto large = makeTeraSort(16ULL << 30)->run(paperCluster5());
+    EXPECT_GT(large.runtime_s, 2.0 * small.runtime_s);
+}
+
+TEST(Workloads, ThreeNodeClusterSlower)
+{
+    auto w = makeTeraSort(8ULL << 30);
+    auto on5 = w->run(paperCluster5());
+    auto on3 = w->run(paperCluster3());
+    EXPECT_GT(on3.runtime_s, on5.runtime_s);
+}
+
+TEST(Workloads, HaswellSpeedsUpEveryWorkload)
+{
+    for (const auto &w : smallWorkloads()) {
+        auto west = w->run(paperCluster3());
+        auto has = w->run(haswellCluster3());
+        double sp = west.runtime_s / has.runtime_s;
+        EXPECT_GT(sp, 1.0) << w->name();
+        EXPECT_LT(sp, 2.5) << w->name();
+    }
+}
+
+TEST(Workloads, MetricsDeterministicAcrossRuns)
+{
+    auto w = makePageRank(1ULL << 20);
+    auto a = w->run(paperCluster5());
+    auto b = w->run(paperCluster5());
+    // Cache ratios carry a <0.1% allocator-address wobble; op counts
+    // and the job model are exactly reproducible.
+    EXPECT_NEAR(a.runtime_s, b.runtime_s, 0.01 * a.runtime_s);
+    EXPECT_NEAR(a.metrics[Metric::Ipc], b.metrics[Metric::Ipc], 0.01);
+    EXPECT_NEAR(a.metrics[Metric::L1dHit], b.metrics[Metric::L1dHit],
+                0.002);
+}
+
+TEST(Workloads, ProxyDataBytesAreScaledDownInputs)
+{
+    for (const auto &w : makePaperWorkloads()) {
+        EXPECT_GE(w->proxyDataBytes(), 4 * kMiB) << w->name();
+        EXPECT_LE(w->proxyDataBytes(), 256 * kMiB) << w->name();
+    }
+}
+
+TEST(Workloads, KMeansExposesSparsity)
+{
+    EXPECT_DOUBLE_EQ(makeKMeans(1 << 30, 0.9)->inputSparsity(), 0.9);
+    EXPECT_DOUBLE_EQ(makeKMeans(1 << 30, 0.0)->inputSparsity(), 0.0);
+    EXPECT_DOUBLE_EQ(makeTeraSort(1 << 30)->inputSparsity(), 0.0);
+}
+
+} // namespace
+} // namespace dmpb
