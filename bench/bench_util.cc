@@ -1,11 +1,19 @@
 #include "bench/bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
 namespace dmpb {
 namespace bench {
+
+bool
+quickMode()
+{
+    const char *v = std::getenv("DMPB_BENCH_QUICK");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
 
 std::string
 shortName(const std::string &workload_name)
@@ -68,8 +76,11 @@ saveReal(const std::string &tag, const RealRef &ref)
 
 RealRef
 realReference(const Workload &workload, const ClusterConfig &cluster,
-              const std::string &tag)
+              const std::string &raw_tag)
 {
+    // Quick-mode artefacts live under distinct keys so a smoke run
+    // never poisons the full-size cache (and vice versa).
+    std::string tag = quickMode() ? "quick_" + raw_tag : raw_tag;
     RealRef ref;
     ref.name = workload.name();
     if (loadReal(tag, ref))
@@ -90,9 +101,16 @@ tunedProxy(const Workload &workload, const ClusterConfig &cluster,
     RealRef real = realReference(workload, cluster, tag);
     ProxyBenchmark proxy = decomposeWorkload(workload);
     TunerConfig config;
+    std::string key = "proxy_" + tag;
+    if (quickMode()) {
+        config.max_iterations = 6;
+        config.impact_samples = 1;
+        config.trace_cap = 256 * 1024;
+        key = "quick_" + key;
+    }
     TunerReport report =
-        tuneWithCache(defaultCacheDir(), "proxy_" + tag, proxy,
-                      real.metrics, cluster.node, config);
+        tuneWithCache(defaultCacheDir(), key, proxy, real.metrics,
+                      cluster.node, config);
     return ProxyBundle{std::move(proxy), std::move(report),
                        std::move(real)};
 }
@@ -100,7 +118,8 @@ tunedProxy(const Workload &workload, const ClusterConfig &cluster,
 std::vector<std::unique_ptr<Workload>>
 paperWorkloads()
 {
-    return makePaperWorkloads();
+    return quickMode() ? makeQuickPaperWorkloads()
+                       : makePaperWorkloads();
 }
 
 } // namespace bench

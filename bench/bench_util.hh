@@ -27,6 +27,13 @@
 namespace dmpb {
 namespace bench {
 
+/**
+ * True when DMPB_BENCH_QUICK is set in the environment: benches use
+ * the ~1000x-smaller quick workloads, a light tuner budget, and
+ * separate cache keys. The CI smoke step runs benches this way.
+ */
+bool quickMode();
+
 /** Cached reference measurement of a real workload. */
 struct RealRef
 {

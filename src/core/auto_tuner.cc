@@ -109,14 +109,19 @@ AutoTuner::tune(ProxyBenchmark &proxy, const MachineConfig &machine)
             samples_y_[m].push_back(r.metrics[m]);
         return r;
     };
+    auto stopping = [&]() {
+        return config_.should_stop && config_.should_stop();
+    };
 
     // ---- Impact analysis: one-at-a-time parameter sweeps covering
     // the range ends (the tuner must know what *low* weights do).
     ProxyResult current = evaluate();
-    for (std::size_t pi = 0; pi < param_space_.size(); ++pi) {
+    for (std::size_t pi = 0; pi < param_space_.size() && !stopping();
+         ++pi) {
         const TunableParam &p = param_space_[pi];
         double original = proxy.parameter(p.name);
-        for (std::uint32_t s = 0; s < config_.impact_samples; ++s) {
+        for (std::uint32_t s = 0;
+             s < config_.impact_samples && !stopping(); ++s) {
             double frac =
                 config_.impact_samples == 1
                     ? 0.5
@@ -149,6 +154,8 @@ AutoTuner::tune(ProxyBenchmark &proxy, const MachineConfig &machine)
     };
     for (std::uint32_t iter = 0; iter < config_.max_iterations;
          ++iter) {
+        if (stopping())
+            break;
         report.iterations = iter + 1;
         if (best_score <= config_.threshold)
             break;

@@ -20,6 +20,7 @@
 #define DMPB_CORE_AUTO_TUNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +45,11 @@ struct TunerConfig
     /** Per-edge traced-byte cap for proxy evaluations. */
     std::uint64_t trace_cap = 2 * 1024 * 1024;
     std::uint64_t seed = 99;
+    /** Cooperative stop: polled before each proxy evaluation; when it
+     *  returns true the tuner finishes early with whatever it has
+     *  (reported unqualified unless already within the gate). Used by
+     *  the suite runner to enforce per-workload deadlines. */
+    std::function<bool()> should_stop;
 };
 
 /** Outcome of a tuning session. */

@@ -27,6 +27,12 @@ struct Graph
     std::vector<std::uint64_t> out_offset;
     std::vector<std::uint32_t> out_edges;
 
+    /** Simulated trace addresses of the CSR arrays, assigned by the
+     *  traced code that materialises or adopts the graph (via
+     *  TraceContext::virtualAlloc); 0 until then. */
+    std::uint64_t out_offset_va = 0;
+    std::uint64_t out_edges_va = 0;
+
     std::uint64_t numEdges() const { return out_edges.size(); }
     std::uint64_t outDegree(std::uint64_t v) const
     {

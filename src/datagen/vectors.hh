@@ -36,6 +36,14 @@ struct VectorDataset
     std::vector<float> csr_val;
     /** @} */
 
+    /** @{ Simulated trace addresses of the CSR arrays, assigned by
+     *  the traced code that adopts the data set (via
+     *  TraceContext::virtualAlloc); 0 until then. */
+    std::uint64_t csr_col_va = 0;
+    std::uint64_t csr_row_offset_va = 0;
+    std::uint64_t csr_val_va = 0;
+    /** @} */
+
     const float *row(std::size_t i) const { return &dense[i * dim]; }
     std::uint64_t denseBytes() const { return dense.size() * sizeof(float); }
     std::uint64_t nonZeros() const { return csr_val.size(); }

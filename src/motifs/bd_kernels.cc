@@ -169,34 +169,43 @@ graphConstruct(TraceContext &ctx,
 {
     Graph g;
     g.num_vertices = num_vertices;
+    constexpr std::uint64_t kEdgeStride =
+        sizeof(std::pair<std::uint32_t, std::uint32_t>);
+    VirtualRange edges_va(ctx, edges.size() * kEdgeStride);
     std::vector<std::uint64_t> degree(num_vertices, 0);
+    VirtualRange degree_va(ctx, num_vertices * 8);
     // Counting pass.
-    for (const auto &e : edges) {
-        ctx.emitLoad(&e, sizeof(e));
-        ctx.emitLoad(&degree[e.first], 8);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto &e = edges[i];
+        ctx.emitLoadAddr(edges_va.addr(i, kEdgeStride), kEdgeStride);
+        ctx.emitLoadAddr(degree_va.addr(e.first), 8);
         ++degree[e.first];
-        ctx.emitStore(&degree[e.first], 8);
+        ctx.emitStoreAddr(degree_va.addr(e.first), 8);
         ctx.emitOps(OpClass::IntAlu, 1);
     }
     // Prefix sum.
     g.out_offset.resize(num_vertices + 1, 0);
+    g.out_offset_va = ctx.virtualAlloc((num_vertices + 1) * 8);
     for (std::uint64_t v = 0; v < num_vertices; ++v) {
-        ctx.emitLoad(&degree[v], 8);
+        ctx.emitLoadAddr(degree_va.addr(v), 8);
         g.out_offset[v + 1] = g.out_offset[v] + degree[v];
         ctx.emitOps(OpClass::IntAlu, 1);
-        ctx.emitStore(&g.out_offset[v + 1], 8);
+        ctx.emitStoreAddr(g.out_offset_va + (v + 1) * 8, 8);
     }
     // Scatter pass.
     g.out_edges.resize(edges.size());
+    g.out_edges_va = ctx.virtualAlloc(edges.size() * 4);
     std::vector<std::uint64_t> cursor(g.out_offset.begin(),
                                       g.out_offset.end() - 1);
-    for (const auto &e : edges) {
-        ctx.emitLoad(&e, sizeof(e));
-        ctx.emitLoad(&cursor[e.first], 8);
+    VirtualRange cursor_va(ctx, cursor.size() * 8);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto &e = edges[i];
+        ctx.emitLoadAddr(edges_va.addr(i, kEdgeStride), kEdgeStride);
+        ctx.emitLoadAddr(cursor_va.addr(e.first), 8);
         std::uint64_t pos = cursor[e.first]++;
-        ctx.emitStore(&cursor[e.first], 8);
+        ctx.emitStoreAddr(cursor_va.addr(e.first), 8);
         g.out_edges[pos] = e.second;
-        ctx.emitStore(&g.out_edges[pos], 4);
+        ctx.emitStoreAddr(g.out_edges_va + pos * 4, 4);
         ctx.emitOps(OpClass::IntAlu, 1);
     }
     return g;
@@ -204,29 +213,32 @@ graphConstruct(TraceContext &ctx,
 
 std::uint64_t
 graphBfs(TraceContext &ctx, const Graph &g, std::uint32_t root,
-         std::vector<std::uint8_t> &visited)
+         std::vector<std::uint8_t> &visited,
+         std::uint64_t visited_va)
 {
     dmpb_assert(visited.size() >= g.num_vertices,
                 "visited bitmap too small");
+    dmpb_assert(g.out_offset_va != 0 && g.out_edges_va != 0,
+                "graph has no trace addresses");
     std::vector<std::uint32_t> frontier, next;
     frontier.push_back(root);
     visited[root] = 1;
-    ctx.emitStore(&visited[root], 1);
+    ctx.emitStoreAddr(visited_va + root, 1);
     std::uint64_t reached = 1;
     while (!frontier.empty()) {
         next.clear();
         for (std::uint32_t v : frontier) {
-            ctx.emitLoad(&g.out_offset[v], 16);
+            ctx.emitLoadAddr(g.out_offset_va + v * 8, 16);
             std::uint64_t b = g.out_offset[v], e = g.out_offset[v + 1];
             for (std::uint64_t i = b; i < e; ++i) {
                 std::uint32_t t = g.out_edges[i];
-                ctx.emitLoad(&g.out_edges[i], 4);
-                ctx.emitLoad(&visited[t], 1);
+                ctx.emitLoadAddr(g.out_edges_va + i * 4, 4);
+                ctx.emitLoadAddr(visited_va + t, 1);
                 bool seen = visited[t] != 0;
                 DMPB_BR(ctx, seen);
                 if (!seen) {
                     visited[t] = 1;
-                    ctx.emitStore(&visited[t], 1);
+                    ctx.emitStoreAddr(visited_va + t, 1);
                     next.push_back(t);
                     ++reached;
                 }
@@ -319,7 +331,7 @@ md5Digest(TraceContext &ctx, const TracedBuffer<std::uint8_t> &data)
     std::size_t full = n / 64;
     for (std::size_t blk = 0; blk < full; ++blk) {
         for (int w = 0; w < 16; ++w) {
-            ctx.emitLoad(raw + blk * 64 + w * 4, 4);
+            ctx.emitLoadAddr(data.elemAddr(blk * 64 + w * 4), 4);
             std::memcpy(&m[w], raw + blk * 64 + w * 4, 4);
         }
         md5Block(ctx, st, m);
@@ -329,7 +341,7 @@ md5Digest(TraceContext &ctx, const TracedBuffer<std::uint8_t> &data)
     std::uint8_t tail[128] = {};
     std::size_t rem = n - full * 64;
     for (std::size_t i = 0; i < rem; ++i) {
-        ctx.emitLoad(raw + full * 64 + i, 1);
+        ctx.emitLoadAddr(data.elemAddr(full * 64 + i), 1);
         tail[i] = raw[full * 64 + i];
     }
     tail[rem] = 0x80;
@@ -474,6 +486,7 @@ hashGroupStats(TraceContext &ctx, const TracedBuffer<std::uint32_t> &keys,
     };
     std::size_t cap = std::bit_ceil(keys.size() * 2 + 16);
     std::vector<Slot> table(cap);
+    VirtualRange table_va(ctx, cap * sizeof(Slot));
     const std::uint64_t mask = cap - 1;
 
     for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -483,7 +496,8 @@ hashGroupStats(TraceContext &ctx, const TracedBuffer<std::uint32_t> &keys,
         ctx.emitOps(OpClass::IntAlu, 3);  // hash + mask
         for (;;) {
             Slot &slot = table[h];
-            ctx.emitLoad(&slot, sizeof(Slot));
+            ctx.emitLoadAddr(table_va.addr(h, sizeof(Slot)),
+                             sizeof(Slot));
             bool hit = slot.key == key;
             DMPB_BR(ctx, hit);
             if (hit) {
@@ -491,7 +505,8 @@ hashGroupStats(TraceContext &ctx, const TracedBuffer<std::uint32_t> &keys,
                 slot.sum += val;
                 ctx.emitOps(OpClass::IntAlu, 1);
                 ctx.emitOps(OpClass::FpAlu, 1);
-                ctx.emitStore(&slot, sizeof(Slot));
+                ctx.emitStoreAddr(table_va.addr(h, sizeof(Slot)),
+                                  sizeof(Slot));
                 break;
             }
             bool empty = slot.key == kEmpty;
@@ -500,7 +515,8 @@ hashGroupStats(TraceContext &ctx, const TracedBuffer<std::uint32_t> &keys,
                 slot.key = key;
                 slot.count = 1;
                 slot.sum = val;
-                ctx.emitStore(&slot, sizeof(Slot));
+                ctx.emitStoreAddr(table_va.addr(h, sizeof(Slot)),
+                                  sizeof(Slot));
                 break;
             }
             h = (h + 1) & mask;
@@ -511,8 +527,10 @@ hashGroupStats(TraceContext &ctx, const TracedBuffer<std::uint32_t> &keys,
     out_keys.clear();
     out_counts.clear();
     out_sums.clear();
-    for (const Slot &slot : table) {
-        ctx.emitLoad(&slot, sizeof(Slot));
+    for (std::size_t s = 0; s < table.size(); ++s) {
+        const Slot &slot = table[s];
+        ctx.emitLoadAddr(table_va.addr(s, sizeof(Slot)),
+                         sizeof(Slot));
         bool used = slot.key != kEmpty;
         DMPB_BR(ctx, used);
         if (used) {
@@ -530,18 +548,19 @@ probabilityStats(TraceContext &ctx,
                  std::uint32_t vocab)
 {
     std::vector<std::uint64_t> hist(vocab, 0);
+    VirtualRange hist_va(ctx, static_cast<std::uint64_t>(vocab) * 8);
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         std::uint32_t t = tokens.rd(i);
         dmpb_assert(t < vocab, "token outside vocabulary");
-        ctx.emitLoad(&hist[t], 8);
+        ctx.emitLoadAddr(hist_va.addr(t), 8);
         ++hist[t];
-        ctx.emitStore(&hist[t], 8);
+        ctx.emitStoreAddr(hist_va.addr(t), 8);
         ctx.emitOps(OpClass::IntAlu, 1);
     }
     double total = static_cast<double>(tokens.size());
     double entropy = 0.0;
     for (std::uint32_t w = 0; w < vocab; ++w) {
-        ctx.emitLoad(&hist[w], 8);
+        ctx.emitLoadAddr(hist_va.addr(w), 8);
         bool nonzero = hist[w] != 0;
         DMPB_BR(ctx, nonzero);
         if (nonzero) {
@@ -700,6 +719,7 @@ fftRadix2(TraceContext &ctx, TracedBuffer<double> &reim, std::size_t n,
 
     // Twiddle table (setup; accesses during butterflies are traced).
     std::vector<double> tw_re(n / 2), tw_im(n / 2);
+    VirtualRange tw_re_va(ctx, n / 2 * 8), tw_im_va(ctx, n / 2 * 8);
     double sign = inverse ? 1.0 : -1.0;
     for (std::size_t k = 0; k < n / 2; ++k) {
         double ang = sign * 2.0 * M_PI * static_cast<double>(k) /
@@ -714,8 +734,8 @@ fftRadix2(TraceContext &ctx, TracedBuffer<double> &reim, std::size_t n,
             for (std::size_t k = 0; k < len / 2; ++k) {
                 std::size_t a = i + k, b = i + k + len / 2;
                 std::size_t tw = k * step;
-                ctx.emitLoad(&tw_re[tw], 8);
-                ctx.emitLoad(&tw_im[tw], 8);
+                ctx.emitLoadAddr(tw_re_va.addr(tw), 8);
+                ctx.emitLoadAddr(tw_im_va.addr(tw), 8);
                 double ar = reim.rd(2 * a), ai = reim.rd(2 * a + 1);
                 double br = reim.rd(2 * b), bi = reim.rd(2 * b + 1);
                 double tr = br * tw_re[tw] - bi * tw_im[tw];
@@ -758,6 +778,8 @@ dct8x8Blocks(TraceContext &ctx, TracedBuffer<float> &samples)
 
     std::size_t blocks = samples.size() / 64;
     float tmp[64], out[64];
+    VirtualRange basis_va(ctx, 64 * 4);
+    VirtualRange tmp_va(ctx, 64 * 4), out_va(ctx, 64 * 4);
     for (std::size_t b = 0; b < blocks; ++b) {
         std::size_t base = b * 64;
         // Row transform.
@@ -766,13 +788,13 @@ dct8x8Blocks(TraceContext &ctx, TracedBuffer<float> &samples)
                 float acc = 0.0f;
                 for (int x = 0; x < 8; ++x) {
                     float v = samples.rd(base + r * 8 + x);
-                    ctx.emitLoad(&basis[k][x], 4);
+                    ctx.emitLoadAddr(basis_va.addr(k * 8 + x, 4), 4);
                     acc += v * basis[k][x];
                     ctx.emitOps(OpClass::FpMul, 1);
                     ctx.emitOps(OpClass::FpAlu, 1);
                 }
                 tmp[k * 8 + r] = acc;  // transpose as we go
-                ctx.emitStore(&tmp[k * 8 + r], 4);
+                ctx.emitStoreAddr(tmp_va.addr(k * 8 + r, 4), 4);
             }
         }
         // Column transform (on the transposed rows).
@@ -780,14 +802,14 @@ dct8x8Blocks(TraceContext &ctx, TracedBuffer<float> &samples)
             for (int k = 0; k < 8; ++k) {
                 float acc = 0.0f;
                 for (int x = 0; x < 8; ++x) {
-                    ctx.emitLoad(&tmp[r * 8 + x], 4);
-                    ctx.emitLoad(&basis[k][x], 4);
+                    ctx.emitLoadAddr(tmp_va.addr(r * 8 + x, 4), 4);
+                    ctx.emitLoadAddr(basis_va.addr(k * 8 + x, 4), 4);
                     acc += tmp[r * 8 + x] * basis[k][x];
                     ctx.emitOps(OpClass::FpMul, 1);
                     ctx.emitOps(OpClass::FpAlu, 1);
                 }
                 out[k * 8 + r] = acc;
-                ctx.emitStore(&out[k * 8 + r], 4);
+                ctx.emitStoreAddr(out_va.addr(k * 8 + r, 4), 4);
             }
         }
         for (int i = 0; i < 64; ++i)

@@ -64,11 +64,16 @@ Graph graphConstruct(TraceContext &ctx,
 
 /**
  * Traced breadth-first traversal from @p root.
+ *
+ * @p visited_va is the simulated address of the caller-owned
+ * @p visited bitmap (one byte per vertex); the graph's CSR arrays
+ * must carry their own trace addresses (out_offset_va/out_edges_va).
  * @return number of vertices reached (root included).
  */
 std::uint64_t graphBfs(TraceContext &ctx, const Graph &g,
                        std::uint32_t root,
-                       std::vector<std::uint8_t> &visited);
+                       std::vector<std::uint8_t> &visited,
+                       std::uint64_t visited_va);
 
 /** @} */
 

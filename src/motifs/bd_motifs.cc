@@ -29,11 +29,14 @@ chunkCount(std::uint64_t total, std::uint64_t chunk)
 /** Load gensort records and extract traced 64-bit key prefixes. */
 TracedBuffer<std::uint64_t>
 loadKeyPrefixes(TraceContext &ctx,
-                const std::vector<GensortRecord> &records)
+                const std::vector<GensortRecord> &records,
+                const VirtualRange &records_va)
 {
     TracedBuffer<std::uint64_t> keys(ctx, records.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
-        ctx.emitLoad(records[i].key.data(), GensortRecord::kKeyBytes);
+        ctx.emitLoadAddr(records_va.addr(i,
+                                         GensortRecord::kRecordBytes),
+                         GensortRecord::kKeyBytes);
         ctx.emitOps(OpClass::IntAlu, 2);  // byte assembly
         keys.wr(i, records[i].keyPrefix());
     }
@@ -43,16 +46,22 @@ loadKeyPrefixes(TraceContext &ctx,
 /** Gather pass: move whole records into sorted order (traced). */
 std::uint64_t
 gatherRecords(TraceContext &ctx, const std::vector<GensortRecord> &in,
+              const VirtualRange &in_va,
               const std::vector<std::uint32_t> &order,
               std::vector<GensortRecord> &out)
 {
     std::uint64_t checksum = 0;
     out.resize(in.size());
+    VirtualRange out_va(ctx,
+                        out.size() * GensortRecord::kRecordBytes);
     for (std::size_t i = 0; i < order.size(); ++i) {
         const GensortRecord &r = in[order[i]];
-        ctx.emitLoad(&r, GensortRecord::kRecordBytes);
+        ctx.emitLoadAddr(in_va.addr(order[i],
+                                    GensortRecord::kRecordBytes),
+                         GensortRecord::kRecordBytes);
         out[i] = r;
-        ctx.emitStore(&out[i], GensortRecord::kRecordBytes);
+        ctx.emitStoreAddr(out_va.addr(i, GensortRecord::kRecordBytes),
+                          GensortRecord::kRecordBytes);
         checksum = checksumMix(checksum, r.keyPrefix());
     }
     return checksum;
@@ -76,7 +85,9 @@ QuickSortMotif::run(TraceContext &ctx, const MotifParams &p) const
     while (done < total_records) {
         std::size_t n = std::min(per_chunk, total_records - done);
         auto records = gen.generate(n);
-        auto keys = loadKeyPrefixes(ctx, records);
+        VirtualRange records_va(ctx,
+                                n * GensortRecord::kRecordBytes);
+        auto keys = loadKeyPrefixes(ctx, records, records_va);
 
         // Sort (key, index) pairs: pack the index into the low bits.
         TracedBuffer<std::uint64_t> tagged(ctx, n);
@@ -92,8 +103,9 @@ QuickSortMotif::run(TraceContext &ctx, const MotifParams &p) const
             order[i] = static_cast<std::uint32_t>(tagged.rd(i) &
                                                   0xffffff);
         std::vector<GensortRecord> sorted;
-        checksum = checksumMix(checksum,
-                               gatherRecords(ctx, records, order, sorted));
+        checksum = checksumMix(
+            checksum,
+            gatherRecords(ctx, records, records_va, order, sorted));
         done += n;
     }
     return checksum;
@@ -113,7 +125,9 @@ MergeSortMotif::run(TraceContext &ctx, const MotifParams &p) const
     while (done < total_records) {
         std::size_t n = std::min(per_chunk, total_records - done);
         auto records = gen.generate(n);
-        auto keys = loadKeyPrefixes(ctx, records);
+        VirtualRange records_va(ctx,
+                                n * GensortRecord::kRecordBytes);
+        auto keys = loadKeyPrefixes(ctx, records, records_va);
         kernels::mergeSortU64(ctx, keys);
         for (std::size_t i = 0; i < n; i += 64)
             checksum = checksumMix(checksum, keys.rd(i));
@@ -189,7 +203,12 @@ GraphTraverseMotif::run(TraceContext &ctx, const MotifParams &p) const
         std::max<std::uint64_t>(64, p.data_size / 64);
     GraphGenerator gen(p.seed);
     Graph g = gen.generate(vertices, 8.0, 0.6);
+    // The generator is untraced; adopt the CSR arrays into this
+    // context's simulated address space for the traversal.
+    g.out_offset_va = ctx.virtualAlloc(g.out_offset.size() * 8);
+    g.out_edges_va = ctx.virtualAlloc(g.out_edges.size() * 4);
     std::vector<std::uint8_t> visited(vertices, 0);
+    VirtualRange visited_va(ctx, vertices);
     std::uint64_t reached_total = 0;
     Rng rng(p.seed ^ 0x77ULL);
     // BFS waves from random roots until most of the graph is covered.
@@ -197,7 +216,8 @@ GraphTraverseMotif::run(TraceContext &ctx, const MotifParams &p) const
         auto root = static_cast<std::uint32_t>(rng.nextU64(vertices));
         if (visited[root])
             continue;
-        reached_total += kernels::graphBfs(ctx, g, root, visited);
+        reached_total += kernels::graphBfs(ctx, g, root, visited,
+                                           visited_va.base());
     }
     return checksumMix(reached_total, vertices);
 }
@@ -440,6 +460,10 @@ EuclideanDistanceMotif::run(TraceContext &ctx, const MotifParams &p) const
 
     // Sparse input: honour the data pattern -- CSR traversal with
     // per-centroid partial-sum accumulation, like sparse K-means.
+    ds.csr_row_offset_va =
+        ctx.virtualAlloc(ds.csr_row_offset.size() * 8);
+    ds.csr_col_va = ctx.virtualAlloc(ds.csr_col.size() * 4);
+    ds.csr_val_va = ctx.virtualAlloc(ds.csr_val.size() * 4);
     std::vector<double> cent_norm(kCentroids, 0.0);
     for (std::size_t c = 0; c < kCentroids; ++c)
         for (std::size_t d = 0; d < kDim; ++d)
@@ -447,18 +471,19 @@ EuclideanDistanceMotif::run(TraceContext &ctx, const MotifParams &p) const
                                 centroids.raw()[c * kDim + d]) *
                             centroids.raw()[c * kDim + d];
     std::vector<double> sums(kCentroids * kDim, 0.0);
+    VirtualRange sums_va(ctx, sums.size() * 8);
     double sse = 0.0;
     for (std::size_t i = 0; i < ds.num_vectors; ++i) {
         std::uint64_t b = ds.csr_row_offset[i];
         std::uint64_t e = ds.csr_row_offset[i + 1];
-        ctx.emitLoad(&ds.csr_row_offset[i], 16);
+        ctx.emitLoadAddr(ds.csr_row_offset_va + i * 8, 16);
         double best = 1e300;
         std::uint32_t best_c = 0;
         for (std::size_t c = 0; c < kCentroids; ++c) {
             double dot = 0.0, pnorm = 0.0;
             for (std::uint64_t k = b; k < e; ++k) {
-                ctx.emitLoad(&ds.csr_col[k], 4);
-                ctx.emitLoad(&ds.csr_val[k], 4);
+                ctx.emitLoadAddr(ds.csr_col_va + k * 4, 4);
+                ctx.emitLoadAddr(ds.csr_val_va + k * 4, 4);
                 float cv = centroids.rd(c * kDim + ds.csr_col[k]);
                 dot += static_cast<double>(ds.csr_val[k]) * cv;
                 pnorm += static_cast<double>(ds.csr_val[k]) *
@@ -476,10 +501,10 @@ EuclideanDistanceMotif::run(TraceContext &ctx, const MotifParams &p) const
             }
         }
         for (std::uint64_t k = b; k < e; ++k) {
-            double &slot = sums[best_c * kDim + ds.csr_col[k]];
-            ctx.emitLoad(&slot, 8);
-            slot += ds.csr_val[k];
-            ctx.emitStore(&slot, 8);
+            std::size_t s = best_c * kDim + ds.csr_col[k];
+            ctx.emitLoadAddr(sums_va.addr(s), 8);
+            sums[s] += ds.csr_val[k];
+            ctx.emitStoreAddr(sums_va.addr(s), 8);
             ctx.emitOps(OpClass::FpAlu, 1);
         }
         assign.wr(i, best_c);

@@ -11,19 +11,35 @@
 #include "base/rng.hh"
 #include "sim/trace.hh"
 
-/**
- * Emit a conditional branch with a unique per-call-site id.
- *
- * The id is derived from the address of a function-local static, so
- * each textual occurrence is a distinct "static branch" for the
- * predictor, like a distinct PC in real code.
- */
+namespace dmpb {
+
+/** Compile-time FNV-1a hash of a branch site (file + line), so each
+ *  textual occurrence is a distinct "static branch" for the predictor
+ *  -- like a distinct PC in real code, but independent of where the
+ *  loader maps the binary (a static's address would shift with ASLR
+ *  and make predictor aliasing, and thus the misprediction ratio,
+ *  vary from run to run). */
+constexpr std::uint64_t
+branchSiteHash(const char *file, unsigned line)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char *p = file; *p != '\0'; ++p)
+        h = (h ^ static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(*p))) *
+            0x100000001b3ULL;
+    h = (h ^ line) * 0x100000001b3ULL;
+    return h;
+}
+
+} // namespace dmpb
+
+/** Emit a conditional branch with a unique, deterministic
+ *  per-call-site id. */
 #define DMPB_BR(ctx, taken)                                               \
     do {                                                                  \
-        static const int _dmpb_site_anchor = 0;                           \
-        (ctx).emitBranch(::dmpb::mix64(reinterpret_cast<std::uint64_t>(   \
-                             &_dmpb_site_anchor)),                        \
-                         (taken));                                        \
+        constexpr std::uint64_t _dmpb_site =                              \
+            ::dmpb::branchSiteHash(__FILE__, __LINE__);                   \
+        (ctx).emitBranch(_dmpb_site, (taken));                            \
     } while (0)
 
 namespace dmpb {

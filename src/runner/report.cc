@@ -1,0 +1,257 @@
+#include "runner/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "sim/metrics.hh"
+
+namespace dmpb {
+
+namespace {
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Minimal JSON emitter: handles nesting, commas and escaping. */
+class JsonWriter
+{
+  public:
+    JsonWriter()
+    {
+        os_.precision(std::numeric_limits<double>::max_digits10);
+    }
+
+    void openObject() { element(); os_ << "{"; push(); }
+    void openObject(const std::string &k) { key(k); os_ << "{"; push(); }
+    void closeObject() { pop(); os_ << "}"; }
+    void openArray(const std::string &k) { key(k); os_ << "["; push(); }
+    void closeArray() { pop(); os_ << "]"; }
+
+    void
+    field(const std::string &k, const std::string &v)
+    {
+        key(k);
+        string(v);
+    }
+
+    void
+    field(const std::string &k, const char *v)
+    {
+        field(k, std::string(v));
+    }
+
+    void
+    field(const std::string &k, double v)
+    {
+        key(k);
+        if (std::isfinite(v))
+            os_ << v;
+        else
+            os_ << "null";  // JSON has no NaN/Inf
+    }
+
+    void
+    field(const std::string &k, std::uint64_t v)
+    {
+        key(k);
+        os_ << v;
+    }
+
+    void
+    field(const std::string &k, bool v)
+    {
+        key(k);
+        os_ << (v ? "true" : "false");
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    void
+    element()
+    {
+        if (!first_.empty() && !first_.back())
+            os_ << ",";
+        if (!first_.empty())
+            first_.back() = false;
+    }
+
+    void
+    key(const std::string &k)
+    {
+        element();
+        string(k);
+        os_ << ":";
+    }
+
+    void
+    string(const std::string &s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\r': os_ << "\\r"; break;
+              case '\t': os_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    void push() { first_.push_back(true); }
+    void pop() { first_.pop_back(); }
+
+    std::ostringstream os_;
+    std::vector<bool> first_;
+};
+
+void
+emitMetrics(JsonWriter &json, const MetricVector &metrics)
+{
+    json.openObject("metrics");
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        json.field(metricName(m), metrics[m]);
+    }
+    json.closeObject();
+}
+
+} // namespace
+
+std::string
+renderTable(const SuiteResult &result)
+{
+    TextTable table;
+    table.header({"Workload", "Status", "Real (s)", "Proxy (s)",
+                  "Speedup", "Avg acc", "Qualified", "Iters",
+                  "Cached", "Checksum"});
+    for (const WorkloadOutcome &o : result.outcomes) {
+        if (o.status != RunStatus::Ok) {
+            table.row({o.short_name, runStatusName(o.status), "-", "-",
+                       "-", "-", "-", "-", "-", o.error});
+            continue;
+        }
+        table.row({o.short_name, runStatusName(o.status),
+                   fmt("%.1f", o.real.runtime_s),
+                   fmt("%.2f", o.proxy.runtime_s),
+                   fmt("%.0fx", o.speedup),
+                   fmt("%.1f%%", 100.0 * o.avg_accuracy),
+                   o.qualified ? "yes" : "no",
+                   std::to_string(o.iterations),
+                   o.from_cache ? "yes" : "no",
+                   hex64(o.proxy.checksum)});
+    }
+
+    std::ostringstream os;
+    os << table.render();
+    os << "\nsuite: " << result.outcomes.size() << " workload(s), "
+       << result.jobs << " job(s), seed " << result.seed << ", "
+       << fmt("%.1f", result.elapsed_s) << " s wall, checksum "
+       << hex64(result.checksum())
+       << (result.allOk() ? "" : "  [FAILURES]") << "\n";
+    return os.str();
+}
+
+std::string
+renderJson(const SuiteResult &result)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("suite", "dmpb");
+    json.field("seed", result.seed);
+    json.field("jobs", static_cast<std::uint64_t>(result.jobs));
+    json.field("cluster", result.cluster_name);
+    json.field("elapsed_s", result.elapsed_s);
+    json.field("all_ok", result.allOk());
+    json.field("suite_checksum", hex64(result.checksum()));
+    json.openArray("workloads");
+    for (const WorkloadOutcome &o : result.outcomes) {
+        json.openObject();
+        json.field("name", o.name);
+        json.field("short_name", o.short_name);
+        json.field("status", runStatusName(o.status));
+        json.field("error", o.error);
+        json.field("from_cache", o.from_cache);
+        json.field("elapsed_s", o.elapsed_s);
+        if (o.status == RunStatus::Ok) {
+            json.openObject("real");
+            json.field("runtime_s", o.real.runtime_s);
+            emitMetrics(json, o.real.metrics);
+            json.closeObject();
+            json.openObject("proxy");
+            json.field("runtime_s", o.proxy.runtime_s);
+            json.field("checksum", hex64(o.proxy.checksum));
+            emitMetrics(json, o.proxy.metrics);
+            json.closeObject();
+            json.openObject("tuning");
+            json.field("qualified", o.qualified);
+            json.field("iterations",
+                       static_cast<std::uint64_t>(o.iterations));
+            json.field("evaluations",
+                       static_cast<std::uint64_t>(o.evaluations));
+            json.field("avg_accuracy", o.avg_accuracy);
+            json.field("max_deviation", o.max_deviation);
+            json.closeObject();
+            json.openObject("accuracy");
+            const std::vector<Metric> &set = accuracyMetricSet();
+            for (std::size_t i = 0;
+                 i < set.size() && i < o.metric_accuracy.size(); ++i) {
+                json.field(metricName(set[i]), o.metric_accuracy[i]);
+            }
+            json.closeObject();
+            json.field("speedup", o.speedup);
+        }
+        json.closeObject();
+    }
+    json.closeArray();
+    json.closeObject();
+    return json.str() + "\n";
+}
+
+bool
+writeReportFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        dmpb_warn("cannot open report file ", path);
+        return false;
+    }
+    out << content;
+    out.close();
+    if (!out) {
+        dmpb_warn("short write to report file ", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace dmpb

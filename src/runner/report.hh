@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Report rendering for suite runs: a human-readable fixed-width table
+ * (base/table) and a machine-readable JSON document. The JSON writer
+ * is deliberately tiny and dependency-free; the shape is covered by
+ * tests/test_runner.cc and consumed by the CI smoke step.
+ */
+
+#ifndef DMPB_RUNNER_REPORT_HH
+#define DMPB_RUNNER_REPORT_HH
+
+#include <string>
+
+#include "runner/suite.hh"
+
+namespace dmpb {
+
+/** Render the per-workload summary as an aligned ASCII table. */
+std::string renderTable(const SuiteResult &result);
+
+/**
+ * Render the full result as a JSON document:
+ *
+ * {
+ *   "suite": "dmpb", "seed": N, "jobs": N, "cluster": "...",
+ *   "elapsed_s": x, "all_ok": bool, "suite_checksum": "0x...",
+ *   "workloads": [
+ *     { "name", "short_name", "status", "error", "from_cache",
+ *       "real": {"runtime_s", "metrics": {...}},
+ *       "proxy": {"runtime_s", "checksum": "0x...", "metrics": {...}},
+ *       "tuning": {"qualified", "iterations", "evaluations",
+ *                  "avg_accuracy", "max_deviation"},
+ *       "accuracy": {"<metric>": x, ...},
+ *       "speedup": x, "elapsed_s": x }, ... ]
+ * }
+ *
+ * Checksums are hex strings so 64-bit values survive JSON parsers
+ * that read numbers as doubles.
+ */
+std::string renderJson(const SuiteResult &result);
+
+/** Write @p content to @p path; false (with a warning) on failure. */
+bool writeReportFile(const std::string &path,
+                     const std::string &content);
+
+} // namespace dmpb
+
+#endif // DMPB_RUNNER_REPORT_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The `dmpb` command-line entry point: registers the five paper
+ * workloads, runs their proxy-generation pipelines in parallel, and
+ * emits a table report on stdout plus a JSON report on disk.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/proxy_cache.hh"
+#include "runner/report.hh"
+#include "runner/suite.hh"
+
+namespace {
+
+const char *kUsage = R"(dmpb -- data-motif proxy benchmark suite runner
+
+Runs the full proxy pipeline (real-workload measurement, motif
+decomposition, decision-tree auto-tuning, qualified-proxy execution)
+for the five paper workloads, in parallel.
+
+Usage: dmpb [options]
+
+  --workloads a,b,c   Comma-separated subset by short name
+                      (terasort,kmeans,pagerank,alexnet,inception-v3);
+                      default: all five
+  --jobs N            Parallel workload pipelines (default: one per
+                      selected workload)
+  --seed N            Master seed for data generation and tuning
+                      (default 99); same seed => same checksums
+  --timeout S         Per-workload wall-clock budget in seconds
+                      (default: unlimited; checked per tuner
+                      evaluation and at stage boundaries, so the
+                      non-interruptible real-workload measurement
+                      can overshoot it)
+  --output PATH       JSON report path (default dmpb-report.json;
+                      "-" prints JSON to stdout instead of the table)
+  --cache-dir DIR     Tuned-parameter cache (default dmpb-cache)
+  --no-cache          Disable the tuned-parameter cache
+  --cluster NAME      paper5 (default), paper3, or haswell3
+  --threshold X       Tuner deviation gate (default 0.15)
+  --quick             ~1000x smaller inputs + light tuner budget;
+                      used by the CI smoke step
+  --list              Print registered workload names and exit
+  --help              This text
+
+Exit status: 0 when every selected workload completed, 1 on a failed
+or timed-out workload, 2 on a usage error.
+)";
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const char *s, double &out)
+{
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::cerr << "dmpb: " << msg << "\n\n" << kUsage;
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmpb;
+
+    SuiteOptions options;
+    options.cluster = paperCluster5();
+    options.cache_dir = defaultCacheDir();
+    std::string output = "dmpb-report.json";
+    bool quick = false;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--no-cache") {
+            options.cache_dir.clear();
+        } else if (arg == "--workloads") {
+            options.workloads = splitCsv(value("--workloads"));
+        } else if (arg == "--jobs") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--jobs"), n) || n == 0)
+                usageError("--jobs needs a positive integer");
+            options.jobs = static_cast<std::size_t>(n);
+        } else if (arg == "--seed") {
+            if (!parseU64(value("--seed"), options.seed))
+                usageError("--seed needs an unsigned integer");
+        } else if (arg == "--timeout") {
+            if (!parseDouble(value("--timeout"), options.timeout_s) ||
+                options.timeout_s < 0) {
+                usageError("--timeout needs a non-negative number");
+            }
+        } else if (arg == "--output") {
+            output = value("--output");
+        } else if (arg == "--cache-dir") {
+            options.cache_dir = value("--cache-dir");
+        } else if (arg == "--threshold") {
+            if (!parseDouble(value("--threshold"),
+                             options.tuner.threshold) ||
+                options.tuner.threshold <= 0) {
+                usageError("--threshold needs a positive number");
+            }
+        } else if (arg == "--cluster") {
+            std::string c = value("--cluster");
+            if (c == "paper5")
+                options.cluster = paperCluster5();
+            else if (c == "paper3")
+                options.cluster = paperCluster3();
+            else if (c == "haswell3")
+                options.cluster = haswellCluster3();
+            else
+                usageError("unknown cluster '" + c + "'");
+        } else {
+            usageError("unknown option '" + arg + "'");
+        }
+    }
+
+    if (quick) {
+        // Keep CI smoke runs fast: fewer tuner iterations and a
+        // smaller per-edge trace budget on the tiny inputs.
+        options.tuner.max_iterations = 6;
+        options.tuner.impact_samples = 1;
+        options.tuner.trace_cap = 256 * 1024;
+    }
+
+    SuiteRunner runner(options);
+    if (quick)
+        runner.addQuickWorkloads();
+    else
+        runner.addPaperWorkloads();
+
+    if (list_only) {
+        for (const std::string &name : runner.registeredNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    try {
+        SuiteResult result = runner.run();
+        if (output == "-") {
+            std::cout << renderJson(result);
+        } else {
+            std::cout << renderTable(result);
+            if (writeReportFile(output, renderJson(result)))
+                std::cout << "JSON report: " << output << "\n";
+        }
+        return result.allOk() ? 0 : 1;
+    } catch (const std::invalid_argument &e) {
+        usageError(e.what());
+    } catch (const std::exception &e) {
+        std::cerr << "dmpb: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,294 @@
+#include "runner/suite.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "core/proxy_cache.hh"
+#include "core/proxy_factory.hh"
+
+namespace dmpb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Case- and punctuation-insensitive name form: "K-means" and
+ *  "kmeans" both select the K-means workload. */
+std::string
+canonName(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+/** splitmix64 finaliser: decorrelates the master seed per workload. */
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &salt)
+{
+    std::uint64_t z = seed;
+    for (char c : salt)
+        z = (z ^ static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(c))) * 0x100000001b3ULL;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Thrown when a pipeline stage finds its deadline expired. */
+struct DeadlineExpired : std::runtime_error
+{
+    explicit DeadlineExpired(const std::string &stage)
+        : std::runtime_error("deadline expired after stage: " + stage)
+    {}
+};
+
+} // namespace
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timeout";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+SuiteResult::checksum() const
+{
+    // Order-independent: outcomes land in registration order already,
+    // but summing keeps the value stable even if that ever changes.
+    std::uint64_t sum = 0;
+    for (const WorkloadOutcome &o : outcomes) {
+        if (o.status == RunStatus::Ok)
+            sum += mixSeed(o.proxy.checksum, o.short_name);
+    }
+    return sum;
+}
+
+bool
+SuiteResult::allOk() const
+{
+    for (const WorkloadOutcome &o : outcomes) {
+        if (o.status != RunStatus::Ok)
+            return false;
+    }
+    return true;
+}
+
+SuiteRunner::SuiteRunner(SuiteOptions options)
+    : options_(std::move(options))
+{
+    if (options_.cluster.num_nodes < 2)
+        options_.cluster = paperCluster5();
+}
+
+void
+SuiteRunner::add(std::unique_ptr<Workload> workload)
+{
+    dmpb_assert(workload != nullptr, "null workload registered");
+    workloads_.push_back(std::move(workload));
+}
+
+void
+SuiteRunner::addPaperWorkloads()
+{
+    for (auto &w : makePaperWorkloads())
+        add(std::move(w));
+}
+
+void
+SuiteRunner::addQuickWorkloads()
+{
+    for (auto &w : makeQuickPaperWorkloads())
+        add(std::move(w));
+}
+
+std::vector<std::string>
+SuiteRunner::registeredNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(workloads_.size());
+    for (const auto &w : workloads_)
+        names.push_back(shortName(w->name()));
+    return names;
+}
+
+std::string
+SuiteRunner::shortName(const std::string &name)
+{
+    std::size_t space = name.rfind(' ');
+    return space == std::string::npos ? name : name.substr(space + 1);
+}
+
+std::vector<std::size_t>
+SuiteRunner::selectedIndices() const
+{
+    std::vector<std::size_t> selected;
+    if (options_.workloads.empty()) {
+        for (std::size_t i = 0; i < workloads_.size(); ++i)
+            selected.push_back(i);
+        return selected;
+    }
+    for (const std::string &want : options_.workloads) {
+        std::string w = canonName(want);
+        bool found = false;
+        for (std::size_t i = 0; i < workloads_.size(); ++i) {
+            if (canonName(shortName(workloads_[i]->name())) == w ||
+                canonName(workloads_[i]->name()) == w) {
+                if (std::find(selected.begin(), selected.end(), i) ==
+                    selected.end()) {
+                    selected.push_back(i);
+                }
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument(
+                "unknown workload '" + want +
+                "' (see --list for registered names)");
+    }
+    return selected;
+}
+
+WorkloadOutcome
+SuiteRunner::runOne(const Workload &workload) const
+{
+    WorkloadOutcome out;
+    out.name = workload.name();
+    out.short_name = shortName(out.name);
+
+    Clock::time_point start = Clock::now();
+    bool bounded = options_.timeout_s > 0.0;
+    auto checkpoint = [&](const char *stage) {
+        if (bounded && secondsSince(start) > options_.timeout_s)
+            throw DeadlineExpired(stage);
+    };
+
+    try {
+        // Stage 1: measure the real workload on the cluster.
+        out.real = workload.run(options_.cluster);
+        checkpoint("real-workload measurement");
+
+        // Stage 2: decompose into the motif DAG and derive the
+        // per-workload seeds from the master seed.
+        ProxyBenchmark proxy = decomposeWorkload(workload);
+        proxy.baseParams().seed = mixSeed(options_.seed, out.short_name);
+        TunerConfig tuner = options_.tuner;
+        tuner.seed = mixSeed(options_.seed, out.short_name + "/tuner");
+        if (bounded) {
+            // Deadline propagates into the tuner: it stops issuing
+            // proxy evaluations once the budget is gone, and the
+            // checkpoint below converts that into TimedOut.
+            tuner.should_stop = [this, start]() {
+                return secondsSince(start) > options_.timeout_s;
+            };
+        }
+        checkpoint("decomposition");
+
+        // Stage 3: auto-tune (memoised when a cache dir is set).
+        TunerReport report;
+        if (!options_.cache_dir.empty()) {
+            // The key carries everything the tuned parameter vector
+            // depends on -- in particular the input scale, so a
+            // --quick run can never poison the full-size cache.
+            std::ostringstream key;
+            key << out.short_name << "-" << options_.cluster.node.name
+                << "-seed" << options_.seed << "-thr" << tuner.threshold
+                << "-bytes" << workload.proxyDataBytes() << "-it"
+                << tuner.max_iterations << "-cap" << tuner.trace_cap;
+            report = tuneWithCache(options_.cache_dir, key.str(), proxy,
+                                   out.real.metrics,
+                                   options_.cluster.node, tuner);
+            // tuneWithCache encodes a hit as a zero-iteration report
+            // (the stored P is re-applied and re-executed once).
+            out.from_cache = report.iterations == 0;
+        } else {
+            AutoTuner auto_tuner(out.real.metrics, tuner);
+            report = auto_tuner.tune(proxy, options_.cluster.node);
+        }
+        checkpoint("auto-tuning");
+
+        out.proxy = report.final_result;
+        out.qualified = report.qualified;
+        out.iterations = report.iterations;
+        out.evaluations = report.evaluations;
+        out.avg_accuracy = report.avg_accuracy;
+        out.max_deviation = report.max_deviation;
+        out.metric_accuracy = report.metric_accuracy;
+        out.speedup = speedup(out.real.runtime_s, out.proxy.runtime_s);
+        out.status = RunStatus::Ok;
+    } catch (const DeadlineExpired &e) {
+        out.status = RunStatus::TimedOut;
+        out.error = e.what();
+    } catch (const std::exception &e) {
+        out.status = RunStatus::Failed;
+        out.error = e.what();
+    } catch (...) {
+        out.status = RunStatus::Failed;
+        out.error = "unknown exception";
+    }
+    out.elapsed_s = secondsSince(start);
+    return out;
+}
+
+SuiteResult
+SuiteRunner::run()
+{
+    std::vector<std::size_t> selected = selectedIndices();
+
+    SuiteResult result;
+    result.seed = options_.seed;
+    result.cluster_name = options_.cluster.node.name;
+    result.jobs = options_.jobs > 0 ? options_.jobs
+                                    : std::max<std::size_t>(
+                                          1, selected.size());
+    result.outcomes.resize(selected.size());
+
+    Clock::time_point start = Clock::now();
+    if (selected.size() <= 1 || result.jobs == 1) {
+        for (std::size_t i = 0; i < selected.size(); ++i)
+            result.outcomes[i] = runOne(*workloads_[selected[i]]);
+    } else {
+        // Independent pipelines; each task writes only its own slot,
+        // so no synchronisation beyond the pool barrier is needed.
+        ThreadPool pool(std::min(result.jobs, selected.size()));
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            pool.submit([this, i, &selected, &result]() {
+                result.outcomes[i] = runOne(*workloads_[selected[i]]);
+            });
+        }
+        pool.waitIdle();
+    }
+    result.elapsed_s = secondsSince(start);
+
+    for (const WorkloadOutcome &o : result.outcomes) {
+        if (o.status != RunStatus::Ok)
+            dmpb_warn("workload ", o.name, " ", runStatusName(o.status),
+                      ": ", o.error);
+    }
+    return result;
+}
+
+} // namespace dmpb

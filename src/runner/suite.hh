@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The suite runner: one entry point that drives the full proxy
+ * pipeline (real-workload measurement -> motif decomposition ->
+ * decision-tree auto-tuning -> qualified-proxy execution) for every
+ * registered workload, running independent workloads in parallel on
+ * the shared ThreadPool.
+ *
+ * Each workload runs under failure isolation: an exception or a
+ * blown per-workload deadline marks that entry Failed / TimedOut in
+ * the report without sinking the rest of the suite. Tuned parameter
+ * vectors are memoised through core/proxy_cache so repeated
+ * invocations skip the expensive search.
+ */
+
+#ifndef DMPB_RUNNER_SUITE_HH
+#define DMPB_RUNNER_SUITE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/auto_tuner.hh"
+#include "stack/cluster.hh"
+#include "workloads/workload.hh"
+
+namespace dmpb {
+
+/** How one workload's pipeline ended. */
+enum class RunStatus : std::uint8_t
+{
+    Ok = 0,      ///< pipeline completed (qualified or not)
+    Failed,      ///< an exception escaped the pipeline
+    TimedOut,    ///< the per-workload deadline expired
+};
+
+/** Printable status ("ok", "failed", "timeout"). */
+const char *runStatusName(RunStatus s);
+
+/** Suite configuration (the dmpb CLI maps flags onto this). */
+struct SuiteOptions
+{
+    /** Short-name filter (case-insensitive); empty selects all. */
+    std::vector<std::string> workloads;
+    /** Parallel workload pipelines; 0 = one per selected workload. */
+    std::size_t jobs = 0;
+    /** Master seed mixed into tuner and proxy data generation. */
+    std::uint64_t seed = 99;
+    /** Per-workload wall-clock budget in seconds; 0 = unlimited.
+     *  Enforced cooperatively: per tuner evaluation and at stage
+     *  boundaries. The real-workload measurement stage runs to
+     *  completion before its boundary check, so a budget smaller
+     *  than that stage overshoots by its duration. */
+    double timeout_s = 0.0;
+    /** Tuned-parameter cache directory; empty disables memoisation. */
+    std::string cache_dir;
+    /** Deployment every workload and proxy runs on. */
+    ClusterConfig cluster;
+    /** Auto-tuner budget (seed is overridden by SuiteOptions::seed). */
+    TunerConfig tuner;
+};
+
+/** Everything the suite learned about one workload. */
+struct WorkloadOutcome
+{
+    std::string name;          ///< full name, e.g. "Hadoop TeraSort"
+    std::string short_name;    ///< e.g. "TeraSort"
+    RunStatus status = RunStatus::Failed;
+    std::string error;         ///< diagnostic for Failed / TimedOut
+    bool from_cache = false;   ///< tuned parameters were memoised
+
+    WorkloadResult real;       ///< reference measurement
+    ProxyResult proxy;         ///< qualified-proxy execution
+    double speedup = 0.0;      ///< Eq. 4: real runtime / proxy runtime
+    double avg_accuracy = 0.0; ///< Eq. 3 mean over the Table V set
+    std::vector<double> metric_accuracy; ///< accuracyMetricSet() order
+
+    bool qualified = false;    ///< tuner met the deviation gate
+    std::uint32_t iterations = 0;
+    std::uint32_t evaluations = 0;
+    double max_deviation = 0.0;
+
+    double elapsed_s = 0.0;    ///< wall time of this pipeline
+};
+
+/** Outcome of one suite invocation. */
+struct SuiteResult
+{
+    std::vector<WorkloadOutcome> outcomes;  ///< registration order
+    double elapsed_s = 0.0;                 ///< suite wall time
+    std::uint64_t seed = 0;
+    std::size_t jobs = 0;
+    std::string cluster_name;
+
+    /** Order-independent combination of the proxy checksums of every
+     *  Ok outcome; identical across runs with the same seed. */
+    std::uint64_t checksum() const;
+
+    /** True when no outcome Failed or TimedOut. */
+    bool allOk() const;
+};
+
+/** Registers workloads and drives their pipelines in parallel. */
+class SuiteRunner
+{
+  public:
+    explicit SuiteRunner(SuiteOptions options);
+
+    /** Register one workload (takes ownership). */
+    void add(std::unique_ptr<Workload> workload);
+
+    /** Register all five paper workloads (Section III-B inputs). */
+    void addPaperWorkloads();
+
+    /**
+     * Like addPaperWorkloads() but with inputs scaled down ~1000x;
+     * the CI smoke step uses this to exercise the full pipeline in
+     * seconds instead of minutes.
+     */
+    void addQuickWorkloads();
+
+    /** Names (short form) that SuiteOptions::workloads may select. */
+    std::vector<std::string> registeredNames() const;
+
+    /**
+     * Run the pipeline for every selected workload, up to
+     * SuiteOptions::jobs at a time, and collect the outcomes.
+     * Never throws for per-workload errors; see WorkloadOutcome.
+     */
+    SuiteResult run();
+
+    /** Short display name: last space-separated token of @p name. */
+    static std::string shortName(const std::string &name);
+
+  private:
+    std::vector<std::size_t> selectedIndices() const;
+    WorkloadOutcome runOne(const Workload &workload) const;
+
+    SuiteOptions options_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_RUNNER_SUITE_HH

@@ -22,7 +22,9 @@
 #define DMPB_SIM_TRACE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "sim/branch.hh"
 #include "sim/cache.hh"
@@ -58,18 +60,60 @@ class TraceContext
         advancePc(n);
     }
 
-    /** Emit a data load covering [p, p+bytes). */
+    /**
+     * Emit a data load covering [p, p+bytes) at the real address.
+     *
+     * NOTE: real heap/stack addresses vary run to run (ASLR,
+     * allocator state), so production kernels use deterministic
+     * virtual addresses from virtualAlloc()/VirtualRange instead;
+     * the pointer overloads remain for tests of the raw path.
+     */
     void
     emitLoad(const void *p, std::size_t bytes = 8)
     {
         emitLoadAddr(reinterpret_cast<std::uint64_t>(p), bytes);
     }
 
-    /** Emit a data store covering [p, p+bytes). */
+    /** Emit a data store covering [p, p+bytes) at the real address. */
     void
     emitStore(const void *p, std::size_t bytes = 8)
     {
         emitStoreAddr(reinterpret_cast<std::uint64_t>(p), bytes);
+    }
+
+    /**
+     * Allocate @p bytes of deterministic simulated address space.
+     *
+     * Per-context bump allocation with exact-size LIFO reuse (the
+     * same reuse pattern a thread-cached malloc exhibits), 64-byte
+     * aligned. Kernels attach one range per traced container and
+     * emit container accesses at base + offset, making every cache
+     * access bit-reproducible across runs, threads and ASLR.
+     */
+    std::uint64_t
+    virtualAlloc(std::uint64_t bytes)
+    {
+        std::uint64_t rounded = (bytes + line_bytes_ - 1) &
+                                ~(line_bytes_ - 1);
+        auto it = va_free_.find(rounded);
+        if (it != va_free_.end() && !it->second.empty()) {
+            std::uint64_t va = it->second.back();
+            it->second.pop_back();
+            return va;
+        }
+        std::uint64_t va = va_next_;
+        va_next_ += rounded;
+        return va;
+    }
+
+    /** Return a virtualAlloc()ed range for reuse by the next
+     *  same-size allocation (cache-warmth preserving, like malloc). */
+    void
+    virtualFree(std::uint64_t va, std::uint64_t bytes)
+    {
+        std::uint64_t rounded = (bytes + line_bytes_ - 1) &
+                                ~(line_bytes_ - 1);
+        va_free_[rounded].push_back(va);
     }
 
     /** Load at an explicit (possibly synthetic) address. */
@@ -190,6 +234,9 @@ class TraceContext
     static constexpr std::uint64_t kCodeBase = 0x7f0000000000ULL;
     static constexpr std::uint64_t kLoopSite = 0x10095173ULL;
     static constexpr std::uint64_t kHotSpan = 4 * 1024;
+    /** Start of the virtualAlloc() arena; distinct from kCodeBase and
+     *  the 0x6000_0000_0000 synthetic-stream region. */
+    static constexpr std::uint64_t kDataBase = 0x200000000000ULL;
 
     MachineConfig machine_;
     std::unique_ptr<CacheHierarchy> caches_;
@@ -209,6 +256,55 @@ class TraceContext
     std::uint64_t sample_period_;
     std::uint64_t sample_clock_ = 0;
     std::uint32_t l3_sharers_;
+    std::uint64_t va_next_ = kDataBase;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> va_free_;
+};
+
+/**
+ * RAII deterministic address range for one traced container.
+ *
+ * Kernels create one VirtualRange next to each std::vector (or other
+ * buffer) whose accesses they emit, then report element accesses with
+ * range.addr(index, stride) -- never with real pointers, so the cache
+ * model sees identical streams in every run.
+ */
+class VirtualRange
+{
+  public:
+    VirtualRange(TraceContext &ctx, std::uint64_t bytes)
+        : ctx_(&ctx), bytes_(bytes), base_(ctx.virtualAlloc(bytes))
+    {
+    }
+
+    ~VirtualRange()
+    {
+        if (ctx_ != nullptr)
+            ctx_->virtualFree(base_, bytes_);
+    }
+
+    VirtualRange(VirtualRange &&other) noexcept
+        : ctx_(other.ctx_), bytes_(other.bytes_), base_(other.base_)
+    {
+        other.ctx_ = nullptr;
+    }
+
+    VirtualRange(const VirtualRange &) = delete;
+    VirtualRange &operator=(const VirtualRange &) = delete;
+    VirtualRange &operator=(VirtualRange &&) = delete;
+
+    std::uint64_t base() const { return base_; }
+
+    /** Simulated address of element @p i with @p stride bytes each. */
+    std::uint64_t
+    addr(std::uint64_t i, std::uint64_t stride = 8) const
+    {
+        return base_ + i * stride;
+    }
+
+  private:
+    TraceContext *ctx_;
+    std::uint64_t bytes_;
+    std::uint64_t base_;
 };
 
 } // namespace dmpb

@@ -4,10 +4,12 @@
  * to a TraceContext.
  *
  * Kernels read and write through rd()/wr() so that every touched
- * element produces exactly one load/store event at its real heap
- * address -- real addresses give honest set-index and conflict
- * behaviour in the cache model. Untraced raw access is available via
- * data() for setup code that should not appear in the profile.
+ * element produces exactly one load/store event. Events carry
+ * deterministic simulated addresses (a VirtualRange per buffer)
+ * rather than real heap addresses, so set-index and conflict
+ * behaviour in the cache model is bit-reproducible across runs,
+ * threads and ASLR. Untraced raw access is available via data() for
+ * setup code that should not appear in the profile.
  */
 
 #ifndef DMPB_SIM_TRACED_BUFFER_HH
@@ -28,13 +30,14 @@ class TracedBuffer
   public:
     /** Create a buffer of @p n default-initialised elements. */
     TracedBuffer(TraceContext &ctx, std::size_t n)
-        : ctx_(&ctx), data_(n)
+        : ctx_(&ctx), data_(n), range_(ctx, n * sizeof(T))
     {
     }
 
     /** Wrap existing values (copies them). */
     TracedBuffer(TraceContext &ctx, std::vector<T> values)
-        : ctx_(&ctx), data_(std::move(values))
+        : ctx_(&ctx), data_(std::move(values)),
+          range_(ctx, data_.size() * sizeof(T))
     {
     }
 
@@ -42,7 +45,7 @@ class TracedBuffer
     const T &
     rd(std::size_t i) const
     {
-        ctx_->emitLoad(&data_[i], sizeof(T));
+        ctx_->emitLoadAddr(range_.addr(i, sizeof(T)), sizeof(T));
         return data_[i];
     }
 
@@ -51,16 +54,24 @@ class TracedBuffer
     wr(std::size_t i, const T &value)
     {
         data_[i] = value;
-        ctx_->emitStore(&data_[i], sizeof(T));
+        ctx_->emitStoreAddr(range_.addr(i, sizeof(T)), sizeof(T));
     }
 
     /** Traced read-modify-write reference access: load then store. */
     T &
     rmw(std::size_t i)
     {
-        ctx_->emitLoad(&data_[i], sizeof(T));
-        ctx_->emitStore(&data_[i], sizeof(T));
+        ctx_->emitLoadAddr(range_.addr(i, sizeof(T)), sizeof(T));
+        ctx_->emitStoreAddr(range_.addr(i, sizeof(T)), sizeof(T));
         return data_[i];
+    }
+
+    /** Simulated address of element @p i (for kernels that emit
+     *  coalesced multi-element accesses themselves). */
+    std::uint64_t
+    elemAddr(std::size_t i) const
+    {
+        return range_.addr(i, sizeof(T));
     }
 
     std::size_t size() const { return data_.size(); }
@@ -77,6 +88,7 @@ class TracedBuffer
   private:
     TraceContext *ctx_;
     std::vector<T> data_;
+    VirtualRange range_;
 };
 
 } // namespace dmpb

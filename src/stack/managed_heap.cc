@@ -23,6 +23,7 @@ ManagedHeap::ManagedHeap(TraceContext &ctx, std::uint64_t young_bytes,
                 "survivor ratio out of range");
     for (std::size_t i = 0; i < arena_.size(); ++i)
         arena_[i] = mix64(i) % arena_.size();
+    arena_va_ = ctx_.virtualAlloc(arena_.size() * 8);
 }
 
 void
@@ -55,7 +56,7 @@ ManagedHeap::collect()
                                     64, young_used_ / 1024));
     std::uint64_t cursor = rng_.nextU64(arena_.size());
     for (std::uint64_t i = 0; i < marks; ++i) {
-        ctx_.emitLoad(&arena_[cursor], 8);
+        ctx_.emitLoadAddr(arena_va_ + cursor * 8, 8);
         ctx_.emitOps(OpClass::IntAlu, 3);  // header test + tag update
         bool live = (cursor & 7) != 0;     // ~87% of cards marked live
         DMPB_BR(ctx_, live);
@@ -68,8 +69,8 @@ ManagedHeap::collect()
     for (std::uint64_t i = 0; i < survivor_cards; ++i) {
         std::size_t src = (base + i) % arena_.size();
         std::size_t dst = (base + arena_.size() / 2 + i) % arena_.size();
-        ctx_.emitLoad(&arena_[src], 8);
-        ctx_.emitStore(&arena_[dst], 8);
+        ctx_.emitLoadAddr(arena_va_ + src * 8, 8);
+        ctx_.emitStoreAddr(arena_va_ + dst * 8, 8);
         ctx_.emitOps(OpClass::IntAlu, 1);
     }
     young_used_ = 0;

@@ -63,6 +63,9 @@ class ManagedHeap
 
     /** Arena the mark/copy passes actually walk (one "card" each). */
     std::vector<std::uint64_t> arena_;
+
+    /** Simulated trace address of the arena (deterministic). */
+    std::uint64_t arena_va_ = 0;
 };
 
 } // namespace dmpb

@@ -15,9 +15,15 @@ stackManagementWork(TraceContext &ctx, ManagedHeap &heap, Rng &rng,
     // Object heap the framework wanders through (larger than L2) and
     // the stack/TLAB-like hot working set (fits L1D): the
     // deserialise/dispatch path mostly touches locals and the current
-    // record, with an occasional cold object-graph reference.
+    // record, with an occasional cold object-graph reference. The
+    // trace addresses are fixed synthetic ranges shared by every
+    // invocation on a context -- the framework working set is the
+    // same objects over and over, and fixed bases keep the stream
+    // deterministic.
     static thread_local std::vector<std::uint64_t> pool(64 * 1024);
     static thread_local std::vector<std::uint64_t> hot(512);
+    constexpr std::uint64_t kPoolVa = 0x300000000000ULL;
+    constexpr std::uint64_t kHotVa = 0x310000000000ULL;
     auto total_ops = static_cast<std::uint64_t>(
         static_cast<double>(bytes) * ops_per_byte);
     // Unit of ~16 ops: 7 int, 3 loads (one cold 1-in-8), 2 stores,
@@ -27,17 +33,21 @@ stackManagementWork(TraceContext &ctx, ManagedHeap &heap, Rng &rng,
     std::uint64_t hot_cur = 0;
     for (std::uint64_t u = 0; u < units; ++u) {
         ctx.emitOps(OpClass::IntAlu, 7);
-        ctx.emitLoad(&hot[hot_cur % hot.size()], 8);
-        ctx.emitLoad(&hot[(hot_cur + 17) % hot.size()], 8);
+        ctx.emitLoadAddr(kHotVa + (hot_cur % hot.size()) * 8, 8);
+        ctx.emitLoadAddr(kHotVa + ((hot_cur + 17) % hot.size()) * 8,
+                         8);
         if ((u & 7) == 0) {
-            ctx.emitLoad(&pool[cursor], 8);  // cold object reference
+            // cold object reference
+            ctx.emitLoadAddr(kPoolVa + cursor * 8, 8);
             cursor = (cursor * 1103515245 + 12345 + pool[cursor]) %
                      pool.size();
         } else {
-            ctx.emitLoad(&hot[(hot_cur + 33) % hot.size()], 8);
+            ctx.emitLoadAddr(kHotVa + ((hot_cur + 33) % hot.size()) * 8,
+                             8);
         }
-        ctx.emitStore(&hot[hot_cur % hot.size()], 8);
-        ctx.emitStore(&hot[(hot_cur + 5) % hot.size()], 8);
+        ctx.emitStoreAddr(kHotVa + (hot_cur % hot.size()) * 8, 8);
+        ctx.emitStoreAddr(kHotVa + ((hot_cur + 5) % hot.size()) * 8,
+                          8);
         hot_cur += 3;
         DMPB_BR(ctx, (cursor & 31) != 0);  // type check, mostly true
         if ((u & 63) == 0)

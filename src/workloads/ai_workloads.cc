@@ -147,4 +147,20 @@ makePaperWorkloads()
     return out;
 }
 
+std::vector<std::unique_ptr<Workload>>
+makeQuickPaperWorkloads()
+{
+    // Inputs ~1000x below the Section III-B configuration: TeraSort
+    // and K-means on 128 MiB, PageRank on 2^16 vertices, the CNNs on
+    // a handful of training steps. Smoke/CI runs exercise the exact
+    // same pipelines in seconds instead of minutes.
+    std::vector<std::unique_ptr<Workload>> out;
+    out.push_back(makeTeraSort(128ULL * 1024 * 1024));
+    out.push_back(makeKMeans(128ULL * 1024 * 1024, 0.9));
+    out.push_back(makePageRank(1ULL << 16));
+    out.push_back(makeAlexNet(100, 128));
+    out.push_back(makeInceptionV3(10, 32));
+    return out;
+}
+
 } // namespace dmpb

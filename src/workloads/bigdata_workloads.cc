@@ -74,10 +74,13 @@ class TeraSortWorkload : public Workload
 
             // Hotspot 1 (sampling motif): sample keys to locate the
             // partition boundaries.
+            VirtualRange records_va(
+                ctx, n * GensortRecord::kRecordBytes);
             TracedBuffer<std::uint64_t> keys(ctx, n);
             for (std::size_t i = 0; i < n; ++i) {
-                ctx.emitLoad(&records[i],
-                             GensortRecord::kRecordBytes);
+                ctx.emitLoadAddr(
+                    records_va.addr(i, GensortRecord::kRecordBytes),
+                    GensortRecord::kRecordBytes);
                 ctx.emitOps(OpClass::IntAlu, 3);
                 keys.wr(i, records[i].keyPrefix());
             }
@@ -90,15 +93,17 @@ class TeraSortWorkload : public Workload
             // search structure and traverse it per record.
             std::size_t parts = 32;
             std::vector<std::uint64_t> bounds(parts);
+            VirtualRange bounds_va(ctx, parts * 8);
             for (std::size_t b = 0; b < parts; ++b)
                 bounds[b] = sampled.rd(b * s / parts);
             std::vector<std::uint64_t> counts(parts, 0);
+            VirtualRange counts_va(ctx, parts * 8);
             for (std::size_t i = 0; i < n; ++i) {
                 std::uint64_t k = keys.rd(i);
                 std::size_t lo = 0, hi = parts;
                 while (lo + 1 < hi) {  // trie-walk per record
                     std::size_t mid = (lo + hi) / 2;
-                    ctx.emitLoad(&bounds[mid], 8);
+                    ctx.emitLoadAddr(bounds_va.addr(mid), 8);
                     ctx.emitOps(OpClass::IntAlu, 2);
                     bool right = k >= bounds[mid];
                     DMPB_BR(ctx, right);
@@ -107,9 +112,9 @@ class TeraSortWorkload : public Workload
                     else
                         hi = mid;
                 }
-                ctx.emitLoad(&counts[lo], 8);
+                ctx.emitLoadAddr(counts_va.addr(lo), 8);
                 ++counts[lo];
-                ctx.emitStore(&counts[lo], 8);
+                ctx.emitStoreAddr(counts_va.addr(lo), 8);
             }
             heap.allocate(n * 24);  // partition buffers
         };
@@ -124,22 +129,30 @@ class TeraSortWorkload : public Workload
 
             // Hotspot (sort motif): merge-sort the fetched partition
             // and write records in order.
+            VirtualRange records_va(
+                ctx, n * GensortRecord::kRecordBytes);
             TracedBuffer<std::uint64_t> keys(ctx, n);
             for (std::size_t i = 0; i < n; ++i) {
-                ctx.emitLoad(&records[i],
-                             GensortRecord::kRecordBytes);
+                ctx.emitLoadAddr(
+                    records_va.addr(i, GensortRecord::kRecordBytes),
+                    GensortRecord::kRecordBytes);
                 ctx.emitOps(OpClass::IntAlu, 3);
                 keys.wr(i, (records[i].keyPrefix() & ~0xffffffULL) |
                                (i & 0xffffff));
             }
             kernels::mergeSortU64(ctx, keys);
             std::vector<GensortRecord> out(n);
+            VirtualRange out_va(ctx,
+                                n * GensortRecord::kRecordBytes);
             for (std::size_t i = 0; i < n; ++i) {
                 std::size_t src = keys.rd(i) & 0xffffff;
-                ctx.emitLoad(&records[src],
-                             GensortRecord::kRecordBytes);
+                ctx.emitLoadAddr(
+                    records_va.addr(src, GensortRecord::kRecordBytes),
+                    GensortRecord::kRecordBytes);
                 out[i] = records[src];
-                ctx.emitStore(&out[i], GensortRecord::kRecordBytes);
+                ctx.emitStoreAddr(
+                    out_va.addr(i, GensortRecord::kRecordBytes),
+                    GensortRecord::kRecordBytes);
             }
         };
 
@@ -225,7 +238,10 @@ class KMeansWorkload : public Workload
                                         centroids.raw()[c * kDim + d]) *
                                     centroids.raw()[c * kDim + d];
 
+            ds.csr_col_va = ctx.virtualAlloc(ds.csr_col.size() * 4);
+            ds.csr_val_va = ctx.virtualAlloc(ds.csr_val.size() * 4);
             std::vector<double> sums(kCentroids * kDim, 0.0);
+            VirtualRange sums_va(ctx, sums.size() * 8);
             std::vector<std::uint64_t> cnt(kCentroids, 0);
             for (std::size_t i = 0; i < n; ++i) {
                 std::uint64_t b = ds.csr_row_offset[i];
@@ -240,8 +256,8 @@ class KMeansWorkload : public Workload
                 for (std::size_t c = 0; c < kCentroids; ++c) {
                     double dot = 0.0, pnorm = 0.0;
                     for (std::uint64_t k = b; k < e; ++k) {
-                        ctx.emitLoad(&ds.csr_col[k], 4);
-                        ctx.emitLoad(&ds.csr_val[k], 4);
+                        ctx.emitLoadAddr(ds.csr_col_va + k * 4, 4);
+                        ctx.emitLoadAddr(ds.csr_val_va + k * 4, 4);
                         float cv = centroids.rd(c * kDim +
                                                 ds.csr_col[k]);
                         dot += static_cast<double>(ds.csr_val[k]) * cv;
@@ -261,10 +277,10 @@ class KMeansWorkload : public Workload
                 }
                 // Partial-sum accumulation (statistics motif).
                 for (std::uint64_t k = b; k < e; ++k) {
-                    double &slot = sums[best * kDim + ds.csr_col[k]];
-                    ctx.emitLoad(&slot, 8);
-                    slot += ds.csr_val[k];
-                    ctx.emitStore(&slot, 8);
+                    std::size_t s = best * kDim + ds.csr_col[k];
+                    ctx.emitLoadAddr(sums_va.addr(s), 8);
+                    sums[s] += ds.csr_val[k];
+                    ctx.emitStoreAddr(sums_va.addr(s), 8);
                     ctx.emitOps(OpClass::FpAlu, 1);
                 }
                 ++cnt[best];
@@ -372,22 +388,24 @@ class PageRankWorkload : public Workload
             // neighbours -- one sparse matrix-vector product row.
             std::vector<float> rank(verts, 1.0f);
             std::vector<float> contrib(verts, 0.0f);
+            VirtualRange rank_va(ctx, verts * 4);
+            VirtualRange contrib_va(ctx, verts * 4);
             for (std::uint64_t v = 0; v < verts; ++v) {
-                ctx.emitLoad(&g.out_offset[v], 16);
+                ctx.emitLoadAddr(g.out_offset_va + v * 8, 16);
                 std::uint64_t b = g.out_offset[v],
                               e = g.out_offset[v + 1];
                 if (b == e)
                     continue;
-                ctx.emitLoad(&rank[v], 4);
+                ctx.emitLoadAddr(rank_va.addr(v, 4), 4);
                 float share = rank[v] /
                               static_cast<float>(e - b);
                 ctx.emitOps(OpClass::FpMul, 1);
                 for (std::uint64_t k = b; k < e; ++k) {
                     std::uint32_t t = g.out_edges[k];
-                    ctx.emitLoad(&g.out_edges[k], 4);
-                    ctx.emitLoad(&contrib[t], 4);
+                    ctx.emitLoadAddr(g.out_edges_va + k * 4, 4);
+                    ctx.emitLoadAddr(contrib_va.addr(t, 4), 4);
                     contrib[t] += share;
-                    ctx.emitStore(&contrib[t], 4);
+                    ctx.emitStoreAddr(contrib_va.addr(t, 4), 4);
                     ctx.emitOps(OpClass::FpAlu, 1);
                 }
             }

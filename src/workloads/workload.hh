@@ -96,6 +96,10 @@ std::unique_ptr<Workload> makeInceptionV3(
 /** All five paper workloads with Section III-B inputs. */
 std::vector<std::unique_ptr<Workload>> makePaperWorkloads();
 
+/** The same five workloads with inputs ~1000x smaller, for smoke
+ *  tests and CI: the full pipeline in seconds instead of minutes. */
+std::vector<std::unique_ptr<Workload>> makeQuickPaperWorkloads();
+
 } // namespace dmpb
 
 #endif // DMPB_WORKLOADS_WORKLOAD_HH

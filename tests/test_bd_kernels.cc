@@ -147,9 +147,14 @@ TEST_F(BdKernelTest, BfsReachesConnectedComponent)
         {0, 1}, {1, 2}};
     Graph g = kernels::graphConstruct(ctx_, edges, 4);
     std::vector<std::uint8_t> visited(4, 0);
-    EXPECT_EQ(kernels::graphBfs(ctx_, g, 0, visited), 3u);
+    VirtualRange visited_va(ctx_, visited.size());
+    EXPECT_EQ(kernels::graphBfs(ctx_, g, 0, visited,
+                                visited_va.base()),
+              3u);
     EXPECT_FALSE(visited[3]);
-    EXPECT_EQ(kernels::graphBfs(ctx_, g, 3, visited), 1u);
+    EXPECT_EQ(kernels::graphBfs(ctx_, g, 3, visited,
+                                visited_va.base()),
+              1u);
 }
 
 TEST_F(BdKernelTest, Md5MatchesRfc1321Vectors)

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit tests for the suite-runner subsystem: registration and
+ * selection, parallel-execution determinism under a fixed seed,
+ * failure/timeout isolation, and the JSON report shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "runner/report.hh"
+#include "runner/suite.hh"
+
+namespace dmpb {
+namespace {
+
+/** Quick tuner budget so one pipeline runs in well under a second. */
+TunerConfig
+quickTuner()
+{
+    TunerConfig t;
+    t.max_iterations = 2;
+    t.impact_samples = 1;
+    t.trace_cap = 128 * 1024;
+    return t;
+}
+
+SuiteOptions
+quickOptions()
+{
+    SuiteOptions o;
+    o.cluster = paperCluster5();
+    o.tuner = quickTuner();
+    o.seed = 7;
+    return o;  // no cache dir: memoisation off by default in tests
+}
+
+/** A workload whose run() always throws (failure-isolation probe). */
+class ThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Broken Workload"; }
+
+    WorkloadResult
+    run(const ClusterConfig &) const override
+    {
+        throw std::runtime_error("synthetic pipeline failure");
+    }
+
+    std::vector<MotifWeight>
+    decomposition() const override
+    {
+        return {{"quick_sort", 1.0}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 1 << 20; }
+};
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLoggingEnabled(false); }
+    void TearDown() override { setLoggingEnabled(true); }
+};
+
+TEST_F(RunnerTest, RegistersAllFivePaperWorkloads)
+{
+    SuiteRunner runner(quickOptions());
+    runner.addPaperWorkloads();
+    std::vector<std::string> names = runner.registeredNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "TeraSort");
+    EXPECT_EQ(names[1], "K-means");
+    EXPECT_EQ(names[2], "PageRank");
+    EXPECT_EQ(names[3], "AlexNet");
+    EXPECT_EQ(names[4], "Inception-V3");
+}
+
+TEST_F(RunnerTest, QuickWorkloadsMirrorThePaperSet)
+{
+    SuiteRunner quick(quickOptions());
+    quick.addQuickWorkloads();
+    SuiteRunner paper(quickOptions());
+    paper.addPaperWorkloads();
+    EXPECT_EQ(quick.registeredNames(), paper.registeredNames());
+}
+
+TEST_F(RunnerTest, SelectionFiltersByShortNameCaseInsensitive)
+{
+    SuiteOptions options = quickOptions();
+    options.workloads = {"TERASORT"};
+    SuiteRunner runner(options);
+    runner.addQuickWorkloads();
+    SuiteResult result = runner.run();
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes[0].short_name, "TeraSort");
+    EXPECT_EQ(result.outcomes[0].status, RunStatus::Ok);
+}
+
+TEST_F(RunnerTest, UnknownWorkloadSelectionThrows)
+{
+    SuiteOptions options = quickOptions();
+    options.workloads = {"no-such-workload"};
+    SuiteRunner runner(options);
+    runner.addQuickWorkloads();
+    EXPECT_THROW(runner.run(), std::invalid_argument);
+}
+
+TEST_F(RunnerTest, ParallelExecutionIsDeterministicUnderFixedSeed)
+{
+    auto runSuite = [](std::size_t jobs) {
+        SuiteOptions options = quickOptions();
+        options.jobs = jobs;
+        options.workloads = {"terasort", "kmeans", "pagerank"};
+        SuiteRunner runner(options);
+        runner.addQuickWorkloads();
+        return runner.run();
+    };
+
+    SuiteResult serial = runSuite(1);
+    SuiteResult parallel = runSuite(3);
+
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+        const WorkloadOutcome &a = serial.outcomes[i];
+        const WorkloadOutcome &b = parallel.outcomes[i];
+        EXPECT_EQ(a.short_name, b.short_name);
+        EXPECT_EQ(a.status, RunStatus::Ok);
+        EXPECT_EQ(b.status, RunStatus::Ok);
+        EXPECT_EQ(a.proxy.checksum, b.proxy.checksum) << a.short_name;
+        // Traced kernels emit deterministic virtual addresses and
+        // branch-site ids, so modelled metrics are bit-identical no
+        // matter which thread (or process) ran the pipeline.
+        EXPECT_DOUBLE_EQ(a.proxy.runtime_s, b.proxy.runtime_s);
+        EXPECT_DOUBLE_EQ(a.avg_accuracy, b.avg_accuracy);
+        EXPECT_DOUBLE_EQ(a.real.runtime_s, b.real.runtime_s);
+    }
+    EXPECT_EQ(serial.checksum(), parallel.checksum());
+}
+
+TEST_F(RunnerTest, DifferentSeedsProduceDifferentChecksums)
+{
+    auto runSeed = [](std::uint64_t seed) {
+        SuiteOptions options = quickOptions();
+        options.seed = seed;
+        options.workloads = {"terasort"};
+        SuiteRunner runner(options);
+        runner.addQuickWorkloads();
+        return runner.run();
+    };
+    EXPECT_NE(runSeed(1).checksum(), runSeed(2).checksum());
+}
+
+TEST_F(RunnerTest, FailingWorkloadIsIsolated)
+{
+    SuiteOptions options = quickOptions();
+    options.jobs = 2;
+    SuiteRunner runner(options);
+    runner.add(std::make_unique<ThrowingWorkload>());
+    runner.add(makeTeraSort(1 << 22));
+
+    SuiteResult result = runner.run();
+    ASSERT_EQ(result.outcomes.size(), 2u);
+    EXPECT_EQ(result.outcomes[0].status, RunStatus::Failed);
+    EXPECT_NE(result.outcomes[0].error.find("synthetic"),
+              std::string::npos);
+    EXPECT_EQ(result.outcomes[1].status, RunStatus::Ok);
+    EXPECT_FALSE(result.allOk());
+    // The failed slot contributes nothing to the suite checksum.
+    EXPECT_NE(result.checksum(), 0u);
+}
+
+TEST_F(RunnerTest, TimeoutMarksWorkloadTimedOut)
+{
+    SuiteOptions options = quickOptions();
+    options.timeout_s = 1e-9;  // expires at the first checkpoint
+    options.workloads = {"terasort"};
+    SuiteRunner runner(options);
+    runner.addQuickWorkloads();
+    SuiteResult result = runner.run();
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes[0].status, RunStatus::TimedOut);
+    EXPECT_FALSE(result.allOk());
+}
+
+// ------------------------------------------------------- JSON report
+
+/** Bare-bones recursive-descent JSON validator/extractor. */
+class JsonProbe
+{
+  public:
+    explicit JsonProbe(const std::string &text) : text_(text) {}
+
+    /** Whole document parses as one JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        return value() && (skipWs(), pos_ == text_.size());
+    }
+
+    bool
+    hasKey(const std::string &key) const
+    {
+        return text_.find('"' + key + '"') != std::string::npos;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *s)
+    {
+        std::size_t n = std::string(s).size();
+        if (text_.compare(pos_, n, s) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (text_[pos_] != '"')
+            return false;
+        for (++pos_; pos_ < text_.size(); ++pos_) {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            else if (text_[pos_] == '"')
+                return ++pos_, true;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                std::string("+-.eE").find(text_[pos_]) !=
+                    std::string::npos)) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    container(char open, char close)
+    {
+        if (text_[pos_] != open)
+            return false;
+        ++pos_;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == close)
+            return ++pos_, true;
+        while (true) {
+            if (open == '{') {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return false;
+            }
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == close)
+                return ++pos_, true;
+            if (text_[pos_++] != ',')
+                return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return container('{', '}');
+        if (c == '[')
+            return container('[', ']');
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+TEST_F(RunnerTest, JsonReportShape)
+{
+    SuiteOptions options = quickOptions();
+    options.jobs = 2;
+    options.workloads = {"terasort", "kmeans"};
+    SuiteRunner runner(options);
+    runner.addQuickWorkloads();
+    SuiteResult result = runner.run();
+
+    std::string json = renderJson(result);
+    JsonProbe probe(json);
+    EXPECT_TRUE(probe.valid()) << json;
+    for (const char *key :
+         {"suite", "seed", "jobs", "cluster", "elapsed_s", "all_ok",
+          "suite_checksum", "workloads", "name", "short_name",
+          "status", "real", "proxy", "checksum", "tuning",
+          "qualified", "iterations", "accuracy", "speedup",
+          "metrics"}) {
+        EXPECT_TRUE(probe.hasKey(key)) << "missing key: " << key;
+    }
+    // Hex checksums are strings, not numbers.
+    EXPECT_NE(json.find("\"suite_checksum\":\"0x"), std::string::npos);
+}
+
+TEST_F(RunnerTest, JsonEscapesControlCharacters)
+{
+    SuiteResult result;
+    WorkloadOutcome bad;
+    bad.name = "quote\" backslash\\ newline\n";
+    bad.short_name = "bad";
+    bad.status = RunStatus::Failed;
+    bad.error = "tab\there";
+    result.outcomes.push_back(bad);
+
+    std::string json = renderJson(result);
+    JsonProbe probe(json);
+    EXPECT_TRUE(probe.valid()) << json;
+    EXPECT_NE(json.find("quote\\\""), std::string::npos);
+    EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST_F(RunnerTest, TableReportListsEveryOutcome)
+{
+    SuiteOptions options = quickOptions();
+    options.workloads = {"terasort", "pagerank"};
+    SuiteRunner runner(options);
+    runner.addQuickWorkloads();
+    SuiteResult result = runner.run();
+
+    std::string table = renderTable(result);
+    EXPECT_NE(table.find("TeraSort"), std::string::npos);
+    EXPECT_NE(table.find("PageRank"), std::string::npos);
+    EXPECT_NE(table.find("Speedup"), std::string::npos);
+    EXPECT_NE(table.find("checksum"), std::string::npos);
+}
+
+} // namespace
+} // namespace dmpb
