@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmpb.dir/src/runner/runner_main.cc.o"
+  "CMakeFiles/dmpb.dir/src/runner/runner_main.cc.o.d"
+  "dmpb"
+  "dmpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

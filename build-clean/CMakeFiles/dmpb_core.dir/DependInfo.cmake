@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "CMakeFiles/dmpb_core.dir/src/base/logging.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "CMakeFiles/dmpb_core.dir/src/base/rng.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/base/rng.cc.o.d"
+  "/root/repo/src/base/stats_util.cc" "CMakeFiles/dmpb_core.dir/src/base/stats_util.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/base/stats_util.cc.o.d"
+  "/root/repo/src/base/table.cc" "CMakeFiles/dmpb_core.dir/src/base/table.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/base/table.cc.o.d"
+  "/root/repo/src/base/thread_pool.cc" "CMakeFiles/dmpb_core.dir/src/base/thread_pool.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/base/thread_pool.cc.o.d"
+  "/root/repo/src/base/units.cc" "CMakeFiles/dmpb_core.dir/src/base/units.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/base/units.cc.o.d"
+  "/root/repo/src/core/auto_tuner.cc" "CMakeFiles/dmpb_core.dir/src/core/auto_tuner.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/core/auto_tuner.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "CMakeFiles/dmpb_core.dir/src/core/decision_tree.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/core/decision_tree.cc.o.d"
+  "/root/repo/src/core/proxy_benchmark.cc" "CMakeFiles/dmpb_core.dir/src/core/proxy_benchmark.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/core/proxy_benchmark.cc.o.d"
+  "/root/repo/src/core/proxy_cache.cc" "CMakeFiles/dmpb_core.dir/src/core/proxy_cache.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/core/proxy_cache.cc.o.d"
+  "/root/repo/src/core/proxy_factory.cc" "CMakeFiles/dmpb_core.dir/src/core/proxy_factory.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/core/proxy_factory.cc.o.d"
+  "/root/repo/src/datagen/gensort.cc" "CMakeFiles/dmpb_core.dir/src/datagen/gensort.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/datagen/gensort.cc.o.d"
+  "/root/repo/src/datagen/graph.cc" "CMakeFiles/dmpb_core.dir/src/datagen/graph.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/datagen/graph.cc.o.d"
+  "/root/repo/src/datagen/images.cc" "CMakeFiles/dmpb_core.dir/src/datagen/images.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/datagen/images.cc.o.d"
+  "/root/repo/src/datagen/text.cc" "CMakeFiles/dmpb_core.dir/src/datagen/text.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/datagen/text.cc.o.d"
+  "/root/repo/src/datagen/vectors.cc" "CMakeFiles/dmpb_core.dir/src/datagen/vectors.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/datagen/vectors.cc.o.d"
+  "/root/repo/src/motifs/ai_kernels.cc" "CMakeFiles/dmpb_core.dir/src/motifs/ai_kernels.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/motifs/ai_kernels.cc.o.d"
+  "/root/repo/src/motifs/ai_motifs.cc" "CMakeFiles/dmpb_core.dir/src/motifs/ai_motifs.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/motifs/ai_motifs.cc.o.d"
+  "/root/repo/src/motifs/bd_kernels.cc" "CMakeFiles/dmpb_core.dir/src/motifs/bd_kernels.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/motifs/bd_kernels.cc.o.d"
+  "/root/repo/src/motifs/bd_motifs.cc" "CMakeFiles/dmpb_core.dir/src/motifs/bd_motifs.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/motifs/bd_motifs.cc.o.d"
+  "/root/repo/src/motifs/motif.cc" "CMakeFiles/dmpb_core.dir/src/motifs/motif.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/motifs/motif.cc.o.d"
+  "/root/repo/src/runner/report.cc" "CMakeFiles/dmpb_core.dir/src/runner/report.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/runner/report.cc.o.d"
+  "/root/repo/src/runner/suite.cc" "CMakeFiles/dmpb_core.dir/src/runner/suite.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/runner/suite.cc.o.d"
+  "/root/repo/src/sim/branch.cc" "CMakeFiles/dmpb_core.dir/src/sim/branch.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/branch.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "CMakeFiles/dmpb_core.dir/src/sim/cache.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/cache.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "CMakeFiles/dmpb_core.dir/src/sim/machine.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/machine.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "CMakeFiles/dmpb_core.dir/src/sim/metrics.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/op.cc" "CMakeFiles/dmpb_core.dir/src/sim/op.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/op.cc.o.d"
+  "/root/repo/src/sim/profile.cc" "CMakeFiles/dmpb_core.dir/src/sim/profile.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/profile.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "CMakeFiles/dmpb_core.dir/src/sim/trace.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/sim/trace.cc.o.d"
+  "/root/repo/src/stack/cluster.cc" "CMakeFiles/dmpb_core.dir/src/stack/cluster.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/stack/cluster.cc.o.d"
+  "/root/repo/src/stack/managed_heap.cc" "CMakeFiles/dmpb_core.dir/src/stack/managed_heap.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/stack/managed_heap.cc.o.d"
+  "/root/repo/src/stack/mapreduce.cc" "CMakeFiles/dmpb_core.dir/src/stack/mapreduce.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/stack/mapreduce.cc.o.d"
+  "/root/repo/src/stack/stack_overhead.cc" "CMakeFiles/dmpb_core.dir/src/stack/stack_overhead.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/stack/stack_overhead.cc.o.d"
+  "/root/repo/src/stack/tensorlite.cc" "CMakeFiles/dmpb_core.dir/src/stack/tensorlite.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/stack/tensorlite.cc.o.d"
+  "/root/repo/src/workloads/ai_workloads.cc" "CMakeFiles/dmpb_core.dir/src/workloads/ai_workloads.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/workloads/ai_workloads.cc.o.d"
+  "/root/repo/src/workloads/bigdata_workloads.cc" "CMakeFiles/dmpb_core.dir/src/workloads/bigdata_workloads.cc.o" "gcc" "CMakeFiles/dmpb_core.dir/src/workloads/bigdata_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

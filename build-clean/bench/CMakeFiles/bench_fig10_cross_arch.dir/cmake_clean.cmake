@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cross_arch.dir/bench_fig10_cross_arch.cpp.o"
+  "CMakeFiles/bench_fig10_cross_arch.dir/bench_fig10_cross_arch.cpp.o.d"
+  "bench_fig10_cross_arch"
+  "bench_fig10_cross_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cross_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

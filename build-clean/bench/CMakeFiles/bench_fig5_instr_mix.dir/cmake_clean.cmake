@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_instr_mix.dir/bench_fig5_instr_mix.cpp.o"
+  "CMakeFiles/bench_fig5_instr_mix.dir/bench_fig5_instr_mix.cpp.o.d"
+  "bench_fig5_instr_mix"
+  "bench_fig5_instr_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_instr_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_disk_io.dir/bench_fig6_disk_io.cpp.o"
+  "CMakeFiles/bench_fig6_disk_io.dir/bench_fig6_disk_io.cpp.o.d"
+  "bench_fig6_disk_io"
+  "bench_fig6_disk_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_disk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sparsity_membw.dir/bench_fig7_sparsity_membw.cpp.o"
+  "CMakeFiles/bench_fig7_sparsity_membw.dir/bench_fig7_sparsity_membw.cpp.o.d"
+  "bench_fig7_sparsity_membw"
+  "bench_fig7_sparsity_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sparsity_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

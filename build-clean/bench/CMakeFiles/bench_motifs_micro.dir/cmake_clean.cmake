@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motifs_micro.dir/bench_motifs_micro.cpp.o"
+  "CMakeFiles/bench_motifs_micro.dir/bench_motifs_micro.cpp.o.d"
+  "bench_motifs_micro"
+  "bench_motifs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motifs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

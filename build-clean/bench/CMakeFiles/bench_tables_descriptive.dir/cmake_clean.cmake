@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_descriptive.dir/bench_tables_descriptive.cpp.o"
+  "CMakeFiles/bench_tables_descriptive.dir/bench_tables_descriptive.cpp.o.d"
+  "bench_tables_descriptive"
+  "bench_tables_descriptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmpb_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dmpb_bench_util.dir/bench_util.cc.o.d"
+  "libdmpb_bench_util.a"
+  "libdmpb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmpb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

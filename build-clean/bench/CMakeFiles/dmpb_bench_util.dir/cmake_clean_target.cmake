@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmpb_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_arch_study.dir/cross_arch_study.cpp.o"
+  "CMakeFiles/cross_arch_study.dir/cross_arch_study.cpp.o.d"
+  "cross_arch_study"
+  "cross_arch_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_arch_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_proxy.dir/generate_proxy.cpp.o"
+  "CMakeFiles/generate_proxy.dir/generate_proxy.cpp.o.d"
+  "generate_proxy"
+  "generate_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_explorer.dir/motif_explorer.cpp.o"
+  "CMakeFiles/motif_explorer.dir/motif_explorer.cpp.o.d"
+  "motif_explorer"
+  "motif_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

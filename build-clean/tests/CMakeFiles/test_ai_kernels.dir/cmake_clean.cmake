@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ai_kernels.dir/test_ai_kernels.cc.o"
+  "CMakeFiles/test_ai_kernels.dir/test_ai_kernels.cc.o.d"
+  "test_ai_kernels"
+  "test_ai_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ai_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bd_kernels.dir/test_bd_kernels.cc.o"
+  "CMakeFiles/test_bd_kernels.dir/test_bd_kernels.cc.o.d"
+  "test_bd_kernels"
+  "test_bd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motifs.dir/test_motifs.cc.o"
+  "CMakeFiles/test_motifs.dir/test_motifs.cc.o.d"
+  "test_motifs"
+  "test_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

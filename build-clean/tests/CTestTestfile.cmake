@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-clean/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_ai_kernels "/root/repo/build-clean/tests/test_ai_kernels")
+set_tests_properties(test_ai_kernels PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_base "/root/repo/build-clean/tests/test_base")
+set_tests_properties(test_base PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bd_kernels "/root/repo/build-clean/tests/test_bd_kernels")
+set_tests_properties(test_bd_kernels PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-clean/tests/test_core")
+set_tests_properties(test_core PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_datagen "/root/repo/build-clean/tests/test_datagen")
+set_tests_properties(test_datagen PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_motifs "/root/repo/build-clean/tests/test_motifs")
+set_tests_properties(test_motifs PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runner "/root/repo/build-clean/tests/test_runner")
+set_tests_properties(test_runner PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-clean/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stack "/root/repo/build-clean/tests/test_stack")
+set_tests_properties(test_stack PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build-clean/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
