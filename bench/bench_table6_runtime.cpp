@@ -15,6 +15,7 @@ using namespace dmpb::bench;
 int
 main()
 {
+    BenchReport report("bench_table6_runtime");
     ClusterConfig cluster = paperCluster5();
     std::printf("== Table VI: execution time on %s (5-node cluster)\n",
                 cluster.node.name.c_str());
@@ -25,14 +26,17 @@ main()
         std::string tag = shortName(w->name()) + "_w5";
         ProxyBundle b = tunedProxy(*w, cluster, tag);
         double proxy_rt = b.report.proxy_metrics[Metric::Runtime];
+        double sp = speedup(b.real.runtime_s, proxy_rt);
+        report.addRow(shortName(w->name()), b.real.runtime_s, proxy_rt,
+                      sp);
         t.row({shortName(w->name()),
                formatSeconds(b.real.runtime_s),
                formatSeconds(proxy_rt),
-               formatDouble(speedup(b.real.runtime_s, proxy_rt), 0) +
-                   "x"});
+               formatDouble(sp, 0) + "x"});
     }
     t.print();
     std::printf("\npaper shape check: every proxy should be >= 100x "
                 "faster than its real workload.\n");
+    report.finish();
     return 0;
 }

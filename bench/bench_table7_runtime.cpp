@@ -15,6 +15,7 @@ using namespace dmpb::bench;
 int
 main()
 {
+    BenchReport report("bench_table7_runtime");
     ClusterConfig c5 = paperCluster5();
     ClusterConfig c3 = paperCluster3();
     std::printf("== Table VII: execution time on the 3-node cluster\n");
@@ -36,12 +37,15 @@ main()
         RealRef real3 = realReference(
             *w3[i], c3, shortName(w3[i]->name()) + "_w3");
         ProxyResult run = b.proxy.execute(c3.node);
+        double sp = speedup(real3.runtime_s, run.runtime_s);
+        report.addRow(shortName(w3[i]->name()), real3.runtime_s,
+                      run.runtime_s, sp);
         t.row({shortName(w3[i]->name()),
                formatSeconds(real3.runtime_s),
                formatSeconds(run.runtime_s),
-               formatDouble(speedup(real3.runtime_s, run.runtime_s),
-                            0) + "x"});
+               formatDouble(sp, 0) + "x"});
     }
     t.print();
+    report.finish();
     return 0;
 }

@@ -1,9 +1,11 @@
 #include "bench/bench_util.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 namespace dmpb {
 namespace bench {
@@ -13,6 +15,69 @@ quickMode()
 {
     const char *v = std::getenv("DMPB_BENCH_QUICK");
     return v != nullptr && *v != '\0' && *v != '0';
+}
+
+SimConfig
+benchSimConfig()
+{
+    SimConfig sim;  // batch_capacity 0 = host-adapted default
+    unsigned hw = std::thread::hardware_concurrency();
+    sim.shards = std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 8);
+    return sim;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+BenchReport::~BenchReport()
+{
+    finish();
+}
+
+void
+BenchReport::addRow(const std::string &workload, double real_s,
+                    double proxy_s, double speedup)
+{
+    rows_.push_back(Row{workload, real_s, proxy_s, speedup});
+}
+
+void
+BenchReport::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    std::printf("\n[%s] wall %.3f s (quick=%d, sim shards %zu)\n",
+                name_.c_str(), wall, quickMode() ? 1 : 0,
+                benchSimConfig().shards);
+    const char *path = std::getenv("DMPB_BENCH_JSON");
+    if (path == nullptr || *path == '\0')
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[bench] cannot write %s\n", path);
+        return;
+    }
+    out.precision(17);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n"
+        << "  \"quick\": " << (quickMode() ? "true" : "false") << ",\n"
+        << "  \"sim_shards\": " << benchSimConfig().shards << ",\n"
+        << "  \"wall_s\": " << wall << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const Row &r = rows_[i];
+        out << (i ? "," : "") << "\n    {\"workload\": \""
+            << r.workload << "\", \"real_s\": " << r.real_s
+            << ", \"proxy_s\": " << r.proxy_s
+            << ", \"speedup\": " << r.speedup << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("[%s] JSON perf report: %s\n", name_.c_str(), path);
 }
 
 std::string
@@ -87,7 +152,9 @@ realReference(const Workload &workload, const ClusterConfig &cluster,
         return ref;
     std::fprintf(stderr, "[bench] measuring real %s (%s)...\n",
                  workload.name().c_str(), tag.c_str());
-    WorkloadResult r = workload.run(cluster);
+    ClusterConfig sharded = cluster;
+    sharded.sim = benchSimConfig();
+    WorkloadResult r = workload.run(sharded);
     ref.runtime_s = r.runtime_s;
     ref.metrics = r.metrics;
     saveReal(tag, ref);
@@ -100,6 +167,7 @@ tunedProxy(const Workload &workload, const ClusterConfig &cluster,
 {
     RealRef real = realReference(workload, cluster, tag);
     ProxyBenchmark proxy = decomposeWorkload(workload);
+    proxy.setSimConfig(benchSimConfig());
     TunerConfig config;
     std::string key = "proxy_" + tag;
     if (quickMode()) {

@@ -13,6 +13,7 @@
 #ifndef DMPB_BENCH_BENCH_UTIL_HH
 #define DMPB_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,50 @@ namespace bench {
  * separate cache keys. The CI smoke step runs benches this way.
  */
 bool quickMode();
+
+/**
+ * Engine configuration the benches run with: host-adapted batching
+ * plus one simulation shard per CPU (capped). Metric output is
+ * bit-identical for every value; only wall-clock changes.
+ */
+SimConfig benchSimConfig();
+
+/**
+ * Wall-clock self-measurement plus an optional JSON perf report.
+ *
+ * Construct at the top of main(); finish() (or the destructor) prints
+ * the bench's wall time and, when DMPB_BENCH_JSON names a path,
+ * writes {bench, quick, sim_shards, wall_s, rows[]} there -- the CI
+ * smoke step uploads that file as a per-commit perf artifact so the
+ * runtime trajectory of the engine is tracked per PR.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench_name);
+    ~BenchReport();
+
+    /** Record one workload row (real vs proxy runtime + speedup). */
+    void addRow(const std::string &workload, double real_s,
+                double proxy_s, double speedup);
+
+    /** Print wall time and write the JSON report (idempotent). */
+    void finish();
+
+  private:
+    struct Row
+    {
+        std::string workload;
+        double real_s;
+        double proxy_s;
+        double speedup;
+    };
+
+    std::string name_;
+    std::vector<Row> rows_;
+    std::chrono::steady_clock::time_point start_;
+    bool finished_ = false;
+};
 
 /** Cached reference measurement of a real workload. */
 struct RealRef

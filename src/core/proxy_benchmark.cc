@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/units.hh"
+#include "sim/engine.hh"
 #include "stack/managed_heap.hh"
 #include "stack/stack_overhead.hh"
 
@@ -73,6 +77,56 @@ ProxyBenchmark::normalizeWeights()
         e.weight /= sum;
 }
 
+namespace {
+
+/** Everything one proxy edge contributes, simulated independently. */
+struct EdgeOutcome
+{
+    KernelProfile prof;        ///< all-tasks totals incl. I/O bytes
+    std::uint64_t checksum = 0;
+    double edge_cpu = 0.0;     ///< all waves of this edge's tasks
+    double disk_s = 0.0;
+};
+
+/**
+ * Memo key: every input of one edge's traced run. The edge weight is
+ * deliberately absent (it scales the profile after simulation), and
+ * so are the core timing parameters (applied to the profile, not the
+ * trace). The machine is keyed by its full simulated geometry --
+ * cache levels and predictor -- not by name, so sweeps that mutate a
+ * named config (e.g. the LLC-size study) never collide.
+ */
+std::string
+edgeTraceKey(const Motif &motif, const MotifParams &p,
+             const MachineConfig &machine, std::uint32_t sharers,
+             std::uint64_t working_set, std::uint64_t traced_bytes,
+             double gc_intensity)
+{
+    std::ostringstream key;
+    // Continuous tunables (sparsity, gc_intensity) must round-trip
+    // losslessly or near-identical tuner candidates would collide.
+    key.precision(std::numeric_limits<double>::max_digits10);
+    key << motif.name() << '|' << sharers;
+    for (const CacheParams *c :
+         {&machine.caches.l1i, &machine.caches.l1d, &machine.caches.l2,
+          &machine.caches.l3}) {
+        key << '|' << c->size_bytes << ':' << c->associativity << ':'
+            << c->line_bytes;
+    }
+    key << '|' << machine.predictor.table_bits << ':'
+        << machine.predictor.history_bits;
+    key << '|' << p.seed << '|' << p.data_size << '|' << p.chunk_size
+        << '|' << p.num_tasks << '|' << p.batch_size << '|'
+        << p.total_size << '|' << p.height << '|' << p.width << '|'
+        << p.channels << '|' << p.filters << '|' << p.kernel << '|'
+        << p.stride << '|' << static_cast<int>(p.layout) << '|'
+        << p.sparsity << '|' << working_set << '|' << traced_bytes
+        << '|' << gc_intensity;
+    return key.str();
+}
+
+} // namespace
+
 ProxyResult
 ProxyBenchmark::execute(const MachineConfig &machine,
                         std::uint64_t trace_cap) const
@@ -86,9 +140,6 @@ ProxyBenchmark::execute(const MachineConfig &machine,
     const std::uint32_t sharers = std::min(tasks, cores);
     const std::uint64_t waves = (tasks + cores - 1) / cores;
 
-    KernelProfile total;
-    double runtime = 0.0;
-
     // Traced working set per task: governed by dataSize/numTasks and
     // bounded for tuner-iteration cost. Edge *weights* scale each
     // motif's contribution (extrapolation factor), not its working
@@ -99,81 +150,123 @@ ProxyBenchmark::execute(const MachineConfig &machine,
         64 * 1024,
         std::min<std::uint64_t>(base_.data_size / tasks, trace_cap));
 
+    // Every edge is one simulated core with private cache/predictor
+    // replicas, so the edge simulations are mutually independent:
+    // they run sharded across the ThreadPool and merge in edge order
+    // below, bit-identical for any simConfig().shards value.
+    std::vector<EdgeOutcome> outcomes(edges_.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(edges_.size());
     for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
-        const ProxyEdge &edge = edges_[ei];
-        // Logical bytes this motif contributes, per task.
-        double edge_bytes = static_cast<double>(base_.data_size) *
-                            edge.weight;
-        double share = edge_bytes / static_cast<double>(tasks);
+        jobs.push_back([this, &machine, &outcomes, ei, tasks, sharers,
+                        waves, working_set]() {
+            const ProxyEdge &edge = edges_[ei];
+            EdgeOutcome &out = outcomes[ei];
+            // Logical bytes this motif contributes, per task.
+            double edge_bytes = static_cast<double>(base_.data_size) *
+                                edge.weight;
+            double share = edge_bytes / static_cast<double>(tasks);
 
-        MotifParams p = base_;
-        p.seed = base_.seed ^ mix64(ei + 1);
-        std::uint64_t traced_bytes;
-        if (edge.motif->isAi()) {
-            // One batch per traced run; extrapolate to the share.
-            p.total_size = 0;
-            traced_bytes = aiBytesPerRun(p);
-        } else {
-            p.data_size = working_set;
-            p.chunk_size = std::min<std::uint64_t>(p.chunk_size,
-                                                   p.data_size);
-            traced_bytes = p.data_size;
-        }
+            MotifParams p = base_;
+            p.seed = base_.seed ^ mix64(ei + 1);
+            std::uint64_t traced_bytes;
+            if (edge.motif->isAi()) {
+                // One batch per traced run; extrapolate to the share.
+                p.total_size = 0;
+                traced_bytes = aiBytesPerRun(p);
+            } else {
+                p.data_size = working_set;
+                p.chunk_size = std::min<std::uint64_t>(p.chunk_size,
+                                                       p.data_size);
+                traced_bytes = p.data_size;
+            }
 
-        // Light-weight stack: small resident kernel code (the paper's
-        // POSIX-thread implementations), plus the unified memory-
-        // management module running at gc_intensity ops/byte.
-        TraceContext ctx(machine, sharers);
-        ctx.setCodeFootprint(48 * 1024);
-        result.checksum ^= edge.motif->run(ctx, p);
-        if (gc_intensity_ > 0.0) {
-            ManagedHeap heap(ctx, std::max<std::uint64_t>(
-                                      64 * 1024, working_set / 8));
-            Rng mgmt_rng(p.seed ^ 0x6c6cULL);
-            stackManagementWork(ctx, heap, mgmt_rng, traced_bytes,
-                                gc_intensity_);
-            heap.collect();
-        }
-        KernelProfile prof = ctx.profile();
+            const std::string key = edgeTraceKey(
+                *edge.motif, p, machine, sharers, working_set,
+                traced_bytes, gc_intensity_);
+            bool memoized = false;
+            {
+                std::lock_guard<std::mutex> lock(trace_memo_->mutex);
+                auto it = trace_memo_->entries.find(key);
+                if (it != trace_memo_->entries.end()) {
+                    out.prof = it->second.profile;
+                    out.checksum = it->second.checksum;
+                    memoized = true;
+                }
+            }
+            if (!memoized) {
+                // Light-weight stack: small resident kernel code (the
+                // paper's POSIX-thread implementations), plus the
+                // unified memory-management module at gc_intensity
+                // ops/byte.
+                TraceContext ctx(machine, sharers, 1,
+                                 sim_.batch_capacity);
+                ctx.setCodeFootprint(48 * 1024);
+                out.checksum = edge.motif->run(ctx, p);
+                if (gc_intensity_ > 0.0) {
+                    ManagedHeap heap(
+                        ctx, std::max<std::uint64_t>(64 * 1024,
+                                                     working_set / 8));
+                    Rng mgmt_rng(p.seed ^ 0x6c6cULL);
+                    stackManagementWork(ctx, heap, mgmt_rng,
+                                        traced_bytes, gc_intensity_);
+                    heap.collect();
+                }
+                out.prof = ctx.profile();
+                std::lock_guard<std::mutex> lock(trace_memo_->mutex);
+                trace_memo_->entries.emplace(key,
+                                             EdgeTrace{out.prof,
+                                                       out.checksum});
+            }
 
-        double scale = share / static_cast<double>(
-                                   std::max<std::uint64_t>(
-                                       1, traced_bytes));
-        prof.scale(scale);
+            double scale = share / static_cast<double>(
+                                       std::max<std::uint64_t>(
+                                           1, traced_bytes));
+            out.prof.scale(scale);
 
-        // Compute time: tasks run in parallel, in waves if there are
-        // more tasks than hardware contexts.
-        double per_task_cpu = machine.core.seconds(prof);
-        double edge_cpu = per_task_cpu * static_cast<double>(waves);
+            // Compute time: tasks run in parallel, in waves if there
+            // are more tasks than hardware contexts.
+            double per_task_cpu = machine.core.seconds(out.prof);
+            out.edge_cpu = per_task_cpu * static_cast<double>(waves);
 
-        // I/O pattern. Big-data edges stream their input from disk
-        // and spill half of it as intermediate data (Section II-A:
-        // "intermediate data written to disk"). AI edges only read
-        // one uint8 image batch per run through a prefetching input
-        // pipeline, so their disk pressure is near zero, matching the
-        // 0.2-0.5 MB/s the paper measures for the AI workloads.
-        std::uint64_t edge_read;
-        std::uint64_t edge_write;
-        double disk_s = 0.0;
-        if (edge.motif->isAi()) {
-            edge_read = static_cast<std::uint64_t>(base_.batch_size) *
-                        base_.channels * base_.height * base_.width;
-            edge_write = 0;
-        } else {
-            edge_read = static_cast<std::uint64_t>(edge_bytes);
-            edge_write = edge_read / 2;
-            disk_s = machine.disk.readSeconds(edge_read,
-                                              edge_read / kMiB + 1) +
-                     machine.disk.writeSeconds(edge_write,
-                                               edge_write / kMiB + 1);
-        }
-        runtime += std::max(edge_cpu, disk_s) +
-                   0.25 * std::min(edge_cpu, disk_s);
+            // I/O pattern. Big-data edges stream their input from
+            // disk and spill half of it as intermediate data
+            // (Section II-A: "intermediate data written to disk").
+            // AI edges only read one uint8 image batch per run
+            // through a prefetching input pipeline, so their disk
+            // pressure is near zero, matching the 0.2-0.5 MB/s the
+            // paper measures for the AI workloads.
+            std::uint64_t edge_read;
+            std::uint64_t edge_write;
+            if (edge.motif->isAi()) {
+                edge_read =
+                    static_cast<std::uint64_t>(base_.batch_size) *
+                    base_.channels * base_.height * base_.width;
+                edge_write = 0;
+            } else {
+                edge_read = static_cast<std::uint64_t>(edge_bytes);
+                edge_write = edge_read / 2;
+                out.disk_s =
+                    machine.disk.readSeconds(edge_read,
+                                             edge_read / kMiB + 1) +
+                    machine.disk.writeSeconds(edge_write,
+                                              edge_write / kMiB + 1);
+            }
+            out.prof.scale(static_cast<double>(tasks));
+            out.prof.disk_read_bytes += edge_read;
+            out.prof.disk_write_bytes += edge_write;
+        });
+    }
+    runShardedJobs(sim_.shards, std::move(jobs));
 
-        prof.scale(static_cast<double>(tasks));
-        prof.disk_read_bytes += edge_read;
-        prof.disk_write_bytes += edge_write;
-        total.merge(prof);
+    // Deterministic merge in edge order.
+    KernelProfile total;
+    double runtime = 0.0;
+    for (EdgeOutcome &out : outcomes) {
+        result.checksum ^= out.checksum;
+        runtime += std::max(out.edge_cpu, out.disk_s) +
+                   0.25 * std::min(out.edge_cpu, out.disk_s);
+        total.merge(out.prof);
     }
 
     result.runtime_s = runtime;

@@ -18,10 +18,14 @@
 #define DMPB_CORE_PROXY_BENCHMARK_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "motifs/motif.hh"
+#include "sim/access_batch.hh"
 #include "sim/metrics.hh"
 
 namespace dmpb {
@@ -71,9 +75,19 @@ class ProxyBenchmark
      * actually traced, and counters/time are extrapolated to the full
      * dataSize -- the same SMARTS-style approach the real-workload
      * engines use, keeping tuner iterations cheap.
+     *
+     * Each edge is an independent simulated core with private model
+     * replicas; simConfig().shards of them run concurrently and their
+     * outcomes merge in edge order, so the result is bit-identical
+     * for every shard count.
      */
     ProxyResult execute(const MachineConfig &machine,
                         std::uint64_t trace_cap = 2 * 1024 * 1024) const;
+
+    /** @{ Trace-simulation engine knobs (no effect on any metric). */
+    const SimConfig &simConfig() const { return sim_; }
+    void setSimConfig(const SimConfig &sim) { sim_ = sim; }
+    /** @} */
 
     /** @{ The tunable parameter vector P (Table I). */
     std::vector<TunableParam> parameters() const;
@@ -102,10 +116,34 @@ class ProxyBenchmark
     void setGcIntensity(double v) { gc_intensity_ = v; }
 
   private:
+    /**
+     * Trace memo: raw per-edge simulation outcomes keyed by every
+     * input the traced run depends on (motif, seeds, shapes, machine,
+     * LLC sharing, stack intensity -- NOT the edge weight, which only
+     * scales the result afterwards). The auto-tuner re-executes the
+     * proxy dozens of times varying one parameter at a time, so most
+     * edges repeat with identical inputs; the deterministic engine
+     * guarantees a memo hit is bit-identical to re-simulation.
+     * Shared by copies of the proxy; guarded for sharded execution.
+     */
+    struct EdgeTrace
+    {
+        KernelProfile profile;
+        std::uint64_t checksum = 0;
+    };
+    struct TraceMemo
+    {
+        std::mutex mutex;
+        std::map<std::string, EdgeTrace> entries;
+    };
+
     std::string name_;
     MotifParams base_;
     std::vector<ProxyEdge> edges_;
     double gc_intensity_ = 2.0;
+    SimConfig sim_;
+    std::shared_ptr<TraceMemo> trace_memo_ =
+        std::make_shared<TraceMemo>();
 };
 
 } // namespace dmpb

@@ -47,11 +47,27 @@ conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
 
     const std::size_t wstride_o =
         static_cast<std::size_t>(ishape.c) * kernel * kernel;
+    // Per-x element stride of the input layout: rows are walked with
+    // additive index updates (same indices as Shape4::index, without
+    // re-deriving the full polynomial per element).
+    const std::size_t xstep =
+        layout == DataLayout::NCHW ? 1 : ishape.c;
     for (std::uint32_t n = 0; n < ishape.n; ++n) {
         for (std::uint32_t o = 0; o < filters; ++o) {
             for (std::uint32_t oy = 0; oy < oshape.h; ++oy) {
                 for (std::uint32_t ox = 0; ox < oshape.w; ++ox) {
                     float acc = 0.0f;
+                    std::uint64_t macs = 0;
+                    const std::int64_t ix0 =
+                        static_cast<std::int64_t>(ox) * stride - pad;
+                    const std::uint32_t kx_lo = static_cast<std::uint32_t>(
+                        ix0 < 0 ? -ix0 : 0);
+                    const std::int64_t kx_hi_s =
+                        static_cast<std::int64_t>(ishape.w) - ix0;
+                    const std::uint32_t kx_hi = static_cast<std::uint32_t>(
+                        std::min<std::int64_t>(kernel,
+                                               std::max<std::int64_t>(
+                                                   0, kx_hi_s)));
                     for (std::uint32_t c = 0; c < ishape.c; ++c) {
                         for (std::uint32_t ky = 0; ky < kernel; ++ky) {
                             std::int64_t iy =
@@ -62,34 +78,35 @@ conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
                                           ishape.h)) {
                                 continue;
                             }
-                            for (std::uint32_t kx = 0; kx < kernel;
+                            const std::size_t in_row = ishape.index(
+                                layout, n, c,
+                                static_cast<std::uint32_t>(iy), 0);
+                            const std::size_t w_row =
+                                o * wstride_o +
+                                (static_cast<std::size_t>(c) * kernel +
+                                 ky) * kernel;
+                            for (std::uint32_t kx = kx_lo; kx < kx_hi;
                                  ++kx) {
-                                std::int64_t ix =
-                                    static_cast<std::int64_t>(ox) *
-                                        stride + kx - pad;
-                                if (ix < 0 ||
-                                    ix >= static_cast<std::int64_t>(
-                                              ishape.w)) {
-                                    continue;
-                                }
-                                float iv = in.rd(ishape.index(
-                                    layout, n, c,
-                                    static_cast<std::uint32_t>(iy),
-                                    static_cast<std::uint32_t>(ix)));
-                                float wv = weights.rd(
-                                    o * wstride_o +
-                                    (static_cast<std::size_t>(c) *
-                                         kernel + ky) * kernel + kx);
+                                const std::size_t ix =
+                                    static_cast<std::size_t>(ix0 + kx);
+                                float wv;
+                                float iv = in.rdPair(
+                                    in_row + ix * xstep, weights,
+                                    w_row + kx, wv);
                                 acc += iv * wv;
-                                ctx.emitOps(OpClass::FpMul, 1);
-                                ctx.emitOps(OpClass::FpAlu, 1);
+                                ++macs;
                             }
                         }
                     }
+                    // One fused mul+add charge per MAC, emitted in
+                    // bulk per output element (same totals as per-MAC
+                    // emission, a fraction of the reporting cost).
+                    ctx.emitOps(OpClass::FpMul, macs);
                     if (!bias.empty()) {
                         acc += bias.rd(o);
-                        ctx.emitOps(OpClass::FpAlu, 1);
+                        ++macs;
                     }
+                    ctx.emitOps(OpClass::FpAlu, macs);
                     out.wr(oshape.index(layout, n, o, oy, ox), acc);
                 }
             }
@@ -127,11 +144,15 @@ pool2d(TraceContext &ctx, const TracedBuffer<float> &in,
                                     acc = v;
                             } else {
                                 acc += v;
-                                ctx.emitOps(OpClass::FpAlu, 1);
                             }
                         }
                     }
                     if (!kMax) {
+                        // Bulk charge: one add per window element,
+                        // one divide (same totals as per-element).
+                        ctx.emitOps(OpClass::FpAlu,
+                                    static_cast<std::uint64_t>(kernel) *
+                                        kernel);
                         acc /= static_cast<float>(kernel * kernel);
                         ctx.emitOps(OpClass::FpMul, 1);
                     }
@@ -176,16 +197,19 @@ fullyConnected(TraceContext &ctx, const TracedBuffer<float> &in,
         for (std::size_t o = 0; o < out_dim; ++o) {
             float acc = 0.0f;
             for (std::size_t i = 0; i < in_dim; ++i) {
-                float x = in.rd(b * in_dim + i);
-                float w = weights.rd(o * in_dim + i);
+                float w;
+                float x = in.rdPair(b * in_dim + i, weights,
+                                    o * in_dim + i, w);
                 acc += x * w;
-                ctx.emitOps(OpClass::FpMul, 1);
-                ctx.emitOps(OpClass::FpAlu, 1);
             }
+            // Bulk charge per dot product (same totals as per-MAC).
+            ctx.emitOps(OpClass::FpMul, in_dim);
+            std::uint64_t adds = in_dim;
             if (!bias.empty()) {
                 acc += bias.rd(o);
-                ctx.emitOps(OpClass::FpAlu, 1);
+                ++adds;
             }
+            ctx.emitOps(OpClass::FpAlu, adds);
             out.wr(b * out_dim + o, acc);
         }
     }

@@ -608,13 +608,16 @@ matMul(TraceContext &ctx, const TracedBuffer<float> &a,
     for (std::size_t i = 0; i < m; ++i) {
         for (std::size_t kk = 0; kk < k; ++kk) {
             float av = a.rd(i * k + kk);
+            const std::size_t b_row = kk * n;
+            const std::size_t c_row = i * n;
             for (std::size_t j = 0; j < n; ++j) {
-                float bv = b.rd(kk * n + j);
-                float &cv = c.rmw(i * n + j);
+                float bv;
+                float &cv = c.rmwPair(c_row + j, b, b_row + j, bv);
                 cv += av * bv;
-                ctx.emitOps(OpClass::FpMul, 1);
-                ctx.emitOps(OpClass::FpAlu, 1);
             }
+            // Bulk charge per row sweep (same totals as per-MAC).
+            ctx.emitOps(OpClass::FpMul, n);
+            ctx.emitOps(OpClass::FpAlu, n);
         }
     }
 }
@@ -637,13 +640,16 @@ euclideanAssign(TraceContext &ctx, const TracedBuffer<float> &points,
         for (std::size_t c = 0; c < num_centroids; ++c) {
             double dist = 0.0;
             for (std::size_t d = 0; d < dim; ++d) {
-                float pv = points.rd(p * dim + d);
-                float cv = centroids.rd(c * dim + d);
+                float cv;
+                float pv = points.rdPair(p * dim + d, centroids,
+                                         c * dim + d, cv);
                 double diff = static_cast<double>(pv) - cv;
                 dist += diff * diff;
-                ctx.emitOps(OpClass::FpAlu, 2);
-                ctx.emitOps(OpClass::FpMul, 1);
             }
+            // Bulk charge per distance: sub+add and one mul per
+            // dimension (same totals as per-element emission).
+            ctx.emitOps(OpClass::FpAlu, 2 * dim);
+            ctx.emitOps(OpClass::FpMul, dim);
             bool better = c == 0 || dist < best;
             DMPB_BR(ctx, better);
             if (better) {
@@ -668,14 +674,16 @@ cosineSimilarity(TraceContext &ctx, const TracedBuffer<float> &rows,
     for (std::size_t r = 0; r + 1 < num_rows; r += 2) {
         double dot = 0.0, na = 0.0, nb = 0.0;
         for (std::size_t d = 0; d < dim; ++d) {
-            float x = rows.rd(r * dim + d);
-            float y = rows.rd((r + 1) * dim + d);
+            float y;
+            float x = rows.rdPair(r * dim + d, rows,
+                                  (r + 1) * dim + d, y);
             dot += static_cast<double>(x) * y;
             na += static_cast<double>(x) * x;
             nb += static_cast<double>(y) * y;
-            ctx.emitOps(OpClass::FpMul, 3);
-            ctx.emitOps(OpClass::FpAlu, 3);
         }
+        // Bulk charge per row pair (same totals as per-element).
+        ctx.emitOps(OpClass::FpMul, 3 * dim);
+        ctx.emitOps(OpClass::FpAlu, 3 * dim);
         double denom = std::sqrt(na) * std::sqrt(nb);
         ctx.emitOps(OpClass::FpMul, 3);
         bool ok = denom > 0.0;

@@ -189,6 +189,8 @@ renderJson(const SuiteResult &result)
     json.field("suite", "dmpb");
     json.field("seed", result.seed);
     json.field("jobs", static_cast<std::uint64_t>(result.jobs));
+    json.field("sim_shards",
+               static_cast<std::uint64_t>(result.sim_shards));
     json.field("cluster", result.cluster_name);
     json.field("elapsed_s", result.elapsed_s);
     json.field("all_ok", result.allOk());

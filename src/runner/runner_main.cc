@@ -42,6 +42,15 @@ Usage: dmpb [options]
                       evaluation and at stage boundaries, so the
                       non-interruptible real-workload measurement
                       can overshoot it)
+  --sim-shards N      Worker threads the trace-simulation engine
+                      shards independent simulated cores across
+                      (default 1 = sequential; metrics and checksums
+                      are bit-identical for every value)
+  --sim-batch N       Events buffered per trace context before a
+                      batched model replay (default: host-adapted --
+                      32768 on multi-CPU hosts, 1 = the unbatched
+                      scalar path on single-CPU hosts; results are
+                      identical either way)
   --output PATH       JSON report path (default dmpb-report.json;
                       "-" prints JSON to stdout instead of the table)
   --cache-dir DIR     Tuned-parameter cache (default dmpb-cache)
@@ -144,6 +153,16 @@ main(int argc, char **argv)
                 options.timeout_s < 0) {
                 usageError("--timeout needs a non-negative number");
             }
+        } else if (arg == "--sim-shards") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--sim-shards"), n) || n == 0)
+                usageError("--sim-shards needs a positive integer");
+            options.sim.shards = static_cast<std::size_t>(n);
+        } else if (arg == "--sim-batch") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--sim-batch"), n) || n == 0)
+                usageError("--sim-batch needs a positive integer");
+            options.sim.batch_capacity = static_cast<std::size_t>(n);
         } else if (arg == "--output") {
             output = value("--output");
         } else if (arg == "--cache-dir") {

@@ -101,6 +101,10 @@ SuiteRunner::SuiteRunner(SuiteOptions options)
 {
     if (options_.cluster.num_nodes < 2)
         options_.cluster = paperCluster5();
+    if (options_.sim.shards == 0)
+        options_.sim.shards = 1;
+    // The workload engines read the engine knobs off the cluster.
+    options_.cluster.sim = options_.sim;
 }
 
 void
@@ -194,6 +198,7 @@ SuiteRunner::runOne(const Workload &workload) const
         // Stage 2: decompose into the motif DAG and derive the
         // per-workload seeds from the master seed.
         ProxyBenchmark proxy = decomposeWorkload(workload);
+        proxy.setSimConfig(options_.sim);
         proxy.baseParams().seed = mixSeed(options_.seed, out.short_name);
         TunerConfig tuner = options_.tuner;
         tuner.seed = mixSeed(options_.seed, out.short_name + "/tuner");
@@ -260,6 +265,7 @@ SuiteRunner::run()
 
     SuiteResult result;
     result.seed = options_.seed;
+    result.sim_shards = options_.sim.shards;
     result.cluster_name = options_.cluster.node.name;
     result.jobs = options_.jobs > 0 ? options_.jobs
                                     : std::max<std::size_t>(

@@ -59,6 +59,14 @@ struct SuiteOptions
     ClusterConfig cluster;
     /** Auto-tuner budget (seed is overridden by SuiteOptions::seed). */
     TunerConfig tuner;
+    /**
+     * Trace-simulation engine configuration (--sim-shards /
+     * --sim-batch): batching and per-core sharding of the simulated
+     * cache/branch models. Copied into the cluster config so the
+     * workload engines see it too. Bit-identical metrics for every
+     * setting -- only wall-clock changes.
+     */
+    SimConfig sim;
 };
 
 /** Everything the suite learned about one workload. */
@@ -91,6 +99,7 @@ struct SuiteResult
     double elapsed_s = 0.0;                 ///< suite wall time
     std::uint64_t seed = 0;
     std::size_t jobs = 0;
+    std::size_t sim_shards = 1;
     std::string cluster_name;
 
     /** Order-independent combination of the proxy checksums of every

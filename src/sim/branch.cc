@@ -1,5 +1,8 @@
 #include "sim/branch.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "base/logging.hh"
 #include "base/rng.hh"
 
@@ -24,25 +27,14 @@ BranchStats::merge(const BranchStats &other)
 void
 BranchStats::scale(double factor)
 {
-    branches = static_cast<std::uint64_t>(branches * factor);
-    mispredicts = static_cast<std::uint64_t>(mispredicts * factor);
+    dmpb_assert(factor >= 0.0, "cannot scale counters negatively");
+    branches = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(branches) * factor));
+    mispredicts = std::min(
+        static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(mispredicts) * factor)),
+        branches);
 }
-
-namespace {
-
-/** Update a 2-bit saturating counter and report predicted direction. */
-inline bool
-counterPredictUpdate(std::uint8_t &ctr, bool taken)
-{
-    bool predicted = ctr >= 2;
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-    return predicted;
-}
-
-} // namespace
 
 BimodalPredictor::BimodalPredictor(std::uint32_t table_bits)
     : table_(1ULL << table_bits, 1),
@@ -50,17 +42,6 @@ BimodalPredictor::BimodalPredictor(std::uint32_t table_bits)
 {
     dmpb_assert(table_bits >= 4 && table_bits <= 24,
                 "unreasonable bimodal table size");
-}
-
-bool
-BimodalPredictor::record(std::uint64_t site, bool taken)
-{
-    ++stats_.branches;
-    std::uint8_t &ctr = table_[mix64(site) & mask_];
-    bool correct = counterPredictUpdate(ctr, taken) == taken;
-    if (!correct)
-        ++stats_.mispredicts;
-    return correct;
 }
 
 GsharePredictor::GsharePredictor(std::uint32_t table_bits,
@@ -71,19 +52,6 @@ GsharePredictor::GsharePredictor(std::uint32_t table_bits,
 {
     dmpb_assert(history_bits <= table_bits,
                 "gshare history longer than index");
-}
-
-bool
-GsharePredictor::record(std::uint64_t site, bool taken)
-{
-    ++stats_.branches;
-    std::uint64_t idx = (mix64(site) ^ history_) & mask_;
-    std::uint8_t &ctr = table_[idx];
-    bool correct = counterPredictUpdate(ctr, taken) == taken;
-    if (!correct)
-        ++stats_.mispredicts;
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
-    return correct;
 }
 
 } // namespace dmpb

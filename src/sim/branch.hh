@@ -14,7 +14,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/rng.hh"
+
 namespace dmpb {
+
+namespace detail {
+
+/** Update a 2-bit saturating counter and report predicted direction. */
+inline bool
+counterPredictUpdate(std::uint8_t &ctr, bool taken)
+{
+    bool predicted = ctr >= 2;
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    return predicted;
+}
+
+} // namespace detail
 
 /** Counters shared by all predictor types. */
 struct BranchStats
@@ -55,7 +73,15 @@ class BimodalPredictor : public BranchPredictor
   public:
     explicit BimodalPredictor(std::uint32_t table_bits = 12);
 
-    bool record(std::uint64_t site, bool taken) override;
+    bool
+    record(std::uint64_t site, bool taken) override
+    {
+        ++stats_.branches;
+        std::uint8_t &ctr = table_[mix64(site) & mask_];
+        bool correct = detail::counterPredictUpdate(ctr, taken) == taken;
+        stats_.mispredicts += static_cast<std::uint64_t>(!correct);
+        return correct;
+    }
 
   private:
     std::vector<std::uint8_t> table_;
@@ -73,7 +99,17 @@ class GsharePredictor : public BranchPredictor
     explicit GsharePredictor(std::uint32_t table_bits = 14,
                              std::uint32_t history_bits = 12);
 
-    bool record(std::uint64_t site, bool taken) override;
+    bool
+    record(std::uint64_t site, bool taken) override
+    {
+        ++stats_.branches;
+        std::uint64_t idx = (mix64(site) ^ history_) & mask_;
+        std::uint8_t &ctr = table_[idx];
+        bool correct = detail::counterPredictUpdate(ctr, taken) == taken;
+        stats_.mispredicts += static_cast<std::uint64_t>(!correct);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+        return correct;
+    }
 
   private:
     std::vector<std::uint8_t> table_;

@@ -1,8 +1,11 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "base/logging.hh"
+#include "sim/engine.hh"
 
 namespace dmpb {
 
@@ -11,6 +14,22 @@ CacheParams::numSets() const
 {
     return size_bytes / (static_cast<std::uint64_t>(associativity) *
                          line_bytes);
+}
+
+CacheParams
+sliceL3(CacheParams l3, std::uint32_t sharers)
+{
+    if (sharers <= 1)
+        return l3;
+    std::uint64_t way_line = static_cast<std::uint64_t>(l3.associativity) *
+                             l3.line_bytes;
+    std::uint64_t sets = l3.size_bytes / sharers / way_line;
+    if (sets == 0)
+        sets = 1;
+    // Rounding down to whole ways keeps the slice geometry exact, so
+    // the CacheModel constructor's divisibility check always holds.
+    l3.size_bytes = sets * way_line;
+    return l3;
 }
 
 double
@@ -33,9 +52,14 @@ CacheStats::merge(const CacheStats &other)
 void
 CacheStats::scale(double factor)
 {
-    accesses = static_cast<std::uint64_t>(accesses * factor);
-    misses = static_cast<std::uint64_t>(misses * factor);
-    writebacks = static_cast<std::uint64_t>(writebacks * factor);
+    dmpb_assert(factor >= 0.0, "cannot scale counters negatively");
+    auto scaled = [factor](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(v) * factor));
+    };
+    accesses = scaled(accesses);
+    misses = std::min(scaled(misses), accesses);
+    writebacks = std::min(scaled(writebacks), misses);
 }
 
 CacheModel::CacheModel(const CacheParams &params)
@@ -44,81 +68,45 @@ CacheModel::CacheModel(const CacheParams &params)
     dmpb_assert(params.line_bytes > 0 &&
                 std::has_single_bit(params.line_bytes),
                 "cache line size must be a power of two");
+    dmpb_assert(params.associativity > 0,
+                params.name, ": associativity must be positive");
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(params.associativity) *
+        params.line_bytes;
+    // Inexact geometries are configuration bugs: numSets() would
+    // round down and silently model a smaller cache than requested.
+    dmpb_assert(params.size_bytes % way_bytes == 0,
+                params.name, ": size ", params.size_bytes,
+                " is not a multiple of associativity*line_bytes (",
+                way_bytes, "); the geometry would silently truncate");
     std::uint64_t sets = params.numSets();
     dmpb_assert(sets > 0, params.name,
                 ": cache must have at least one set (size=",
                 params.size_bytes, " assoc=", params.associativity, ")");
-    ways_.resize(sets * params.associativity);
-    // Non-power-of-two set counts (e.g. the 12288-set Westmere L3) are
-    // indexed by modulo, standing in for the hash-based indexing real
-    // LLCs use.
+    const std::size_t ways = sets * params.associativity;
+    tags_.assign(ways, kInvalidTag);
+    lru_.assign(ways, 0);
+    dirty_.assign(ways, 0);
     num_sets_ = sets;
+    assoc_ = params.associativity;
+    // Power-of-two set counts take a mask/shift fast path; others
+    // (e.g. the 12288-set Westmere L3) are indexed by modulo, standing
+    // in for the hash-based indexing real LLCs use.
+    pow2_sets_ = std::has_single_bit(sets);
+    set_mask_ = sets - 1;
+    set_shift_ = static_cast<std::uint32_t>(std::countr_zero(sets));
     line_shift_ = static_cast<std::uint32_t>(
         std::countr_zero(params.line_bytes));
-}
-
-bool
-CacheModel::access(std::uint64_t addr, bool write)
-{
-    ++stats_.accesses;
-    const std::uint64_t line = addr >> line_shift_;
-    const std::uint64_t set = line % num_sets_;
-    const std::uint64_t tag = line / num_sets_;
-    Way *base = &ways_[set * params_.associativity];
-
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < params_.associativity; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lru = ++tick_;
-            way.dirty = way.dirty || write;
-            return true;
-        }
-        if (!way.valid) {
-            victim = &way;
-        } else if (victim->valid && way.lru < victim->lru) {
-            victim = &way;
-        }
-    }
-
-    ++stats_.misses;
-    if (victim->valid && victim->dirty)
-        ++stats_.writebacks;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = ++tick_;
-    victim->dirty = write;
-    return false;
 }
 
 void
 CacheModel::flush()
 {
-    for (auto &way : ways_) {
-        way.valid = false;
-        way.dirty = false;
-        way.tag = ~0ULL;
-        way.lru = 0;
-    }
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(lru_.begin(), lru_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    mru_line_[0] = mru_line_[1] = kNoLine;
 }
-
-namespace {
-
-CacheParams
-sliceL3(CacheParams l3, std::uint32_t sharers)
-{
-    if (sharers <= 1)
-        return l3;
-    std::uint64_t way_line = static_cast<std::uint64_t>(l3.associativity) *
-                             l3.line_bytes;
-    std::uint64_t sets = l3.size_bytes / sharers / way_line;
-    if (sets == 0)
-        sets = 1;
-    l3.size_bytes = sets * way_line;
-    return l3;
-}
-
-} // namespace
 
 CacheHierarchy::CacheHierarchy(const Params &params,
                                std::uint32_t l3_sharers)
@@ -130,23 +118,10 @@ CacheHierarchy::CacheHierarchy(const Params &params,
 }
 
 void
-CacheHierarchy::dataAccess(std::uint64_t addr, bool write)
+CacheHierarchy::replay(const AccessBatch &batch,
+                       BranchPredictor &predictor)
 {
-    if (l1d_.access(addr, write))
-        return;
-    if (l2_.access(addr, write))
-        return;
-    l3_.access(addr, write);
-}
-
-void
-CacheHierarchy::instrAccess(std::uint64_t addr)
-{
-    if (l1i_.access(addr, false))
-        return;
-    if (l2_.access(addr, false))
-        return;
-    l3_.access(addr, false);
+    replayBatch(batch, *this, predictor);
 }
 
 void

@@ -6,6 +6,15 @@
  * kernels push every (sampled) load/store through a three-level data
  * hierarchy plus an instruction cache, and hit ratios fall out of the
  * per-level counters exactly as they would from hardware counters.
+ *
+ * The model is the hottest code in the repo (hundreds of millions of
+ * calls per suite run), so it is laid out for throughput: per-way
+ * state lives in structure-of-arrays form (a tag scan touches one or
+ * two cache lines, not a struct per way), the hit path does nothing
+ * but scan tags and bump an age stamp, the victim scan is branch-free,
+ * and power-of-two set counts take a mask/shift fast path instead of
+ * modulo/divide. access() is defined inline so both the scalar path
+ * and the batched replay loop (sim/engine.hh) inline it.
  */
 
 #ifndef DMPB_SIM_CACHE_HH
@@ -17,6 +26,9 @@
 
 namespace dmpb {
 
+class AccessBatch;
+class BranchPredictor;
+
 /** Geometry and bookkeeping parameters of one cache level. */
 struct CacheParams
 {
@@ -25,9 +37,23 @@ struct CacheParams
     std::uint32_t associativity = 8;
     std::uint32_t line_bytes = 64;
 
-    /** Number of sets implied by the geometry. */
+    /**
+     * Number of sets implied by the geometry.
+     *
+     * Only exact geometries are legal: CacheModel's constructor
+     * rejects a size_bytes that is not a multiple of
+     * associativity * line_bytes, because integer division here would
+     * silently shrink the modelled cache.
+     */
     std::uint64_t numSets() const;
 };
+
+/**
+ * The private LLC slice one of @p sharers contexts sees
+ * (capacity / sharers, rounded down to whole ways so the resulting
+ * geometry stays exact; never fewer than one set).
+ */
+CacheParams sliceL3(CacheParams l3, std::uint32_t sharers);
 
 /** Hit/miss/writeback counters of one cache level. */
 struct CacheStats
@@ -38,15 +64,26 @@ struct CacheStats
 
     double hitRatio() const;
     void merge(const CacheStats &other);
-    /** Multiply all counters by @p factor (trace-sampling scale-up). */
+    /**
+     * Multiply all counters by @p factor (trace-sampling scale-up).
+     *
+     * Counters are rounded (not truncated) and re-clamped to the
+     * structural invariants misses <= accesses and
+     * writebacks <= misses, so the scaled hit ratio tracks the
+     * measured one instead of drifting with per-counter truncation.
+     */
     void scale(double factor);
 };
 
 /**
  * One set-associative, write-back, write-allocate cache level.
  *
- * True-LRU replacement via per-way age stamps; associativities used in
- * this repo are <= 20 ways, so linear scans per access are cheap.
+ * True-LRU replacement via per-way age stamps. Invariants of the
+ * structure-of-arrays state: an invalid way holds tag kInvalidTag
+ * (which can never equal a real tag -- simulated addresses stay far
+ * below 2^63) and age 0; the global age clock starts at 1, so the
+ * branch-free minimum-age victim scan prefers empty ways over any
+ * valid line.
  */
 class CacheModel
 {
@@ -60,7 +97,85 @@ class CacheModel
      * @param write True for stores (sets the dirty bit).
      * @return true on hit.
      */
-    bool access(std::uint64_t addr, bool write);
+    bool
+    access(std::uint64_t addr, bool write)
+    {
+        ++stats_.accesses;
+        const std::uint64_t line = addr >> line_shift_;
+        // Two-entry MRU hint: the two most recently accessed lines
+        // are resident unless an eviction in between took one (the
+        // miss path below invalidates the affected slot) or flush()
+        // dropped everything (it resets both). Repeated touches of
+        // one line and the load/load interleave of two streams (e.g.
+        // activations x weights) skip the tag scan entirely, with
+        // counters and LRU state identical to the full path below.
+        if (line == mru_line_[0]) {
+            lru_[mru_way_[0]] = ++tick_;
+            dirty_[mru_way_[0]] |= write;
+            return true;
+        }
+        if (line == mru_line_[1]) {
+            lru_[mru_way_[1]] = ++tick_;
+            dirty_[mru_way_[1]] |= write;
+            std::swap(mru_line_[0], mru_line_[1]);
+            std::swap(mru_way_[0], mru_way_[1]);
+            return true;
+        }
+        std::uint64_t set;
+        std::uint64_t tag;
+        if (pow2_sets_) {
+            set = line & set_mask_;
+            tag = line >> set_shift_;
+        } else {
+            set = line % num_sets_;
+            tag = line / num_sets_;
+        }
+        const std::uint32_t assoc = assoc_;
+        std::uint64_t *tags = &tags_[set * assoc];
+
+        // Hit path: a pure tag scan over one contiguous array.
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (tags[w] == tag) {
+                const std::size_t way = set * assoc + w;
+                lru_[way] = ++tick_;
+                dirty_[way] |= write;
+                mru_line_[1] = mru_line_[0];
+                mru_way_[1] = mru_way_[0];
+                mru_line_[0] = line;
+                mru_way_[0] = way;
+                return true;
+            }
+        }
+
+        ++stats_.misses;
+        std::uint64_t *age = &lru_[set * assoc];
+        std::uint8_t *dirty = &dirty_[set * assoc];
+        // Branch-free minimum-age victim scan (empty ways age 0).
+        std::uint32_t victim = 0;
+        std::uint64_t best = age[0];
+        for (std::uint32_t w = 1; w < assoc; ++w) {
+            const bool better = age[w] < best;
+            victim = better ? w : victim;
+            best = better ? age[w] : best;
+        }
+        if (age[victim] != 0 && dirty[victim])
+            ++stats_.writebacks;
+        tags[victim] = tag;
+        age[victim] = ++tick_;
+        dirty[victim] = write;
+        const std::size_t way = set * assoc + victim;
+        // The eviction may have displaced slot 0's hinted line; the
+        // invalidation then propagates into slot 1 via the shift
+        // below. (Slot 1's old entry is discarded by the shift, so
+        // it needs no check of its own.)
+        if (mru_way_[0] == way)
+            mru_line_[0] = kNoLine;
+        mru_line_[1] = mru_line_[0];
+        mru_way_[1] = mru_way_[0];
+        mru_line_[0] = line;
+        mru_way_[0] = way;
+        return false;
+    }
 
     /** Drop all contents (not the statistics). */
     void flush();
@@ -69,21 +184,39 @@ class CacheModel
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
 
-  private:
-    struct Way
+    /**
+     * Testing hook: force the generic modulo/divide indexing path
+     * even though the set count is a power of two, so equivalence
+     * with the mask/shift fast path can be asserted.
+     */
+    void
+    forceModuloIndexingForTest()
     {
-        std::uint64_t tag = ~0ULL;
-        std::uint64_t lru = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+        pow2_sets_ = false;
+        mru_line_[0] = mru_line_[1] = kNoLine;
+    }
+
+  private:
+    static constexpr std::uint64_t kInvalidTag = ~0ULL;
+    /** Impossible line number (addresses stay far below 2^63). */
+    static constexpr std::uint64_t kNoLine = ~0ULL;
 
     CacheParams params_;
     CacheStats stats_;
-    std::vector<Way> ways_;   ///< sets * associativity, set-major
+    /** @{ Way state, set-major structure-of-arrays. */
+    std::vector<std::uint64_t> tags_;   ///< kInvalidTag = empty way
+    std::vector<std::uint64_t> lru_;    ///< age stamp; 0 = empty way
+    std::vector<std::uint8_t> dirty_;
+    /** @} */
     std::uint64_t tick_ = 0;  ///< global LRU clock
+    std::uint64_t mru_line_[2] = {kNoLine, kNoLine};  ///< recent lines
+    std::size_t mru_way_[2] = {0, 0};   ///< their global way indices
     std::uint64_t num_sets_;
+    std::uint64_t set_mask_;     ///< num_sets - 1 (pow2 path)
+    std::uint32_t set_shift_;    ///< log2(num_sets) (pow2 path)
+    std::uint32_t assoc_;
     std::uint32_t line_shift_;
+    bool pow2_sets_;
 };
 
 /**
@@ -112,10 +245,34 @@ class CacheHierarchy
     CacheHierarchy(const Params &params, std::uint32_t l3_sharers = 1);
 
     /** Data access walking L1D -> L2 -> L3. */
-    void dataAccess(std::uint64_t addr, bool write);
+    void
+    dataAccess(std::uint64_t addr, bool write)
+    {
+        if (l1d_.access(addr, write))
+            return;
+        if (l2_.access(addr, write))
+            return;
+        l3_.access(addr, write);
+    }
 
     /** Instruction-fetch access walking L1I -> L2 -> L3. */
-    void instrAccess(std::uint64_t addr);
+    void
+    instrAccess(std::uint64_t addr)
+    {
+        if (l1i_.access(addr, false))
+            return;
+        if (l2_.access(addr, false))
+            return;
+        l3_.access(addr, false);
+    }
+
+    /**
+     * Batched replay: drain @p batch through this hierarchy (and
+     * branch events through @p predictor) in strict program order.
+     * Produces statistics bit-identical to issuing the same events
+     * through dataAccess()/instrAccess()/record() one at a time.
+     */
+    void replay(const AccessBatch &batch, BranchPredictor &predictor);
 
     const CacheModel &l1i() const { return l1i_; }
     const CacheModel &l1d() const { return l1d_; }

@@ -1,0 +1,161 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "base/thread_pool.hh"
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+
+namespace dmpb {
+
+std::size_t
+defaultSimBatchCapacity()
+{
+    static const std::size_t capacity =
+        std::thread::hardware_concurrency() <= 1
+            ? 1
+            : kDefaultSimBatchCapacity;
+    return capacity;
+}
+
+void
+replayBatch(const AccessBatch &batch, CacheHierarchy &caches,
+            BranchPredictor &predictor)
+{
+    const std::size_t n = batch.size();
+    const std::uint64_t *ev = batch.events();
+    const std::uint64_t *site = batch.sites();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t e = ev[i];
+        const std::uint64_t addr = e & AccessBatch::kAddrMask;
+        switch (static_cast<SimOp>(e >> AccessBatch::kOpShift)) {
+          case SimOp::Load:
+            caches.dataAccess(addr, false);
+            break;
+          case SimOp::Store:
+            caches.dataAccess(addr, true);
+            break;
+          case SimOp::Ifetch:
+            caches.instrAccess(addr);
+            break;
+          case SimOp::BranchTaken:
+            predictor.record(*site++, true);
+            break;
+          case SimOp::BranchNotTaken:
+            predictor.record(*site++, false);
+            break;
+        }
+    }
+}
+
+AsyncReplayer::AsyncReplayer(CacheHierarchy &caches,
+                             BranchPredictor &predictor,
+                             std::size_t batch_capacity)
+    : caches_(caches), predictor_(predictor),
+      synchronous_(std::thread::hardware_concurrency() <= 1)
+{
+    if (synchronous_)
+        return;
+    // Reserve before the worker exists: submit() swaps this storage
+    // back to the producer as its next filling block.
+    inflight_.reserve(batch_capacity);
+    worker_ = std::thread([this]() { workerLoop(); });
+}
+
+AsyncReplayer::~AsyncReplayer()
+{
+    if (synchronous_)
+        return;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this]() { return !busy_; });
+        stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+void
+AsyncReplayer::submit(AccessBatch &batch)
+{
+    if (synchronous_) {
+        replayBatch(batch, caches_, predictor_);
+        batch.clear();
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this]() { return !busy_; });
+    // The worker cleared the previous block, so the swap hands the
+    // caller recycled storage of the same capacity.
+    std::swap(inflight_, batch);
+    busy_ = true;
+    lock.unlock();
+    cv_.notify_all();
+}
+
+void
+AsyncReplayer::drain()
+{
+    if (synchronous_)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this]() { return !busy_; });
+}
+
+void
+AsyncReplayer::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this]() { return busy_ || stop_; });
+        if (stop_)
+            return;
+        // Replay outside the lock: submit() only touches inflight_
+        // again after busy_ drops back to false.
+        lock.unlock();
+        replayBatch(inflight_, caches_, predictor_);
+        inflight_.clear();
+        lock.lock();
+        busy_ = false;
+        cv_.notify_all();
+    }
+}
+
+void
+runShardedJobs(std::size_t shards,
+               std::vector<std::function<void()>> jobs)
+{
+    if (jobs.empty())
+        return;
+
+    // One exception slot per job: workers must never unwind through
+    // the pool, and the rethrow order (lowest failing index) must not
+    // depend on scheduling.
+    std::vector<std::exception_ptr> errors(jobs.size());
+    auto guarded = [&](std::size_t i) {
+        try {
+            jobs[i]();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (shards <= 1 || jobs.size() == 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            guarded(i);
+    } else {
+        ThreadPool pool(std::min(shards, jobs.size()));
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            pool.submit([&guarded, i]() { guarded(i); });
+        pool.waitIdle();
+    }
+
+    for (std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace dmpb

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The batched, sharded trace-simulation engine.
+ *
+ * Two primitives make the trace->metrics path fast without changing a
+ * single simulated number:
+ *
+ *  - replayBatch(): drains an AccessBatch through a CacheHierarchy and
+ *    a BranchPredictor in one tight loop, in strict program order --
+ *    the batched counterpart of calling dataAccess()/instrAccess()/
+ *    record() per event, producing bit-identical statistics.
+ *
+ *  - runShardedJobs(): executes independent simulation jobs (each
+ *    owning private model replicas for one simulated core) across a
+ *    ThreadPool. Callers keep one result slot per job and merge in a
+ *    fixed order afterwards, so the outcome is bit-identical for any
+ *    shard count, including the sequential shards<=1 reference order.
+ */
+
+#ifndef DMPB_SIM_ENGINE_HH
+#define DMPB_SIM_ENGINE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/access_batch.hh"
+
+namespace dmpb {
+
+class BranchPredictor;
+class CacheHierarchy;
+
+/**
+ * Replay every event of @p batch, in order, into the models.
+ *
+ * Load/Store walk the data hierarchy, Ifetch walks the instruction
+ * path, branches update the predictor. The caller clears the batch.
+ */
+void replayBatch(const AccessBatch &batch, CacheHierarchy &caches,
+                 BranchPredictor &predictor);
+
+/**
+ * Run @p jobs to completion, at most @p shards at a time.
+ *
+ * Jobs must be mutually independent (each writes only its own result
+ * slot); under that contract the observable outcome is identical for
+ * every shards value. If jobs throw, the exception of the
+ * lowest-indexed failing job is rethrown after all jobs finished.
+ */
+void runShardedJobs(std::size_t shards,
+                    std::vector<std::function<void()>> jobs);
+
+/**
+ * Double-buffered asynchronous batch replay for one simulated core.
+ *
+ * The owning TraceContext keeps emitting events into its filling
+ * batch while this worker replays the previous block into the models,
+ * overlapping kernel execution with micro-architecture simulation.
+ * A single worker with a depth-1 queue replays blocks strictly in
+ * submission order, so the model state evolution -- and therefore
+ * every statistic -- is bit-identical to synchronous replay.
+ */
+class AsyncReplayer
+{
+  public:
+    /**
+     * @param caches / @p predictor  Models; must outlive this object.
+     * @param batch_capacity  Capacity of the recycled block storage
+     *                        handed back by submit().
+     */
+    AsyncReplayer(CacheHierarchy &caches, BranchPredictor &predictor,
+                  std::size_t batch_capacity);
+
+    /** Joins the worker after finishing any in-flight block. */
+    ~AsyncReplayer();
+
+    AsyncReplayer(const AsyncReplayer &) = delete;
+    AsyncReplayer &operator=(const AsyncReplayer &) = delete;
+
+    /**
+     * Hand @p batch to the worker and return an empty batch of the
+     * same capacity in its place (the previous block's storage,
+     * recycled). Blocks while the worker is still replaying.
+     */
+    void submit(AccessBatch &batch);
+
+    /** Wait until the worker is idle (all submitted blocks applied).
+     *  Model state is safe to read after this returns. */
+    void drain();
+
+  private:
+    void workerLoop();
+
+    CacheHierarchy &caches_;
+    BranchPredictor &predictor_;
+    AccessBatch inflight_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool busy_ = false;
+    bool stop_ = false;
+    /** On single-CPU hosts a worker thread only adds switches;
+     *  submit() replays inline instead (identical results). */
+    bool synchronous_ = false;
+    std::thread worker_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_ENGINE_HH

@@ -1,5 +1,7 @@
 #include "sim/profile.hh"
 
+#include <cmath>
+
 namespace dmpb {
 
 void
@@ -20,19 +22,22 @@ KernelProfile::merge(const KernelProfile &other)
 void
 KernelProfile::scale(double factor)
 {
+    // Round like the per-level stats do; truncation here would bias
+    // every extrapolated counter low by up to one count per scale.
+    auto scaled = [factor](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(v) * factor));
+    };
     for (auto &c : ops)
-        c = static_cast<std::uint64_t>(static_cast<double>(c) * factor);
+        c = scaled(c);
     l1i.scale(factor);
     l1d.scale(factor);
     l2.scale(factor);
     l3.scale(factor);
     branch.scale(factor);
-    disk_read_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(disk_read_bytes) * factor);
-    disk_write_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(disk_write_bytes) * factor);
-    net_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(net_bytes) * factor);
+    disk_read_bytes = scaled(disk_read_bytes);
+    disk_write_bytes = scaled(disk_write_bytes);
+    net_bytes = scaled(net_bytes);
 }
 
 } // namespace dmpb

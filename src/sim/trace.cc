@@ -6,7 +6,8 @@ namespace dmpb {
 
 TraceContext::TraceContext(const MachineConfig &machine,
                            std::uint32_t l3_sharers,
-                           std::uint64_t sample_period)
+                           std::uint64_t sample_period,
+                           std::size_t batch_capacity)
     : machine_(machine),
       caches_(std::make_unique<CacheHierarchy>(machine.caches,
                                                l3_sharers)),
@@ -15,9 +16,13 @@ TraceContext::TraceContext(const MachineConfig &machine,
       code_footprint_(32 * 1024),
       line_bytes_(machine.caches.l1d.line_bytes),
       sample_period_(sample_period == 0 ? 1 : sample_period),
-      l3_sharers_(l3_sharers)
+      l3_sharers_(l3_sharers),
+      batch_capacity_(batch_capacity == 0 ? defaultSimBatchCapacity()
+                                          : batch_capacity)
 {
     dmpb_assert(line_bytes_ > 0, "bad line size");
+    if (batch_capacity_ > 1)
+        batch_.reserve(batch_capacity_);
 }
 
 void
@@ -32,6 +37,7 @@ TraceContext::setCodeFootprint(std::uint64_t bytes)
 KernelProfile
 TraceContext::profile() const
 {
+    flushBatch();
     KernelProfile p;
     p.ops = counts_;
     p.l1i = caches_->l1i().stats();
@@ -62,6 +68,10 @@ TraceContext::reset()
     if_lcg_ = 0x2545f4914f6cdd1dULL;
     jump_countdown_ = 777;
     sample_clock_ = 0;
+    // Join the replay worker before the models it references go away;
+    // pending events are discarded with the model state.
+    replayer_.reset();
+    batch_.clear();
     caches_ = std::make_unique<CacheHierarchy>(machine_.caches,
                                                l3_sharers_);
     predictor_ = std::make_unique<GsharePredictor>(

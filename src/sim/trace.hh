@@ -4,10 +4,14 @@
  *
  * Instrumented kernels do real computation on real data; alongside
  * every load, store, branch and ALU operation they notify a
- * TraceContext, which drives the cache hierarchy and the branch
- * predictor and accumulates the op counters. One context models one
- * hardware context (core); multi-threaded kernels use one context per
- * worker and merge the resulting profiles.
+ * TraceContext, which accumulates the op counters and buffers cache
+ * and branch events in an AccessBatch, flushed through the cache
+ * hierarchy and branch predictor in blocks (sim/engine.hh) -- the
+ * batched replay is bit-identical to per-event simulation, just much
+ * faster. One context models one hardware context (core);
+ * multi-threaded kernels use one context per worker and merge the
+ * resulting profiles (sharded across a ThreadPool by the execution
+ * engines, deterministically).
  *
  * Instruction fetch is modelled implicitly: every op advances a
  * program counter inside a configurable code footprint, and each
@@ -22,12 +26,16 @@
 #define DMPB_SIM_TRACE_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/access_batch.hh"
 #include "sim/branch.hh"
 #include "sim/cache.hh"
+#include "sim/engine.hh"
 #include "sim/machine.hh"
 #include "sim/profile.hh"
 
@@ -43,10 +51,17 @@ class TraceContext
      * @param sample_period Simulate one in N data accesses in the
      *                    cache model (counters are scaled back up in
      *                    profile()); 1 = full trace.
+     * @param batch_capacity Events buffered before a batched replay
+     *                    flush; 0 = auto (host-adapted), 1 selects
+     *                    the unbatched scalar path. Either way the
+     *                    models see the same event sequence, so all
+     *                    statistics are bit-identical across
+     *                    capacities.
      */
     explicit TraceContext(const MachineConfig &machine,
                           std::uint32_t l3_sharers = 1,
-                          std::uint64_t sample_period = 1);
+                          std::uint64_t sample_period = 1,
+                          std::size_t batch_capacity = 0);
 
     /** Set the static code footprint (bytes) for i-fetch modelling. */
     void setCodeFootprint(std::uint64_t bytes);
@@ -130,13 +145,64 @@ class TraceContext
         memAccess(addr, bytes, true);
     }
 
+    /**
+     * Two loads fused into one bookkeeping step (dense kernels pair
+     * an activation/input load with a weight load per inner-loop
+     * iteration). Op counts, fetch advance and cache events are
+     * identical in total to two emitLoadAddr() calls.
+     */
+    void
+    emitLoadPairAddr(std::uint64_t a, std::uint64_t b,
+                     std::size_t bytes = 8)
+    {
+        fusedMemAccess(bytes, /*loads=*/2, /*stores=*/0,
+                       {{a, false}, {b, false}});
+    }
+
+    /**
+     * Two stores fused into one bookkeeping step. Totals identical
+     * to two emitStoreAddr() calls.
+     */
+    void
+    emitStorePairAddr(std::uint64_t a, std::uint64_t b,
+                      std::size_t bytes = 8)
+    {
+        fusedMemAccess(bytes, /*loads=*/0, /*stores=*/2,
+                       {{a, true}, {b, true}});
+    }
+
+    /**
+     * Load + store of one location fused into one bookkeeping step
+     * (the read-modify-write every accumulator update performs).
+     * Totals identical to emitLoadAddr() + emitStoreAddr().
+     */
+    void
+    emitRmwAddr(std::uint64_t addr, std::size_t bytes = 8)
+    {
+        fusedMemAccess(bytes, /*loads=*/1, /*stores=*/1,
+                       {{addr, false}, {addr, true}});
+    }
+
+    /**
+     * The multiply-accumulate access triple -- load an operand,
+     * read-modify-write an accumulator -- in one bookkeeping step.
+     * Totals identical to emitLoadAddr(src) + emitRmwAddr(acc).
+     */
+    void
+    emitLoadRmwAddr(std::uint64_t src, std::uint64_t acc,
+                    std::size_t bytes = 8)
+    {
+        fusedMemAccess(bytes, /*loads=*/2, /*stores=*/1,
+                       {{src, false}, {acc, false}, {acc, true}});
+    }
+
     /** Emit one conditional branch with outcome @p taken. */
     void
     emitBranch(std::uint64_t site, bool taken)
     {
         counts_[static_cast<std::size_t>(OpClass::Branch)] += 1;
         advancePc(1);
-        predictor_->record(site, taken);
+        pushBranch(site, taken);
     }
 
     /** @{ System-level byte counters (outside the core model). */
@@ -158,7 +224,79 @@ class TraceContext
 
     const MachineConfig &machine() const { return machine_; }
 
+    /**
+     * Apply all buffered events to the models and wait for any
+     * asynchronous replay to finish. Called automatically by
+     * profile(); exposed for tests that inspect model state mid-run.
+     * Model state is safe to read after this returns.
+     */
+    void
+    flushBatch() const
+    {
+        if (replayer_) {
+            if (!batch_.empty())
+                replayer_->submit(batch_);
+            replayer_->drain();
+        } else if (!batch_.empty()) {
+            caches_->replay(batch_, *predictor_);
+            batch_.clear();
+        }
+    }
+
   private:
+    /** @{ Batched event emission (sim/access_batch.hh). A capacity
+     *  of <= 1 is the scalar path: events drive the models directly,
+     *  in the identical order a batch replay would. Full blocks are
+     *  handed to the AsyncReplayer, which replays them in submission
+     *  order while the kernel keeps running -- same model inputs in
+     *  the same order, so all statistics stay bit-identical. */
+    void
+    onBatchFull()
+    {
+        if (!replayer_) {
+            replayer_ = std::make_unique<AsyncReplayer>(
+                *caches_, *predictor_, batch_capacity_);
+        }
+        replayer_->submit(batch_);
+    }
+
+    void
+    pushData(std::uint64_t addr, bool write)
+    {
+        if (batch_capacity_ <= 1) {
+            caches_->dataAccess(addr, write);
+            return;
+        }
+        batch_.pushData(addr, write);
+        if (batch_.full())
+            onBatchFull();
+    }
+
+    void
+    pushIfetch(std::uint64_t addr)
+    {
+        if (batch_capacity_ <= 1) {
+            caches_->instrAccess(addr);
+            return;
+        }
+        batch_.pushIfetch(addr);
+        if (batch_.full())
+            onBatchFull();
+    }
+
+    void
+    pushBranch(std::uint64_t site, bool taken)
+    {
+        if (batch_capacity_ <= 1) {
+            predictor_->record(site, taken);
+            return;
+        }
+        batch_.pushBranch(site, taken);
+        if (batch_.full())
+            onBatchFull();
+    }
+    /** @} */
+
     void
     advancePc(std::uint64_t n_ops)
     {
@@ -172,7 +310,7 @@ class TraceContext
         while (ops_since_loop_br_ >= 16) {
             ops_since_loop_br_ -= 16;
             counts_[static_cast<std::size_t>(OpClass::Branch)] += 1;
-            predictor_->record(kLoopSite ^ hot_base_, true);
+            pushBranch(kLoopSite ^ hot_base_, true);
         }
 
         // Instruction fetch: 4 bytes per op, one L1I access per
@@ -199,8 +337,33 @@ class TraceContext
             std::uint64_t addr = hot_base_ + hot_off_;
             if (addr >= code_footprint_)
                 addr -= code_footprint_;
-            caches_->instrAccess(kCodeBase + addr);
+            pushIfetch(kCodeBase + addr);
         }
+    }
+
+    /**
+     * Shared bookkeeping of every fused multi-access emitter: per
+     * access the usual per-8-byte op accounting (memAccess()), all
+     * accounted in one step, then the cache events in order.
+     */
+    void
+    fusedMemAccess(std::size_t bytes, std::uint64_t loads,
+                   std::uint64_t stores,
+                   std::initializer_list<std::pair<std::uint64_t, bool>>
+                       accesses)
+    {
+        std::uint64_t n_ops = (bytes + 7) / 8;
+        if (n_ops == 0)
+            n_ops = 1;
+        counts_[static_cast<std::size_t>(OpClass::Load)] +=
+            loads * n_ops;
+        counts_[static_cast<std::size_t>(OpClass::Store)] +=
+            stores * n_ops;
+        counts_[static_cast<std::size_t>(OpClass::IntAlu)] +=
+            (loads + stores) * n_ops;
+        advancePc(2 * (loads + stores) * n_ops);
+        for (const auto &[addr, write] : accesses)
+            pushLines(addr, bytes, write);
     }
 
     void
@@ -218,15 +381,22 @@ class TraceContext
             write ? OpClass::Store : OpClass::Load)] += n_ops;
         counts_[static_cast<std::size_t>(OpClass::IntAlu)] += n_ops;
         advancePc(2 * n_ops);
+        pushLines(addr, bytes, write);
+    }
+
+    /** Emit the (sampled) cache event for every line of an access. */
+    void
+    pushLines(std::uint64_t addr, std::size_t bytes, bool write)
+    {
         std::uint64_t first = addr & ~(line_bytes_ - 1);
         std::uint64_t last = (addr + (bytes ? bytes : 1) - 1) &
                              ~(line_bytes_ - 1);
         for (std::uint64_t a = first; a <= last; a += line_bytes_) {
             if (sample_period_ == 1) {
-                caches_->dataAccess(a, write);
+                pushData(a, write);
             } else if (++sample_clock_ >= sample_period_) {
                 sample_clock_ = 0;
-                caches_->dataAccess(a, write);
+                pushData(a, write);
             }
         }
     }
@@ -258,6 +428,12 @@ class TraceContext
     std::uint32_t l3_sharers_;
     std::uint64_t va_next_ = kDataBase;
     std::map<std::uint64_t, std::vector<std::uint64_t>> va_free_;
+    /** Pending events; mutable so the const profile() can flush. */
+    mutable AccessBatch batch_;
+    std::size_t batch_capacity_;
+    /** Lazily started once the first block fills; declared after the
+     *  models so it joins its worker before they are destroyed. */
+    mutable std::unique_ptr<AsyncReplayer> replayer_;
 };
 
 /**

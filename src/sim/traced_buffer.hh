@@ -4,12 +4,14 @@
  * to a TraceContext.
  *
  * Kernels read and write through rd()/wr() so that every touched
- * element produces exactly one load/store event. Events carry
- * deterministic simulated addresses (a VirtualRange per buffer)
- * rather than real heap addresses, so set-index and conflict
- * behaviour in the cache model is bit-reproducible across runs,
- * threads and ASLR. Untraced raw access is available via data() for
- * setup code that should not appear in the profile.
+ * element produces exactly one load/store event, appended to the
+ * context's AccessBatch and replayed through the cache hierarchy in
+ * blocks (sim/engine.hh). Events carry deterministic simulated
+ * addresses (a VirtualRange per buffer) rather than real heap
+ * addresses, so set-index and conflict behaviour in the cache model
+ * is bit-reproducible across runs, threads and ASLR. Untraced raw
+ * access is available via data() for setup code that should not
+ * appear in the profile.
  */
 
 #ifndef DMPB_SIM_TRACED_BUFFER_HH
@@ -57,12 +59,43 @@ class TracedBuffer
         ctx_->emitStoreAddr(range_.addr(i, sizeof(T)), sizeof(T));
     }
 
-    /** Traced read-modify-write reference access: load then store. */
+    /** Traced read-modify-write reference access: load then store
+     *  (fused into one bookkeeping step, same event totals). */
     T &
     rmw(std::size_t i)
     {
-        ctx_->emitLoadAddr(range_.addr(i, sizeof(T)), sizeof(T));
-        ctx_->emitStoreAddr(range_.addr(i, sizeof(T)), sizeof(T));
+        ctx_->emitRmwAddr(range_.addr(i, sizeof(T)), sizeof(T));
+        return data_[i];
+    }
+
+    /**
+     * Traced paired read of this[i] and other[j]: the two loads the
+     * inner loop of every dense kernel issues, fused into one
+     * bookkeeping step. Event totals identical to rd(i) + other.rd(j).
+     */
+    T
+    rdPair(std::size_t i, const TracedBuffer<T> &other, std::size_t j,
+           T &other_value) const
+    {
+        ctx_->emitLoadPairAddr(range_.addr(i, sizeof(T)),
+                               other.range_.addr(j, sizeof(T)),
+                               sizeof(T));
+        other_value = other.data_[j];
+        return data_[i];
+    }
+
+    /**
+     * Traced multiply-accumulate access: load src[j], then
+     * read-modify-write this[i], fused into one bookkeeping step.
+     * Event totals identical to src.rd(j) + this->rmw(i).
+     */
+    T &
+    rmwPair(std::size_t i, const TracedBuffer<T> &src, std::size_t j,
+            T &src_value)
+    {
+        ctx_->emitLoadRmwAddr(src.range_.addr(j, sizeof(T)),
+                              range_.addr(i, sizeof(T)), sizeof(T));
+        src_value = src.data_[j];
         return data_[i];
     }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "sim/access_batch.hh"
 #include "sim/machine.hh"
 
 namespace dmpb {
@@ -20,6 +21,11 @@ struct ClusterConfig
 {
     MachineConfig node;
     std::uint32_t num_nodes = 5;   ///< including the master
+
+    /** Trace-simulation engine knobs (batching, sharding) used by
+     *  every execution engine running on this deployment; metric
+     *  output is bit-identical for every setting. */
+    SimConfig sim;
 
     /** Worker (slave) node count; the master schedules only. */
     std::uint32_t slaveNodes() const { return num_nodes - 1; }

@@ -7,22 +7,40 @@
 
 namespace dmpb {
 
+namespace {
+
+/**
+ * The shared card arena: a fixed pseudo-random pointer-chase
+ * permutation over 2 MiB of 8-byte cards (deliberately larger than
+ * L1+L2 so mark traffic pollutes the caches like real GC does). The
+ * content depends on nothing, so one immutable copy serves every
+ * heap instance instead of being recomputed per construction.
+ */
+const std::vector<std::uint64_t> &
+gcArena()
+{
+    static const std::vector<std::uint64_t> arena = []() {
+        std::vector<std::uint64_t> a(256 * 1024);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            a[i] = mix64(i) & (a.size() - 1);  // size is a power of 2
+        return a;
+    }();
+    return arena;
+}
+
+} // namespace
+
 ManagedHeap::ManagedHeap(TraceContext &ctx, std::uint64_t young_bytes,
                          double survivor_ratio)
     : ctx_(ctx),
       young_bytes_(young_bytes),
       survivor_ratio_(survivor_ratio),
       rng_(0x6cULL),
-      // A 2 MiB arena of 8-byte "cards" stands for the object heap the
-      // collector walks; it is deliberately larger than L1+L2 so mark
-      // traffic pollutes the caches like real GC does.
-      arena_(256 * 1024)
+      arena_(gcArena())
 {
     dmpb_assert(young_bytes_ > 0, "young generation must be non-empty");
     dmpb_assert(survivor_ratio_ >= 0.0 && survivor_ratio_ <= 1.0,
                 "survivor ratio out of range");
-    for (std::size_t i = 0; i < arena_.size(); ++i)
-        arena_[i] = mix64(i) % arena_.size();
     arena_va_ = ctx_.virtualAlloc(arena_.size() * 8);
 }
 
@@ -66,9 +84,10 @@ ManagedHeap::collect()
     std::uint64_t survivor_cards =
         static_cast<std::uint64_t>(marks * survivor_ratio_);
     std::uint64_t base = rng_.nextU64(arena_.size() / 2);
+    const std::size_t mask = arena_.size() - 1;  // size is a power of 2
     for (std::uint64_t i = 0; i < survivor_cards; ++i) {
-        std::size_t src = (base + i) % arena_.size();
-        std::size_t dst = (base + arena_.size() / 2 + i) % arena_.size();
+        std::size_t src = (base + i) & mask;
+        std::size_t dst = (base + arena_.size() / 2 + i) & mask;
         ctx_.emitLoadAddr(arena_va_ + src * 8, 8);
         ctx_.emitStoreAddr(arena_va_ + dst * 8, 8);
         ctx_.emitOps(OpClass::IntAlu, 1);

@@ -61,8 +61,10 @@ class ManagedHeap
     std::uint64_t minor_gcs_ = 0;
     Rng rng_;
 
-    /** Arena the mark/copy passes actually walk (one "card" each). */
-    std::vector<std::uint64_t> arena_;
+    /** Arena the mark/copy passes actually walk (one "card" each).
+     *  Read-only pointer-chase permutation, identical for every heap,
+     *  so all instances share one immutable copy. */
+    const std::vector<std::uint64_t> &arena_;
 
     /** Simulated trace address of the arena (deterministic). */
     std::uint64_t arena_va_ = 0;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/units.hh"
 #include "motifs/kernel_util.hh"
+#include "sim/engine.hh"
 #include "stack/managed_heap.hh"
 #include "stack/stack_overhead.hh"
 
@@ -35,7 +38,8 @@ sampleTask(const ClusterConfig &cluster, const MapReduceJob &job,
 
     // One task runs on one core; every core of the node is busy in a
     // full wave, so the LLC is shared by all of them.
-    TraceContext ctx(cluster.node, cluster.node.totalCores());
+    TraceContext ctx(cluster.node, cluster.node.totalCores(), 1,
+                     cluster.sim.batch_capacity);
     ctx.setCodeFootprint(job.code_footprint);
     // Scale the young generation with the sample so GC frequency per
     // processed byte matches the logical task.
@@ -87,13 +91,40 @@ MapReduceEngine::run(const MapReduceJob &job) const
         1, (job.input_bytes + job.split_bytes - 1) / job.split_bytes);
     res.map_waves = (res.num_maps + slots - 1) / slots;
 
-    // ---- Map phase (sampled execution + extrapolation).
+    // ---- Sampled kernel executions. The map and reduce sample
+    // tasks are independent simulated cores (private TraceContext,
+    // cache and predictor replicas), so the engine runs them sharded
+    // across the ThreadPool; results are consumed in fixed order and
+    // are bit-identical for any cluster.sim.shards value.
     std::uint64_t map_task_bytes =
         std::min<std::uint64_t>(job.split_bytes, job.input_bytes);
-    SampledTask map_task = sampleTask(cluster_, job, job.map_kernel,
-                                      map_task_bytes, job.sample_bytes,
-                                      /*split_id=*/1);
+    std::uint64_t shuffle_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(job.input_bytes) * job.map_output_ratio);
+    const bool has_reduce = job.reduce_kernel &&
+                            job.num_reducers > 0 && shuffle_bytes > 0;
+    std::uint64_t per_red_bytes =
+        has_reduce ? std::max<std::uint64_t>(
+                         1, shuffle_bytes / job.num_reducers)
+                   : 0;
 
+    SampledTask map_task;
+    SampledTask red_task;
+    std::vector<std::function<void()>> sample_jobs;
+    sample_jobs.push_back([&]() {
+        map_task = sampleTask(cluster_, job, job.map_kernel,
+                              map_task_bytes, job.sample_bytes,
+                              /*split_id=*/1);
+    });
+    if (has_reduce) {
+        sample_jobs.push_back([&]() {
+            red_task = sampleTask(cluster_, job, job.reduce_kernel,
+                                  per_red_bytes, job.sample_bytes,
+                                  /*split_id=*/2);
+        });
+    }
+    runShardedJobs(cluster_.sim.shards, std::move(sample_jobs));
+
+    // ---- Map phase (sampled execution + extrapolation).
     // Disk is shared by every concurrently running task on a node.
     double map_concurrency = std::min<double>(
         slots_per_node,
@@ -115,8 +146,6 @@ MapReduceEngine::run(const MapReduceJob &job) const
 
     // ---- Shuffle: all-to-all over the NICs, slaves transfer in
     // parallel; (slaves-1)/slaves of the data crosses the network.
-    std::uint64_t shuffle_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(job.input_bytes) * job.map_output_ratio);
     std::uint64_t cross_bytes = static_cast<std::uint64_t>(
         static_cast<double>(shuffle_bytes) * (slaves - 1.0) /
         std::max(1.0, slaves));
@@ -125,19 +154,11 @@ MapReduceEngine::run(const MapReduceJob &job) const
             static_cast<double>(cross_bytes) / slaves));
 
     // ---- Reduce phase.
-    SampledTask red_task;
     double red_disk_s = 0.0;
     std::uint64_t red_waves = 0;
     std::uint64_t output_bytes = static_cast<std::uint64_t>(
         static_cast<double>(shuffle_bytes) * job.reduce_output_ratio);
-    if (job.reduce_kernel && job.num_reducers > 0 &&
-        shuffle_bytes > 0) {
-        std::uint64_t per_red_bytes =
-            std::max<std::uint64_t>(1,
-                                    shuffle_bytes / job.num_reducers);
-        red_task = sampleTask(cluster_, job, job.reduce_kernel,
-                              per_red_bytes, job.sample_bytes,
-                              /*split_id=*/2);
+    if (has_reduce) {
         red_waves = (job.num_reducers + slots - 1) / slots;
         double red_concurrency = std::min<double>(
             slots_per_node,

@@ -22,6 +22,10 @@ stackManagementWork(TraceContext &ctx, ManagedHeap &heap, Rng &rng,
     // deterministic.
     static thread_local std::vector<std::uint64_t> pool(64 * 1024);
     static thread_local std::vector<std::uint64_t> hot(512);
+    // Both working sets are power-of-two sized, so the wrap-arounds
+    // below are masks, not divisions (same indices either way).
+    const std::uint64_t pool_mask = pool.size() - 1;
+    const std::uint64_t hot_mask = hot.size() - 1;
     constexpr std::uint64_t kPoolVa = 0x300000000000ULL;
     constexpr std::uint64_t kHotVa = 0x310000000000ULL;
     auto total_ops = static_cast<std::uint64_t>(
@@ -33,21 +37,21 @@ stackManagementWork(TraceContext &ctx, ManagedHeap &heap, Rng &rng,
     std::uint64_t hot_cur = 0;
     for (std::uint64_t u = 0; u < units; ++u) {
         ctx.emitOps(OpClass::IntAlu, 7);
-        ctx.emitLoadAddr(kHotVa + (hot_cur % hot.size()) * 8, 8);
-        ctx.emitLoadAddr(kHotVa + ((hot_cur + 17) % hot.size()) * 8,
-                         8);
+        ctx.emitLoadPairAddr(kHotVa + (hot_cur & hot_mask) * 8,
+                             kHotVa + ((hot_cur + 17) & hot_mask) * 8,
+                             8);
         if ((u & 7) == 0) {
             // cold object reference
             ctx.emitLoadAddr(kPoolVa + cursor * 8, 8);
-            cursor = (cursor * 1103515245 + 12345 + pool[cursor]) %
-                     pool.size();
+            cursor = (cursor * 1103515245 + 12345 + pool[cursor]) &
+                     pool_mask;
         } else {
-            ctx.emitLoadAddr(kHotVa + ((hot_cur + 33) % hot.size()) * 8,
+            ctx.emitLoadAddr(kHotVa + ((hot_cur + 33) & hot_mask) * 8,
                              8);
         }
-        ctx.emitStoreAddr(kHotVa + (hot_cur % hot.size()) * 8, 8);
-        ctx.emitStoreAddr(kHotVa + ((hot_cur + 5) % hot.size()) * 8,
-                          8);
+        ctx.emitStorePairAddr(kHotVa + (hot_cur & hot_mask) * 8,
+                              kHotVa + ((hot_cur + 5) & hot_mask) * 8,
+                              8);
         hot_cur += 3;
         DMPB_BR(ctx, (cursor & 31) != 0);  // type check, mostly true
         if ((u & 63) == 0)

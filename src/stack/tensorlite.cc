@@ -484,7 +484,8 @@ TensorEngine::run(const TrainJob &job) const
     ImageGenerator gen(mix64(std::hash<std::string>{}(job.name)));
     ImageBatch batch = gen.generate(sample_batch, job.channels, sim_dim,
                                     sim_dim, job.num_classes);
-    TraceContext ctx(cluster_.node, cores);
+    TraceContext ctx(cluster_.node, cores, 1,
+                     cluster_.sim.batch_capacity);
     ctx.setCodeFootprint(job.code_footprint);
     job.net->forward(ctx, batch);
     KernelProfile step = ctx.profile();

@@ -398,12 +398,66 @@ TEST(Profile, ScaleMultipliesCounters)
 {
     KernelProfile a;
     a.ops[0] = 10;
+    a.l3.accesses = 6;
     a.l3.misses = 4;
     a.net_bytes = 8;
     a.scale(2.5);
     EXPECT_EQ(a.ops[0], 25u);
+    EXPECT_EQ(a.l3.accesses, 15u);
     EXPECT_EQ(a.l3.misses, 10u);
     EXPECT_EQ(a.net_bytes, 20u);
+}
+
+TEST(CacheStats, ScaleRoundsInsteadOfTruncating)
+{
+    // Regression: truncating each counter independently used to
+    // drift the scaled hit ratio. 1/3 scale of 1000/300 must give
+    // 333/100, not 333/99 (or worse).
+    CacheStats s;
+    s.accesses = 1000;
+    s.misses = 300;
+    s.writebacks = 200;
+    s.scale(1.0 / 3.0);
+    EXPECT_EQ(s.accesses, 333u);
+    EXPECT_EQ(s.misses, 100u);
+    EXPECT_EQ(s.writebacks, 67u);
+    EXPECT_NEAR(s.hitRatio(), 0.7, 0.002);
+}
+
+TEST(CacheStats, ScaleClampsStructuralInvariants)
+{
+    // Rounding may push a counter past its parent; the clamp keeps
+    // misses <= accesses and writebacks <= misses.
+    CacheStats s;
+    s.accesses = 2;
+    s.misses = 2;
+    s.writebacks = 2;
+    s.scale(0.26);  // llround(0.52) = 1 for all three
+    EXPECT_LE(s.misses, s.accesses);
+    EXPECT_LE(s.writebacks, s.misses);
+
+    CacheStats t;
+    t.accesses = 3;
+    t.misses = 3;
+    t.writebacks = 3;
+    t.scale(0.5);  // llround(1.5) = 2 each; invariants still hold
+    EXPECT_LE(t.misses, t.accesses);
+    EXPECT_LE(t.writebacks, t.misses);
+}
+
+TEST(BranchStats, ScaleRoundsAndClamps)
+{
+    BranchStats b;
+    b.branches = 1000;
+    b.mispredicts = 10;
+    b.scale(1.0 / 3.0);
+    EXPECT_EQ(b.branches, 333u);
+    EXPECT_EQ(b.mispredicts, 3u);
+    BranchStats c;
+    c.branches = 1;
+    c.mispredicts = 1;
+    c.scale(0.4);  // branches rounds to 0; mispredicts must follow
+    EXPECT_LE(c.mispredicts, c.branches);
 }
 
 TEST(Machine, WestmereMatchesTableIV)
