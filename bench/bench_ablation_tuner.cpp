@@ -4,37 +4,66 @@
  * equal proxy-evaluation budget, compare
  *   (a) no tuning -- initial hotspot-ratio weights only,
  *   (b) random search -- uniform random parameter vectors,
- *   (c) the paper's decision-tree-guided tuner,
+ *   (c) the paper's decision-tree-guided tuner, serial,
+ *   (d) the same tuner with parallel batched evaluation,
  * on Proxy TeraSort, plus the tuner's parameter-importance readout
  * (which knobs the trees consider most behaviour-determining).
+ *
+ * (c) and (d) run the identical algorithm -- the speculative-descent
+ * width is independent of the job count -- so (d) must reproduce (c)
+ * bit-for-bit while only the wall clock changes; the bench asserts
+ * that and reports both wall times in the DMPB_BENCH_JSON perf
+ * artifact (rows: real_s = serial wall, proxy_s = parallel wall,
+ * speedup = serial/parallel).
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.hh"
 
 using namespace dmpb;
 using namespace dmpb::bench;
 
+namespace {
+
+double
+wallSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 int
 main()
 {
+    BenchReport bench("ablation_tuner");
     ClusterConfig cluster = paperCluster5();
-    auto workload = makeTeraSort();
-    RealRef real = realReference(*workload, cluster, "TeraSort_w5");
+    auto workloads = paperWorkloads();
+    const Workload &workload = *workloads.front();  // TeraSort
+    RealRef real = realReference(workload, cluster, "TeraSort_w5");
 
     TunerConfig config;  // default budget
+    if (quickMode()) {
+        config.max_iterations = 6;
+        config.impact_samples = 1;
+        config.trace_cap = 256 * 1024;
+    }
 
     std::printf("== Ablation: tuning strategy vs achieved accuracy "
                 "(Proxy TeraSort)\n");
     TextTable t;
     t.header({"Strategy", "Avg accuracy", "Max deviation",
-              "Evaluations"});
+              "Evaluations", "Wall (s)"});
 
     // (a) No tuning.
     {
-        ProxyBenchmark proxy = decomposeWorkload(*workload);
+        ProxyBenchmark proxy = decomposeWorkload(workload);
         ProxyResult r = proxy.execute(cluster.node, config.trace_cap);
         double worst = 0.0;
         for (Metric m : accuracyMetricSet()) {
@@ -44,22 +73,22 @@ main()
         }
         t.row({"initial weights only",
                pct(averageAccuracy(real.metrics, r.metrics)),
-               pct(worst), "1"});
+               pct(worst), "1", "-"});
     }
 
     // (b) Random search with the same evaluation budget.
     {
-        ProxyBenchmark proxy = decomposeWorkload(*workload);
+        ProxyBenchmark proxy = decomposeWorkload(workload);
         auto params = proxy.parameters();
         std::uint32_t budget =
             1 + config.impact_samples *
                     static_cast<std::uint32_t>(params.size()) +
-            config.max_iterations;
+            config.max_iterations * config.speculation;
         Rng rng(4242);
         double best_avg = 0.0;
         double best_worst = 1e300;
         for (std::uint32_t e = 0; e < budget; ++e) {
-            ProxyBenchmark trial = proxy;
+            ProxyBenchmark trial = proxy.cloneShallow();
             for (const TunableParam &p : trial.parameters()) {
                 double v = rng.nextDouble(p.lo, p.hi);
                 if (p.integer)
@@ -80,26 +109,76 @@ main()
             }
         }
         t.row({"random search", pct(best_avg), pct(best_worst),
-               std::to_string(budget)});
+               std::to_string(budget), "-"});
     }
 
-    // (c) Decision-tree-guided tuning (fresh, uncached).
-    {
-        ProxyBenchmark proxy = decomposeWorkload(*workload);
-        AutoTuner tuner(real.metrics, config);
-        TunerReport rep = tuner.tune(proxy, cluster.node);
-        t.row({"decision tree (paper)", pct(rep.avg_accuracy),
-               pct(rep.max_deviation),
-               std::to_string(rep.evaluations)});
+    // (c) Decision-tree-guided tuning, serial evaluation.
+    TunerConfig serial_config = config;
+    serial_config.jobs = 1;
+    ProxyBenchmark serial_proxy = decomposeWorkload(workload);
+    AutoTuner serial_tuner(real.metrics, serial_config);
+    auto serial_start = std::chrono::steady_clock::now();
+    TunerReport serial_rep =
+        serial_tuner.tune(serial_proxy, cluster.node);
+    double serial_wall = wallSince(serial_start);
+    t.row({"decision tree, serial", pct(serial_rep.avg_accuracy),
+           pct(serial_rep.max_deviation),
+           std::to_string(serial_rep.evaluations),
+           formatDouble(serial_wall, 3)});
 
-        t.print();
+    // (d) Same algorithm, parallel batched evaluation (host-sized
+    // jobs). Must reproduce (c) exactly.
+    TunerConfig parallel_config = config;
+    parallel_config.jobs = 0;  // auto
+    ProxyBenchmark parallel_proxy = decomposeWorkload(workload);
+    AutoTuner parallel_tuner(real.metrics, parallel_config);
+    auto parallel_start = std::chrono::steady_clock::now();
+    TunerReport parallel_rep =
+        parallel_tuner.tune(parallel_proxy, cluster.node);
+    double parallel_wall = wallSince(parallel_start);
+    t.row({"decision tree, parallel", pct(parallel_rep.avg_accuracy),
+           pct(parallel_rep.max_deviation),
+           std::to_string(parallel_rep.evaluations),
+           formatDouble(parallel_wall, 3)});
 
-        std::printf("\nparameter importance (variance reduction "
-                    "aggregated over the metric trees):\n");
-        for (const auto &[name, importance] :
-             tuner.parameterImportance()) {
-            std::printf("  %-30s %.3f\n", name.c_str(), importance);
-        }
+    t.print();
+
+    // Zero-drift assertion: the parallel tuner is the same search.
+    bool drift = serial_rep.evaluations != parallel_rep.evaluations ||
+                 serial_rep.iterations != parallel_rep.iterations ||
+                 serial_rep.qualified != parallel_rep.qualified ||
+                 serial_rep.final_result.checksum !=
+                     parallel_rep.final_result.checksum;
+    for (Metric m : accuracyMetricSet()) {
+        drift = drift || serial_rep.proxy_metrics[m] !=
+                             parallel_rep.proxy_metrics[m];
     }
+    auto serial_params = serial_proxy.parameters();
+    auto parallel_params = parallel_proxy.parameters();
+    for (std::size_t i = 0; i < serial_params.size(); ++i) {
+        drift = drift ||
+                serial_params[i].value != parallel_params[i].value;
+    }
+    if (drift) {
+        std::fprintf(stderr,
+                     "[ablation_tuner] FAIL: parallel tuner diverged "
+                     "from the serial search\n");
+        return 1;
+    }
+    std::printf("\nparallel == serial: OK (%zu jobs, %.2fx wall)\n",
+                effectiveTunerJobs(parallel_config),
+                parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
+
+    std::printf("\nparameter importance (variance reduction "
+                "aggregated over the metric trees):\n");
+    for (const auto &[name, importance] :
+         serial_tuner.parameterImportance()) {
+        std::printf("  %-30s %.3f\n", name.c_str(), importance);
+    }
+
+    bench.addRow("tuner-serial-vs-parallel", serial_wall,
+                 parallel_wall,
+                 parallel_wall > 0 ? serial_wall / parallel_wall
+                                   : 0.0);
     return 0;
 }

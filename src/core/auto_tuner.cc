@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "sim/engine.hh"
 
 namespace dmpb {
 
@@ -46,6 +48,15 @@ metricDeviation(Metric m, double real, double proxy)
         break;
     }
     return std::fabs(proxy - real) / std::max(std::fabs(real), floor);
+}
+
+std::size_t
+effectiveTunerJobs(const TunerConfig &config)
+{
+    if (config.jobs > 0)
+        return config.jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 8);
 }
 
 AutoTuner::AutoTuner(MetricVector target, TunerConfig config)
@@ -92,6 +103,64 @@ AutoTuner::refit()
     }
 }
 
+bool
+AutoTuner::evaluateBatch(const ProxyBenchmark &proxy,
+                         const MachineConfig &machine,
+                         std::vector<PendingEval> &batch,
+                         TunerReport &report, bool interruptible)
+{
+    const std::size_t njobs = effectiveTunerJobs(config_);
+
+    // Each entry evaluates on a shallow clone: private parameter
+    // vector, shared trace memo, so overlapping edges across the
+    // batch simulate once and memo hits are bit-identical to
+    // re-simulation. Workers write only their own slot.
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        jobs.push_back([this, &proxy, &machine, &batch, i, njobs,
+                        interruptible]() {
+            if (interruptible && config_.should_stop &&
+                config_.should_stop()) {
+                return;  // deadline: leave the slot un-executed
+            }
+            PendingEval &e = batch[i];
+            ProxyBenchmark clone = proxy.cloneShallow();
+            if (njobs > 1 && batch.size() > 1) {
+                // Concurrent candidates already saturate the host;
+                // nested per-edge sharding inside each evaluation
+                // would only oversubscribe. Single-entry batches
+                // (e.g. the baseline) keep the proxy's own sharding.
+                // Metrics are bit-identical for every shard count.
+                SimConfig sim = clone.simConfig();
+                sim.shards = 1;
+                clone.setSimConfig(sim);
+            }
+            if (e.param != kNoMove)
+                clone.setParameter(param_space_[e.param].name, e.value);
+            e.x = normalize(clone.parameters());
+            e.result = clone.execute(machine, config_.trace_cap);
+            e.executed = true;
+        });
+    }
+    runShardedJobs(njobs, std::move(jobs));
+
+    // Merge in batch order so samples_x_/samples_y_ -- and therefore
+    // every subsequent refit -- are identical for any job count.
+    bool complete = true;
+    for (PendingEval &e : batch) {
+        if (!e.executed) {
+            complete = false;
+            continue;
+        }
+        ++report.evaluations;
+        samples_x_.push_back(e.x);
+        for (Metric m : accuracyMetricSet())
+            samples_y_[m].push_back(e.result.metrics[m]);
+    }
+    return complete;
+}
+
 TunerReport
 AutoTuner::tune(ProxyBenchmark &proxy, const MachineConfig &machine)
 {
@@ -101,112 +170,161 @@ AutoTuner::tune(ProxyBenchmark &proxy, const MachineConfig &machine)
     for (const TunableParam &p : param_space_)
         param_names_.push_back(p.name);
 
-    auto evaluate = [&]() {
-        ++report.evaluations;
-        ProxyResult r = proxy.execute(machine, config_.trace_cap);
-        samples_x_.push_back(normalize(proxy.parameters()));
-        for (Metric m : accuracyMetricSet())
-            samples_y_[m].push_back(r.metrics[m]);
-        return r;
-    };
     auto stopping = [&]() {
         return config_.should_stop && config_.should_stop();
     };
 
-    // ---- Impact analysis: one-at-a-time parameter sweeps covering
-    // the range ends (the tuner must know what *low* weights do).
-    ProxyResult current = evaluate();
-    for (std::size_t pi = 0; pi < param_space_.size() && !stopping();
-         ++pi) {
-        const TunableParam &p = param_space_[pi];
-        double original = proxy.parameter(p.name);
-        for (std::uint32_t s = 0;
-             s < config_.impact_samples && !stopping(); ++s) {
-            double frac =
-                config_.impact_samples == 1
-                    ? 0.5
-                    : 0.02 + 0.96 * s /
-                          static_cast<double>(config_.impact_samples -
-                                              1);
-            double v = p.lo + frac * (p.hi - p.lo);
-            if (p.integer)
-                v = std::round(v);
-            if (std::fabs(v - original) < 1e-12)
-                continue;
-            proxy.setParameter(p.name, v);
-            evaluate();
-        }
-        proxy.setParameter(p.name, original);
-    }
-    refit();
-
-    // ---- Adjust + feedback loop.
+    // Baseline evaluation (never skipped: the report needs a result
+    // even when the deadline already expired).
+    std::vector<PendingEval> baseline(1);
+    evaluateBatch(proxy, machine, baseline, report,
+                  /*interruptible=*/false);
+    ProxyResult current = baseline[0].result;
     double best_score = score(current.metrics);
-    // Moves that were tried and made things worse (cleared whenever a
-    // move is accepted, since the landscape has shifted).
-    std::vector<std::pair<std::size_t, double>> tabu;
-    auto is_tabu = [&](std::size_t pi, double v) {
-        for (const auto &[tp, tv] : tabu) {
-            if (tp == pi && std::fabs(tv - v) < 1e-9)
-                return true;
-        }
-        return false;
-    };
-    for (std::uint32_t iter = 0; iter < config_.max_iterations;
-         ++iter) {
-        if (stopping())
-            break;
-        report.iterations = iter + 1;
-        if (best_score <= config_.threshold)
-            break;
 
-        // Adjusting stage: enumerate candidate one-parameter moves
-        // and let the trees predict the resulting metric vector.
-        auto params = proxy.parameters();
-        double best_pred = 1e300;
-        std::size_t best_param = params.size();
-        double best_value = 0.0;
-        for (std::size_t pi = 0; pi < params.size(); ++pi) {
-            const TunableParam &p = params[pi];
-            double span = p.hi - p.lo;
-            for (double delta :
-                 {-0.6, -0.3, -0.12, 0.12, 0.3, 0.6}) {
-                double v = std::clamp(p.value + delta * span, p.lo,
-                                      p.hi);
+    // A proxy already within the gate qualifies with zero adjust
+    // iterations and skips the impact sweep entirely.
+    if (best_score > config_.threshold) {
+        // ---- Impact analysis: one-at-a-time parameter sweeps
+        // covering the range ends (the tuner must know what *low*
+        // weights do). The full sample list is enumerated up front in
+        // a fixed order and evaluated concurrently.
+        std::vector<PendingEval> impact;
+        for (std::size_t pi = 0; pi < param_space_.size(); ++pi) {
+            const TunableParam &p = param_space_[pi];
+            for (std::uint32_t s = 0; s < config_.impact_samples;
+                 ++s) {
+                double frac =
+                    config_.impact_samples == 1
+                        ? 0.5
+                        : 0.02 +
+                              0.96 * s /
+                                  static_cast<double>(
+                                      config_.impact_samples - 1);
+                double v = p.lo + frac * (p.hi - p.lo);
                 if (p.integer)
                     v = std::round(v);
-                if (std::fabs(v - p.value) < 1e-12 || is_tabu(pi, v))
+                if (std::fabs(v - p.value) < 1e-12)
                     continue;
-                auto x = normalize(params);
-                x[pi] = span > 0 ? (v - p.lo) / span : 0.0;
-                MetricVector predicted = current.metrics;
-                for (Metric m : accuracyMetricSet())
-                    predicted[m] = trees_.at(m).predict(x);
-                double s = score(predicted);
-                if (s < best_pred) {
-                    best_pred = s;
-                    best_param = pi;
-                    best_value = v;
+                PendingEval e;
+                e.param = pi;
+                e.value = v;
+                impact.push_back(std::move(e));
+            }
+        }
+        bool complete =
+            evaluateBatch(proxy, machine, impact, report);
+        refit();
+
+        // ---- Adjust + feedback loop: speculative batched descent.
+        // Moves that were tried and made things worse (cleared
+        // whenever a move is accepted: the landscape has shifted).
+        std::vector<std::pair<std::size_t, double>> tabu;
+        auto is_tabu = [&](std::size_t pi, double v) {
+            for (const auto &[tp, tv] : tabu) {
+                if (tp == pi && std::fabs(tv - v) < 1e-9)
+                    return true;
+            }
+            return false;
+        };
+        const std::size_t width =
+            std::max<std::uint32_t>(1, config_.speculation);
+        for (std::uint32_t iter = 0;
+             complete && iter < config_.max_iterations; ++iter) {
+            if (stopping()) {
+                report.interrupted = true;
+                break;
+            }
+            if (best_score <= config_.threshold)
+                break;
+            report.iterations = iter + 1;
+
+            // Adjusting stage: enumerate candidate one-parameter
+            // moves in a fixed order and let the trees predict the
+            // resulting metric vector.
+            struct Candidate
+            {
+                std::size_t param;
+                double value;
+                double pred;
+            };
+            auto params = proxy.parameters();
+            std::vector<Candidate> candidates;
+            for (std::size_t pi = 0; pi < params.size(); ++pi) {
+                const TunableParam &p = params[pi];
+                double span = p.hi - p.lo;
+                for (double delta :
+                     {-0.6, -0.3, -0.12, 0.12, 0.3, 0.6}) {
+                    double v = std::clamp(p.value + delta * span,
+                                          p.lo, p.hi);
+                    if (p.integer)
+                        v = std::round(v);
+                    if (std::fabs(v - p.value) < 1e-12 ||
+                        is_tabu(pi, v)) {
+                        continue;
+                    }
+                    auto x = normalize(params);
+                    x[pi] = span > 0 ? (v - p.lo) / span : 0.0;
+                    MetricVector predicted = current.metrics;
+                    for (Metric m : accuracyMetricSet())
+                        predicted[m] = trees_.at(m).predict(x);
+                    candidates.push_back({pi, v, score(predicted)});
+                }
+            }
+            if (candidates.empty())
+                break;  // every move exhausted
+
+            // Rank by predicted score; stable sort keeps the fixed
+            // enumeration order for ties, so the executed top-K set
+            // is deterministic.
+            std::stable_sort(candidates.begin(), candidates.end(),
+                             [](const Candidate &a,
+                                const Candidate &b) {
+                                 return a.pred < b.pred;
+                             });
+
+            // Feedback stage: execute the top-K candidates
+            // concurrently and feed *all* samples back to the trees.
+            const std::size_t k =
+                std::min(width, candidates.size());
+            std::vector<PendingEval> batch(k);
+            for (std::size_t j = 0; j < k; ++j) {
+                batch[j].param = candidates[j].param;
+                batch[j].value = candidates[j].value;
+            }
+            complete = evaluateBatch(proxy, machine, batch, report);
+            refit();
+
+            // Accept the best measured candidate; ties break by rank
+            // (strict < keeps the first minimum).
+            std::size_t accepted = k;
+            double accepted_score = 1e300;
+            for (std::size_t j = 0; j < k; ++j) {
+                if (!batch[j].executed)
+                    continue;
+                double s = score(batch[j].result.metrics);
+                if (s < accepted_score) {
+                    accepted_score = s;
+                    accepted = j;
+                }
+            }
+            if (accepted < k && accepted_score <= best_score) {
+                proxy.setParameter(
+                    param_space_[batch[accepted].param].name,
+                    batch[accepted].value);
+                best_score = accepted_score;
+                current = batch[accepted].result;
+                tabu.clear();
+            } else {
+                for (std::size_t j = 0; j < k; ++j) {
+                    if (batch[j].executed)
+                        tabu.emplace_back(batch[j].param,
+                                          batch[j].value);
                 }
             }
         }
-        if (best_param >= params.size())
-            break;  // every move exhausted
-
-        // Feedback stage: apply, execute, accept or revert.
-        double previous = params[best_param].value;
-        proxy.setParameter(params[best_param].name, best_value);
-        ProxyResult trial = evaluate();
-        refit();
-        double trial_score = score(trial.metrics);
-        if (trial_score <= best_score) {
-            best_score = trial_score;
-            current = trial;
-            tabu.clear();
-        } else {
-            proxy.setParameter(params[best_param].name, previous);
-            tabu.emplace_back(best_param, best_value);
-        }
+        if (!complete)
+            report.interrupted = true;  // a batch was cut short
     }
 
     report.qualified = best_score <= config_.threshold;

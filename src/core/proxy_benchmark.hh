@@ -89,6 +89,23 @@ class ProxyBenchmark
     void setSimConfig(const SimConfig &sim) { sim_ = sim; }
     /** @} */
 
+    /**
+     * Shallow clone: a copy with its own parameter vector / edge
+     * weights that *shares* this proxy's TraceMemo, so edges whose
+     * simulation inputs overlap across clones are traced once and
+     * every memo hit is bit-identical to re-simulation.
+     *
+     * Thread-safe-execution contract: execute() is const and never
+     * mutates the proxy; the only mutable state reachable from it is
+     * the shared TraceMemo, which is mutex-guarded. Any number of
+     * distinct ProxyBenchmark objects (e.g. clones) may therefore
+     * call execute() concurrently -- the parallel auto-tuner
+     * evaluates candidate parameter vectors this way. The mutators
+     * (setParameter(), setSimConfig(), ...) are NOT thread-safe:
+     * confine each clone to a single worker thread.
+     */
+    ProxyBenchmark cloneShallow() const { return *this; }
+
     /** @{ The tunable parameter vector P (Table I). */
     std::vector<TunableParam> parameters() const;
     void setParameter(const std::string &name, double value);

@@ -1,15 +1,23 @@
 #include "core/proxy_cache.hh"
 
+#include <cctype>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "base/logging.hh"
 
 namespace dmpb {
 
 namespace {
+
+/** Version-tagged header; the raw key follows so a filename-level
+ *  collision can never smuggle one workload's P into another. */
+constexpr std::string_view kHeaderMagic = "dmpb-params-v2:";
 
 std::string
 sanitize(const std::string &key)
@@ -22,10 +30,47 @@ sanitize(const std::string &key)
     return out;
 }
 
+/** FNV-1a 64-bit over the raw key bytes. */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 std::string
 cachePath(const std::string &dir, const std::string &key)
 {
-    return dir + "/" + sanitize(key) + ".params";
+    // Sanitizing maps distinct keys (e.g. "k-means" / "k_means") to
+    // the same readable stem; the appended hash of the *raw* key
+    // keeps their files apart.
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir + "/" + sanitize(key) + "-" + hash + ".params";
+}
+
+/** Strict, locale-independent double parse of the whole string. */
+bool
+parseValue(std::string_view text, double &out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+/** A cache file that failed validation is worthless: drop it so the
+ *  next run re-tunes instead of tripping over it again. */
+void
+dropBadCacheFile(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
 }
 
 } // namespace
@@ -38,14 +83,18 @@ defaultCacheDir()
 
 bool
 saveProxyParams(const std::string &cache_dir, const std::string &key,
-                const ProxyBenchmark &proxy)
+                const ProxyBenchmark &proxy, bool qualified)
 {
+    dmpb_assert(key.find('\n') == std::string::npos,
+                "cache keys must be single-line");
     std::error_code ec;
     std::filesystem::create_directories(cache_dir, ec);
     std::ofstream out(cachePath(cache_dir, key));
     if (!out)
         return false;
     out.precision(17);
+    out << kHeaderMagic << key << "\n";
+    out << "qualified=" << (qualified ? 1 : 0) << "\n";
     for (const TunableParam &p : proxy.parameters())
         out << p.name << "=" << p.value << "\n";
     return static_cast<bool>(out);
@@ -53,33 +102,63 @@ saveProxyParams(const std::string &cache_dir, const std::string &key,
 
 bool
 loadProxyParams(const std::string &cache_dir, const std::string &key,
-                ProxyBenchmark &proxy)
+                ProxyBenchmark &proxy, bool *qualified)
 {
-    std::ifstream in(cachePath(cache_dir, key));
+    const std::string path = cachePath(cache_dir, key);
+    std::ifstream in(path);
     if (!in)
         return false;
+
+    // Everything below runs on untrusted file content: any deviation
+    // from the expected shape rejects (and deletes) the file rather
+    // than throwing into the suite run.
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.compare(0, kHeaderMagic.size(), kHeaderMagic) != 0 ||
+        line.substr(kHeaderMagic.size()) != key) {
+        dropBadCacheFile(path);
+        return false;
+    }
+    bool stored_qualified = false;
+    if (!std::getline(in, line) ||
+        line.rfind("qualified=", 0) != 0 ||
+        (line != "qualified=0" && line != "qualified=1")) {
+        dropBadCacheFile(path);
+        return false;
+    }
+    stored_qualified = line == "qualified=1";
+
     // Collect expected names for validation.
     std::vector<std::string> expected;
     for (const TunableParam &p : proxy.parameters())
         expected.push_back(p.name);
 
     std::vector<std::pair<std::string, double>> loaded;
-    std::string line;
     while (std::getline(in, line)) {
         auto eq = line.find('=');
-        if (eq == std::string::npos)
+        double value = 0.0;
+        if (eq == std::string::npos ||
+            !parseValue(std::string_view(line).substr(eq + 1),
+                        value)) {
+            dropBadCacheFile(path);
             return false;
-        loaded.emplace_back(line.substr(0, eq),
-                            std::stod(line.substr(eq + 1)));
+        }
+        loaded.emplace_back(line.substr(0, eq), value);
     }
-    if (loaded.size() != expected.size())
+    if (loaded.size() != expected.size()) {
+        dropBadCacheFile(path);
         return false;
+    }
     for (std::size_t i = 0; i < loaded.size(); ++i) {
-        if (loaded[i].first != expected[i])
+        if (loaded[i].first != expected[i]) {
+            dropBadCacheFile(path);
             return false;
+        }
     }
     for (const auto &[name, value] : loaded)
         proxy.setParameter(name, value);
+    if (qualified != nullptr)
+        *qualified = stored_qualified;
     return true;
 }
 
@@ -88,11 +167,12 @@ tuneWithCache(const std::string &cache_dir, const std::string &key,
               ProxyBenchmark &proxy, const MetricVector &target,
               const MachineConfig &machine, const TunerConfig &config)
 {
-    if (loadProxyParams(cache_dir, key, proxy)) {
+    bool stored_qualified = false;
+    if (loadProxyParams(cache_dir, key, proxy, &stored_qualified)) {
         // Rebuild the report by re-executing with the cached P.
         ProxyResult r = proxy.execute(machine, config.trace_cap);
         TunerReport report;
-        report.qualified = true;  // recorded as tuned previously
+        report.from_cache = true;
         report.iterations = 0;
         report.evaluations = 1;
         report.metric_accuracy = accuracyVector(target, r.metrics);
@@ -102,14 +182,24 @@ tuneWithCache(const std::string &cache_dir, const std::string &key,
                 report.max_deviation,
                 metricDeviation(m, target[m], r.metrics[m]));
         }
-        report.qualified = report.max_deviation <= config.threshold;
+        // A vector the tuner never qualified stays unqualified even
+        // when served from cache; a qualified one is re-checked
+        // against the (possibly different) current threshold.
+        report.qualified = stored_qualified &&
+                           report.max_deviation <= config.threshold;
         report.proxy_metrics = r.metrics;
         report.final_result = r;
         return report;
     }
     AutoTuner tuner(target, config);
     TunerReport report = tuner.tune(proxy, machine);
-    saveProxyParams(cache_dir, key, proxy);
+    // A deadline-truncated, unqualified search is not cached: the
+    // stored vector would short-circuit every future (possibly
+    // unbounded) run at whatever the interrupted search had reached.
+    // A full-budget search -- qualified or not -- is deterministic,
+    // so caching it only skips an identical repeat.
+    if (report.qualified || !report.interrupted)
+        saveProxyParams(cache_dir, key, proxy, report.qualified);
     return report;
 }
 

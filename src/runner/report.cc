@@ -107,17 +107,25 @@ class JsonWriter
     string(const std::string &s)
     {
         os_ << '"';
+        // RFC 8259: every control character below 0x20 MUST be
+        // escaped -- the named shorthands where they exist, \u00XX
+        // for the rest (a workload or parameter name containing one
+        // must still yield a parseable document).
         for (char c : s) {
             switch (c) {
               case '"': os_ << "\\\""; break;
               case '\\': os_ << "\\\\"; break;
+              case '\b': os_ << "\\b"; break;
+              case '\f': os_ << "\\f"; break;
               case '\n': os_ << "\\n"; break;
               case '\r': os_ << "\\r"; break;
               case '\t': os_ << "\\t"; break;
               default:
                 if (static_cast<unsigned char>(c) < 0x20) {
                     char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
                     os_ << buf;
                 } else {
                     os_ << c;
@@ -191,6 +199,8 @@ renderJson(const SuiteResult &result)
     json.field("jobs", static_cast<std::uint64_t>(result.jobs));
     json.field("sim_shards",
                static_cast<std::uint64_t>(result.sim_shards));
+    json.field("tuner_jobs",
+               static_cast<std::uint64_t>(result.tuner_jobs));
     json.field("cluster", result.cluster_name);
     json.field("elapsed_s", result.elapsed_s);
     json.field("all_ok", result.allOk());

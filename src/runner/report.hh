@@ -22,7 +22,8 @@ std::string renderTable(const SuiteResult &result);
  * Render the full result as a JSON document:
  *
  * {
- *   "suite": "dmpb", "seed": N, "jobs": N, "cluster": "...",
+ *   "suite": "dmpb", "seed": N, "jobs": N, "sim_shards": N,
+ *   "tuner_jobs": N, "cluster": "...",
  *   "elapsed_s": x, "all_ok": bool, "suite_checksum": "0x...",
  *   "workloads": [
  *     { "name", "short_name", "status", "error", "from_cache",

@@ -51,6 +51,17 @@ Usage: dmpb [options]
                       32768 on multi-CPU hosts, 1 = the unbatched
                       scalar path on single-CPU hosts; results are
                       identical either way)
+  --tuner-jobs N      Worker threads per pipeline for the auto-tuner's
+                      batched proxy evaluations (impact-analysis
+                      samples and speculative feedback candidates run
+                      concurrently; default: one per hardware thread,
+                      capped at 8). The tuned parameters, evaluation
+                      counts and the whole report are bit-identical
+                      for every value
+  --tuner-spec K      Speculative-descent width: top-K tree-ranked
+                      candidate moves executed per feedback iteration
+                      (default 4; independent of --tuner-jobs so the
+                      tuning trajectory never depends on parallelism)
   --output PATH       JSON report path (default dmpb-report.json;
                       "-" prints JSON to stdout instead of the table)
   --cache-dir DIR     Tuned-parameter cache (default dmpb-cache)
@@ -163,6 +174,16 @@ main(int argc, char **argv)
             if (!parseU64(value("--sim-batch"), n) || n == 0)
                 usageError("--sim-batch needs a positive integer");
             options.sim.batch_capacity = static_cast<std::size_t>(n);
+        } else if (arg == "--tuner-jobs") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--tuner-jobs"), n) || n == 0)
+                usageError("--tuner-jobs needs a positive integer");
+            options.tuner.jobs = static_cast<std::size_t>(n);
+        } else if (arg == "--tuner-spec") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--tuner-spec"), n) || n == 0)
+                usageError("--tuner-spec needs a positive integer");
+            options.tuner.speculation = static_cast<std::uint32_t>(n);
         } else if (arg == "--output") {
             output = value("--output");
         } else if (arg == "--cache-dir") {

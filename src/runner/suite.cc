@@ -205,7 +205,10 @@ SuiteRunner::runOne(const Workload &workload) const
         if (bounded) {
             // Deadline propagates into the tuner: it stops issuing
             // proxy evaluations once the budget is gone, and the
-            // checkpoint below converts that into TimedOut.
+            // checkpoint below converts that into TimedOut. The
+            // parallel tuner polls this from its evaluation workers;
+            // it only reads the immutable timeout and a captured
+            // steady_clock origin, so concurrent polls are safe.
             tuner.should_stop = [this, start]() {
                 return secondsSince(start) > options_.timeout_s;
             };
@@ -222,13 +225,12 @@ SuiteRunner::runOne(const Workload &workload) const
             key << out.short_name << "-" << options_.cluster.node.name
                 << "-seed" << options_.seed << "-thr" << tuner.threshold
                 << "-bytes" << workload.proxyDataBytes() << "-it"
-                << tuner.max_iterations << "-cap" << tuner.trace_cap;
+                << tuner.max_iterations << "-cap" << tuner.trace_cap
+                << "-spec" << tuner.speculation;
             report = tuneWithCache(options_.cache_dir, key.str(), proxy,
                                    out.real.metrics,
                                    options_.cluster.node, tuner);
-            // tuneWithCache encodes a hit as a zero-iteration report
-            // (the stored P is re-applied and re-executed once).
-            out.from_cache = report.iterations == 0;
+            out.from_cache = report.from_cache;
         } else {
             AutoTuner auto_tuner(out.real.metrics, tuner);
             report = auto_tuner.tune(proxy, options_.cluster.node);
@@ -266,6 +268,7 @@ SuiteRunner::run()
     SuiteResult result;
     result.seed = options_.seed;
     result.sim_shards = options_.sim.shards;
+    result.tuner_jobs = effectiveTunerJobs(options_.tuner);
     result.cluster_name = options_.cluster.node.name;
     result.jobs = options_.jobs > 0 ? options_.jobs
                                     : std::max<std::size_t>(

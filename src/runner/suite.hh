@@ -57,7 +57,9 @@ struct SuiteOptions
     std::string cache_dir;
     /** Deployment every workload and proxy runs on. */
     ClusterConfig cluster;
-    /** Auto-tuner budget (seed is overridden by SuiteOptions::seed). */
+    /** Auto-tuner budget (seed is overridden by SuiteOptions::seed).
+     *  tuner.jobs (--tuner-jobs) sets the evaluation workers per
+     *  pipeline; the TunerReport is bit-identical for every value. */
     TunerConfig tuner;
     /**
      * Trace-simulation engine configuration (--sim-shards /
@@ -100,6 +102,7 @@ struct SuiteResult
     std::uint64_t seed = 0;
     std::size_t jobs = 0;
     std::size_t sim_shards = 1;
+    std::size_t tuner_jobs = 1;             ///< resolved --tuner-jobs
     std::string cluster_name;
 
     /** Order-independent combination of the proxy checksums of every

@@ -346,7 +346,7 @@ TEST_F(RunnerTest, JsonEscapesControlCharacters)
     bad.name = "quote\" backslash\\ newline\n";
     bad.short_name = "bad";
     bad.status = RunStatus::Failed;
-    bad.error = "tab\there";
+    bad.error = "tab\there backspace\b formfeed\f bell\x07 soh\x01";
     result.outcomes.push_back(bad);
 
     std::string json = renderJson(result);
@@ -354,6 +354,14 @@ TEST_F(RunnerTest, JsonEscapesControlCharacters)
     EXPECT_TRUE(probe.valid()) << json;
     EXPECT_NE(json.find("quote\\\""), std::string::npos);
     EXPECT_NE(json.find("tab\\there"), std::string::npos);
+    EXPECT_NE(json.find("backspace\\b"), std::string::npos);
+    EXPECT_NE(json.find("formfeed\\f"), std::string::npos);
+    EXPECT_NE(json.find("bell\\u0007"), std::string::npos);
+    EXPECT_NE(json.find("soh\\u0001"), std::string::npos);
+    // No raw control byte may survive into the document.
+    for (char c : json)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+            << "raw control char in JSON output";
 }
 
 TEST_F(RunnerTest, TableReportListsEveryOutcome)
