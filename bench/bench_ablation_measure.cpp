@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation of the sharded reference-measurement engine: run the two
+ * AI workloads' real-workload measurement stage serially
+ * (--sim-shards 1, unbatched) and sharded (host-sized shards), assert
+ * zero metric drift between the two, and report both wall times.
+ *
+ * This is the measurement-stage counterpart of bench_ablation_tuner:
+ * the sharded engine runs the identical per-image / per-branch
+ * decomposition, so it must reproduce the serial profile bit for bit
+ * while only the wall clock changes. The DMPB_BENCH_JSON perf
+ * artifact rows carry real_s = serial wall, proxy_s = sharded wall,
+ * speedup = serial/sharded -- CI uploads it per commit, tracking the
+ * measurement engine's wall-clock trajectory.
+ *
+ * The cache is deliberately bypassed (both configurations measure
+ * fresh): the point is the engine's own wall clock, not the cache's.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hh"
+
+using namespace dmpb;
+using namespace dmpb::bench;
+
+namespace {
+
+double
+wallSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool
+isAiWorkload(const Workload &w)
+{
+    return w.name().rfind("TensorFlow", 0) == 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchReport bench("ablation_measure");
+    TextTable t;
+    t.header({"Workload", "Serial (s)", "Sharded (s)", "Speedup",
+              "Drift"});
+
+    bool drift_any = false;
+    for (const auto &w : paperWorkloads()) {
+        if (!isAiWorkload(*w))
+            continue;
+
+        ClusterConfig serial = paperCluster5();
+        serial.sim.shards = 1;
+        serial.sim.batch_capacity = 1;  // unbatched scalar reference
+        ClusterConfig sharded = paperCluster5();
+        sharded.sim = benchSimConfig();
+
+        auto s0 = std::chrono::steady_clock::now();
+        WorkloadResult a = w->run(serial);
+        double serial_wall = wallSince(s0);
+
+        auto s1 = std::chrono::steady_clock::now();
+        WorkloadResult b = w->run(sharded);
+        double sharded_wall = wallSince(s1);
+
+        // Zero-drift: every metric double and the simulated runtime
+        // must match bit for bit across engine configurations.
+        bool drift = a.runtime_s != b.runtime_s;
+        for (std::size_t i = 0; i < kNumMetrics; ++i) {
+            Metric m = static_cast<Metric>(i);
+            drift = drift || a.metrics[m] != b.metrics[m];
+        }
+        drift_any = drift_any || drift;
+
+        double sp = sharded_wall > 0 ? serial_wall / sharded_wall : 0.0;
+        t.row({shortName(w->name()), formatDouble(serial_wall, 3),
+               formatDouble(sharded_wall, 3),
+               formatDouble(sp, 2) + "x", drift ? "DRIFT" : "none"});
+        bench.addRow("measure-" + shortName(w->name()), serial_wall,
+                     sharded_wall, sp);
+    }
+
+    std::printf("== Ablation: serial vs sharded reference "
+                "measurement (AI workloads)\n");
+    t.print();
+
+    if (drift_any) {
+        std::fprintf(stderr,
+                     "[ablation_measure] FAIL: sharded measurement "
+                     "diverged from the serial engine\n");
+        return 1;
+    }
+    std::printf("\nsharded == serial: OK (%zu shards)\n",
+                benchSimConfig().shards);
+    return 0;
+}

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <thread>
+
+#include "base/names.hh"
+#include "core/reference_cache.hh"
 
 namespace dmpb {
 namespace bench {
@@ -83,10 +85,7 @@ BenchReport::finish()
 std::string
 shortName(const std::string &workload_name)
 {
-    std::size_t space = workload_name.rfind(' ');
-    return space == std::string::npos
-               ? workload_name
-               : workload_name.substr(space + 1);
+    return dmpb::shortName(workload_name);
 }
 
 std::string
@@ -95,69 +94,33 @@ pct(double fraction)
     return formatDouble(fraction * 100.0, 1) + "%";
 }
 
-namespace {
-
-std::string
-realCachePath(const std::string &tag)
-{
-    std::string key = tag;
-    for (char &c : key) {
-        if (!std::isalnum(static_cast<unsigned char>(c)))
-            c = '_';
-    }
-    return defaultCacheDir() + "/real_" + key + ".metrics";
-}
-
-bool
-loadReal(const std::string &tag, RealRef &out)
-{
-    std::ifstream in(realCachePath(tag));
-    if (!in)
-        return false;
-    if (!(in >> out.runtime_s))
-        return false;
-    for (std::size_t i = 0; i < kNumMetrics; ++i) {
-        double v;
-        if (!(in >> v))
-            return false;
-        out.metrics[static_cast<Metric>(i)] = v;
-    }
-    return true;
-}
-
-void
-saveReal(const std::string &tag, const RealRef &ref)
-{
-    std::error_code ec;
-    std::filesystem::create_directories(defaultCacheDir(), ec);
-    std::ofstream out(realCachePath(tag));
-    out.precision(17);
-    out << ref.runtime_s << "\n";
-    for (std::size_t i = 0; i < kNumMetrics; ++i)
-        out << ref.metrics[static_cast<Metric>(i)] << "\n";
-}
-
-} // namespace
-
 RealRef
 realReference(const Workload &workload, const ClusterConfig &cluster,
               const std::string &raw_tag)
 {
-    // Quick-mode artefacts live under distinct keys so a smoke run
-    // never poisons the full-size cache (and vice versa).
+    // core/reference_cache does the memoisation (hardened, hashed
+    // filenames); the key folds in the bench tag plus the workload's
+    // input scale, and quick-mode artefacts live under distinct keys
+    // so a smoke run never poisons the full-size cache (and vice
+    // versa).
     std::string tag = quickMode() ? "quick_" + raw_tag : raw_tag;
+    std::string key = referenceCacheKey(workload.name(), tag,
+                                        workload.referenceDataBytes(),
+                                        /*seed=*/0);
+    WorkloadResult r;
+    r.name = workload.name();
+    if (!loadReference(defaultCacheDir(), key, r)) {
+        std::fprintf(stderr, "[bench] measuring real %s (%s)...\n",
+                     workload.name().c_str(), tag.c_str());
+        ClusterConfig sharded = cluster;
+        sharded.sim = benchSimConfig();
+        r = workload.run(sharded);
+        saveReference(defaultCacheDir(), key, r);
+    }
     RealRef ref;
     ref.name = workload.name();
-    if (loadReal(tag, ref))
-        return ref;
-    std::fprintf(stderr, "[bench] measuring real %s (%s)...\n",
-                 workload.name().c_str(), tag.c_str());
-    ClusterConfig sharded = cluster;
-    sharded.sim = benchSimConfig();
-    WorkloadResult r = workload.run(sharded);
     ref.runtime_s = r.runtime_s;
     ref.metrics = r.metrics;
-    saveReal(tag, ref);
     return ref;
 }
 

@@ -5,9 +5,10 @@
  *
  * Expensive artefacts are memoised under ./dmpb-cache: the tuned proxy
  * parameter vectors (via core/proxy_cache) and the real-workload
- * measurements (runtime + metric vector). Everything a bench *prints*
- * is recomputed by executing the proxy / reading the cached reference;
- * delete ./dmpb-cache to regenerate from scratch.
+ * measurements (runtime + metric vector, via core/reference_cache).
+ * Everything a bench *prints* is recomputed by executing the proxy /
+ * reading the cached reference; delete ./dmpb-cache to regenerate
+ * from scratch.
  */
 
 #ifndef DMPB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,39 @@
+#include "base/names.hh"
+
+#include <cctype>
+
+namespace dmpb {
+
+std::string
+shortName(const std::string &name)
+{
+    std::size_t space = name.rfind(' ');
+    return space == std::string::npos ? name : name.substr(space + 1);
+}
+
+std::string
+canonName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+std::string
+sanitizeFileStem(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c : '_');
+    }
+    return out;
+}
+
+} // namespace dmpb

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared name-handling helpers.
+ *
+ * Three subsystems (the suite runner's workload selection, the bench
+ * harnesses and the on-disk caches) historically carried private
+ * copies of the same small string utilities; they live here once so
+ * short names, canonical selection forms and cache-key hashing agree
+ * everywhere by construction.
+ */
+
+#ifndef DMPB_BASE_NAMES_HH
+#define DMPB_BASE_NAMES_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dmpb {
+
+/** Short display name: the last space-separated token of @p name
+ *  ("TeraSort" from "Hadoop TeraSort"; unchanged when spaceless). */
+std::string shortName(const std::string &name);
+
+/**
+ * Case- and punctuation-insensitive selection form: "K-means",
+ * "kmeans" and "K_MEANS" all canonicalise to "kmeans", so any of them
+ * selects the K-means workload on the command line.
+ */
+std::string canonName(const std::string &name);
+
+/**
+ * Filesystem-safe stem: every non-alphanumeric byte becomes '_'.
+ * Lossy ("k-means" and "k_means" collide) -- cache files pair it with
+ * fnv1a64() of the raw key to keep distinct keys apart.
+ */
+std::string sanitizeFileStem(const std::string &name);
+
+/**
+ * FNV-1a 64-bit hash.
+ *
+ * The in-tree standard-library-independent string hash: std::hash's
+ * value is implementation-defined (libstdc++ and libc++ disagree), so
+ * anything feeding a seed, a checksum or an on-disk cache filename
+ * must hash through here to keep the repo's bit-determinism guarantee
+ * across toolchains.
+ */
+constexpr std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace dmpb
+
+#endif // DMPB_BASE_NAMES_HH

@@ -1,0 +1,37 @@
+#include "core/cache_file.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+
+#include "base/names.hh"
+
+namespace dmpb {
+
+std::string
+cacheFilePath(const std::string &dir, const std::string &key,
+              const std::string &ext)
+{
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir + "/" + sanitizeFileStem(key) + "-" + hash + "." + ext;
+}
+
+bool
+parseCacheValue(std::string_view text, double &out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc() && ptr == last;
+}
+
+void
+dropBadCacheFile(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+}
+
+} // namespace dmpb

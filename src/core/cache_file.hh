@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared mechanics of the on-disk caches (core/proxy_cache,
+ * core/reference_cache): the hashed-filename scheme, the strict
+ * locale-independent value parser and the bad-file disposal. Kept in
+ * one place so a hardening fix to one cache can never silently miss
+ * the other.
+ */
+
+#ifndef DMPB_CORE_CACHE_FILE_HH
+#define DMPB_CORE_CACHE_FILE_HH
+
+#include <string>
+#include <string_view>
+
+namespace dmpb {
+
+/**
+ * Cache-file path for @p key under @p dir:
+ * `<sanitized-key>-<fnv64(raw key)>.<ext>`. Sanitizing maps distinct
+ * keys (e.g. "k-means" / "k_means") to the same readable stem; the
+ * appended hash of the *raw* key keeps their files apart. @p ext is
+ * passed without the dot ("params", "ref").
+ */
+std::string cacheFilePath(const std::string &dir,
+                          const std::string &key,
+                          const std::string &ext);
+
+/** Strict, locale-independent double parse of the whole string
+ *  (std::from_chars; rejects partial parses). */
+bool parseCacheValue(std::string_view text, double &out);
+
+/** A cache file that failed validation is worthless: drop it so the
+ *  next run recomputes instead of tripping over it again. */
+void dropBadCacheFile(const std::string &path);
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_CACHE_FILE_HH

@@ -1,15 +1,13 @@
 #include "core/proxy_cache.hh"
 
-#include <cctype>
-#include <charconv>
 #include <cstdint>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 
 #include "base/logging.hh"
+#include "core/cache_file.hh"
 
 namespace dmpb {
 
@@ -20,57 +18,9 @@ namespace {
 constexpr std::string_view kHeaderMagic = "dmpb-params-v2:";
 
 std::string
-sanitize(const std::string &key)
-{
-    std::string out;
-    for (char c : key) {
-        out.push_back(std::isalnum(static_cast<unsigned char>(c))
-                          ? c : '_');
-    }
-    return out;
-}
-
-/** FNV-1a 64-bit over the raw key bytes. */
-std::uint64_t
-fnv1a64(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-std::string
 cachePath(const std::string &dir, const std::string &key)
 {
-    // Sanitizing maps distinct keys (e.g. "k-means" / "k_means") to
-    // the same readable stem; the appended hash of the *raw* key
-    // keeps their files apart.
-    char hash[24];
-    std::snprintf(hash, sizeof(hash), "%016llx",
-                  static_cast<unsigned long long>(fnv1a64(key)));
-    return dir + "/" + sanitize(key) + "-" + hash + ".params";
-}
-
-/** Strict, locale-independent double parse of the whole string. */
-bool
-parseValue(std::string_view text, double &out)
-{
-    const char *first = text.data();
-    const char *last = first + text.size();
-    auto [ptr, ec] = std::from_chars(first, last, out);
-    return ec == std::errc() && ptr == last;
-}
-
-/** A cache file that failed validation is worthless: drop it so the
- *  next run re-tunes instead of tripping over it again. */
-void
-dropBadCacheFile(const std::string &path)
-{
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
+    return cacheFilePath(dir, key, "params");
 }
 
 } // namespace
@@ -138,8 +88,8 @@ loadProxyParams(const std::string &cache_dir, const std::string &key,
         auto eq = line.find('=');
         double value = 0.0;
         if (eq == std::string::npos ||
-            !parseValue(std::string_view(line).substr(eq + 1),
-                        value)) {
+            !parseCacheValue(std::string_view(line).substr(eq + 1),
+                             value)) {
             dropBadCacheFile(path);
             return false;
         }

@@ -1,0 +1,141 @@
+#include "core/reference_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "base/logging.hh"
+#include "core/cache_file.hh"
+#include "sim/metrics.hh"
+
+namespace dmpb {
+
+namespace {
+
+/** Version-tagged header; the raw key follows so a filename-level
+ *  collision can never smuggle one workload's reference into
+ *  another's pipeline. */
+constexpr std::string_view kHeaderMagic = "dmpb-ref-v1:";
+
+std::string
+cachePath(const std::string &dir, const std::string &key)
+{
+    return cacheFilePath(dir, key, "ref");
+}
+
+/** Parse one "<name>=<value>" line against an expected name. */
+bool
+parseNamedValue(const std::string &line, std::string_view name,
+                double &out)
+{
+    if (line.size() <= name.size() + 1 ||
+        line.compare(0, name.size(), name) != 0 ||
+        line[name.size()] != '=') {
+        return false;
+    }
+    return parseCacheValue(
+        std::string_view(line).substr(name.size() + 1), out);
+}
+
+} // namespace
+
+std::string
+referenceCacheKey(const std::string &workload_name,
+                  const std::string &cluster_name,
+                  std::uint64_t data_bytes, std::uint64_t seed)
+{
+    std::ostringstream key;
+    key << "ref-" << workload_name << "-" << cluster_name << "-bytes"
+        << data_bytes << "-seed" << seed;
+    return key.str();
+}
+
+bool
+saveReference(const std::string &cache_dir, const std::string &key,
+              const WorkloadResult &result)
+{
+    dmpb_assert(key.find('\n') == std::string::npos,
+                "cache keys must be single-line");
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    std::ofstream out(cachePath(cache_dir, key));
+    if (!out)
+        return false;
+    out.precision(17);
+    out << kHeaderMagic << key << "\n";
+    out << "runtime_s=" << result.runtime_s << "\n";
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        out << metricName(m) << "=" << result.metrics[m] << "\n";
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+loadReference(const std::string &cache_dir, const std::string &key,
+              WorkloadResult &result)
+{
+    const std::string path = cachePath(cache_dir, key);
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    // Everything below runs on untrusted file content: any deviation
+    // from the expected shape rejects (and deletes) the file rather
+    // than throwing into the suite run.
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.compare(0, kHeaderMagic.size(), kHeaderMagic) != 0 ||
+        line.substr(kHeaderMagic.size()) != key) {
+        dropBadCacheFile(path);
+        return false;
+    }
+
+    double runtime = 0.0;
+    if (!std::getline(in, line) ||
+        !parseNamedValue(line, "runtime_s", runtime)) {
+        dropBadCacheFile(path);
+        return false;
+    }
+    MetricVector metrics;
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        double v = 0.0;
+        if (!std::getline(in, line) ||
+            !parseNamedValue(line, metricName(m), v)) {
+            dropBadCacheFile(path);
+            return false;
+        }
+        metrics[m] = v;
+    }
+    if (std::getline(in, line)) {  // trailing garbage
+        dropBadCacheFile(path);
+        return false;
+    }
+
+    result.runtime_s = runtime;
+    result.metrics = metrics;
+    return true;
+}
+
+WorkloadResult
+measureWithCache(const std::string &cache_dir, const std::string &key,
+                 const Workload &workload, const ClusterConfig &cluster,
+                 bool *from_cache)
+{
+    WorkloadResult result;
+    result.name = workload.name();
+    if (loadReference(cache_dir, key, result)) {
+        if (from_cache != nullptr)
+            *from_cache = true;
+        return result;
+    }
+    if (from_cache != nullptr)
+        *from_cache = false;
+    result = workload.run(cluster);
+    saveReference(cache_dir, key, result);
+    return result;
+}
+
+} // namespace dmpb

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reference-measurement cache.
+ *
+ * The paper's whole premise is that the proxy runs 100x+ faster than
+ * the real workload it mimics -- which makes the *reference*
+ * measurement the expensive side of every pipeline run. It is also a
+ * pure function of (workload, input scale, cluster): the simulation
+ * is bit-deterministic, so re-measuring on every `dmpb` invocation
+ * buys nothing. This cache persists the reference runtime and metric
+ * vector once and serves them to every later run with the same key.
+ *
+ * File format (one file per key, named
+ * `<sanitized-key>-<fnv64>.ref` exactly like core/proxy_cache, so
+ * distinct keys that sanitize identically can never collide):
+ *
+ *   dmpb-ref-v1:<raw key>         <- verified on load
+ *   runtime_s=<value>
+ *   <metric name>=<value>         <- one line per Metric, enum order
+ *
+ * Values are written with 17 significant digits and parsed with
+ * std::from_chars (locale-independent), so a warm load reproduces the
+ * cold measurement bit for bit. Any malformed, truncated or foreign
+ * file fails the load *and is deleted*, falling back to a fresh
+ * measurement instead of killing the run.
+ *
+ * The key deliberately excludes every SimConfig knob: sharding and
+ * batching change wall-clock only, so a reference measured with any
+ * --sim-shards value is valid for all of them. The cluster-aggregate
+ * KernelProfile is NOT persisted -- nothing downstream of stage 1
+ * reads it (the tuner targets the metric vector) -- so a cache-served
+ * WorkloadResult carries an empty profile.
+ */
+
+#ifndef DMPB_CORE_REFERENCE_CACHE_HH
+#define DMPB_CORE_REFERENCE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "stack/cluster.hh"
+#include "workloads/workload.hh"
+
+namespace dmpb {
+
+/**
+ * The raw cache key of one reference measurement: workload name,
+ * cluster name, input scale (Workload::referenceDataBytes(), which
+ * separates --quick configurations from full-size ones) and the
+ * master seed.
+ */
+std::string referenceCacheKey(const std::string &workload_name,
+                              const std::string &cluster_name,
+                              std::uint64_t data_bytes,
+                              std::uint64_t seed);
+
+/** Persist @p result (runtime + metric vector) under @p key. */
+bool saveReference(const std::string &cache_dir, const std::string &key,
+                   const WorkloadResult &result);
+
+/**
+ * Restore a reference measurement into @p result (runtime + metrics;
+ * name and profile are left untouched); false if absent, malformed or
+ * keyed differently (bad files are deleted).
+ */
+bool loadReference(const std::string &cache_dir, const std::string &key,
+                   WorkloadResult &result);
+
+/**
+ * Measure @p workload on @p cluster, memoised: a valid cache entry
+ * under @p key is served directly (bit-identical to the measurement
+ * it was saved from); otherwise the workload runs -- sharded per
+ * cluster.sim and interruptible via cluster.sim.should_stop -- and
+ * the result is persisted. @p from_cache (when non-null) reports
+ * which path was taken.
+ */
+WorkloadResult measureWithCache(const std::string &cache_dir,
+                                const std::string &key,
+                                const Workload &workload,
+                                const ClusterConfig &cluster,
+                                bool *from_cache = nullptr);
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_REFERENCE_CACHE_HH

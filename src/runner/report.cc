@@ -168,14 +168,19 @@ renderTable(const SuiteResult &result)
                        "-", "-", "-", "-", "-", o.error});
             continue;
         }
+        // Cached: which memoised artefacts served this pipeline --
+        // the reference measurement ("real"), the tuned parameter
+        // vector ("tuned"), both, or neither.
+        const char *cached =
+            o.real_from_cache ? (o.from_cache ? "real+tuned" : "real")
+                              : (o.from_cache ? "tuned" : "no");
         table.row({o.short_name, runStatusName(o.status),
                    fmt("%.1f", o.real.runtime_s),
                    fmt("%.2f", o.proxy.runtime_s),
                    fmt("%.0fx", o.speedup),
                    fmt("%.1f%%", 100.0 * o.avg_accuracy),
                    o.qualified ? "yes" : "no",
-                   std::to_string(o.iterations),
-                   o.from_cache ? "yes" : "no",
+                   std::to_string(o.iterations), cached,
                    hex64(o.proxy.checksum)});
     }
 
@@ -213,6 +218,7 @@ renderJson(const SuiteResult &result)
         json.field("status", runStatusName(o.status));
         json.field("error", o.error);
         json.field("from_cache", o.from_cache);
+        json.field("real_from_cache", o.real_from_cache);
         json.field("elapsed_s", o.elapsed_s);
         if (o.status == RunStatus::Ok) {
             json.openObject("real");

@@ -39,9 +39,9 @@ Usage: dmpb [options]
                       (default 99); same seed => same checksums
   --timeout S         Per-workload wall-clock budget in seconds
                       (default: unlimited; checked per tuner
-                      evaluation and at stage boundaries, so the
-                      non-interruptible real-workload measurement
-                      can overshoot it)
+                      evaluation, at stage boundaries, and between
+                      the shard jobs of the real-workload
+                      measurement, which is interrupted mid-stage)
   --sim-shards N      Worker threads the trace-simulation engine
                       shards independent simulated cores across
                       (default 1 = sequential; metrics and checksums
@@ -65,7 +65,14 @@ Usage: dmpb [options]
   --output PATH       JSON report path (default dmpb-report.json;
                       "-" prints JSON to stdout instead of the table)
   --cache-dir DIR     Tuned-parameter cache (default dmpb-cache)
-  --no-cache          Disable the tuned-parameter cache
+  --ref-cache-dir DIR Reference-measurement cache: the real-workload
+                      runtime + metric vector, keyed by workload,
+                      cluster, input scale and seed -- served
+                      bit-identically on later runs (default: the
+                      tuned-parameter cache directory)
+  --no-cache          Disable both caches (a later --cache-dir /
+                      --ref-cache-dir re-enables that cache; flags
+                      apply in command-line order)
   --cluster NAME      paper5 (default), paper3, or haswell3
   --threshold X       Tuner deviation gate (default 0.15)
   --quick             ~1000x smaller inputs + light tuner budget;
@@ -129,6 +136,7 @@ main(int argc, char **argv)
     SuiteOptions options;
     options.cluster = paperCluster5();
     options.cache_dir = defaultCacheDir();
+    bool ref_dir_explicit = false;
     std::string output = "dmpb-report.json";
     bool quick = false;
     bool list_only = false;
@@ -149,6 +157,8 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--no-cache") {
             options.cache_dir.clear();
+            options.ref_cache_dir.clear();
+            ref_dir_explicit = false;
         } else if (arg == "--workloads") {
             options.workloads = splitCsv(value("--workloads"));
         } else if (arg == "--jobs") {
@@ -188,6 +198,9 @@ main(int argc, char **argv)
             output = value("--output");
         } else if (arg == "--cache-dir") {
             options.cache_dir = value("--cache-dir");
+        } else if (arg == "--ref-cache-dir") {
+            options.ref_cache_dir = value("--ref-cache-dir");
+            ref_dir_explicit = true;
         } else if (arg == "--threshold") {
             if (!parseDouble(value("--threshold"),
                              options.tuner.threshold) ||
@@ -208,6 +221,11 @@ main(int argc, char **argv)
             usageError("unknown option '" + arg + "'");
         }
     }
+
+    // The reference cache rides along with the tuned-parameter cache
+    // unless pointed elsewhere explicitly.
+    if (!ref_dir_explicit)
+        options.ref_cache_dir = options.cache_dir;
 
     if (quick) {
         // Keep CI smoke runs fast: fewer tuner iterations and a

@@ -48,13 +48,18 @@ struct SuiteOptions
     /** Master seed mixed into tuner and proxy data generation. */
     std::uint64_t seed = 99;
     /** Per-workload wall-clock budget in seconds; 0 = unlimited.
-     *  Enforced cooperatively: per tuner evaluation and at stage
-     *  boundaries. The real-workload measurement stage runs to
-     *  completion before its boundary check, so a budget smaller
-     *  than that stage overshoots by its duration. */
+     *  Enforced cooperatively: per tuner evaluation, at stage
+     *  boundaries, and between the shard jobs of the sharded
+     *  real-workload measurement (which can therefore be interrupted
+     *  mid-stage; residual overshoot is one shard job, not the whole
+     *  measurement). */
     double timeout_s = 0.0;
     /** Tuned-parameter cache directory; empty disables memoisation. */
     std::string cache_dir;
+    /** Reference-measurement cache directory (core/reference_cache);
+     *  empty disables it. The dmpb CLI defaults both cache
+     *  directories to the same place (dmpb-cache). */
+    std::string ref_cache_dir;
     /** Deployment every workload and proxy runs on. */
     ClusterConfig cluster;
     /** Auto-tuner budget (seed is overridden by SuiteOptions::seed).
@@ -79,6 +84,10 @@ struct WorkloadOutcome
     RunStatus status = RunStatus::Failed;
     std::string error;         ///< diagnostic for Failed / TimedOut
     bool from_cache = false;   ///< tuned parameters were memoised
+    /** The reference measurement was served from the cache (its
+     *  runtime and metrics are bit-identical to a fresh run; the
+     *  cluster-aggregate profile is not restored). */
+    bool real_from_cache = false;
 
     WorkloadResult real;       ///< reference measurement
     ProxyResult proxy;         ///< qualified-proxy execution
@@ -142,7 +151,7 @@ class SuiteRunner
      */
     SuiteResult run();
 
-    /** Short display name: last space-separated token of @p name. */
+    /** Short display name (base/names.hh shortName()). */
     static std::string shortName(const std::string &name);
 
   private:

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace dmpb {
@@ -70,6 +71,18 @@ struct SimConfig
      * for tests and as the equivalence baseline).
      */
     std::size_t batch_capacity = 0;
+
+    /**
+     * Optional deadline poll the execution engines hand to
+     * runShardedJobs(): once it returns true, no further shard job of
+     * a measurement starts and the stage throws ShardInterrupted.
+     * Like the other knobs it can only shorten wall-clock, never
+     * change a completed run's numbers -- an interrupted measurement
+     * produces no result at all. Not part of any cache key. The suite
+     * runner installs its per-workload --timeout check here; must be
+     * safe to call concurrently from shard workers.
+     */
+    std::function<bool()> should_stop;
 };
 
 /**

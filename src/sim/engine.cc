@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 #include "base/thread_pool.hh"
@@ -125,16 +126,25 @@ AsyncReplayer::workerLoop()
 
 void
 runShardedJobs(std::size_t shards,
-               std::vector<std::function<void()>> jobs)
+               std::vector<std::function<void()>> jobs,
+               const std::function<bool()> &should_stop,
+               const char *stage)
 {
     if (jobs.empty())
         return;
 
     // One exception slot per job: workers must never unwind through
     // the pool, and the rethrow order (lowest failing index) must not
-    // depend on scheduling.
+    // depend on scheduling. The deadline poll happens on the worker,
+    // right before its job body, so both the serial and the pooled
+    // path stop dispatching as soon as the budget is gone.
     std::vector<std::exception_ptr> errors(jobs.size());
+    std::atomic<bool> interrupted{false};
     auto guarded = [&](std::size_t i) {
+        if (should_stop && should_stop()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            return;
+        }
         try {
             jobs[i]();
         } catch (...) {
@@ -156,6 +166,8 @@ runShardedJobs(std::size_t shards,
         if (e)
             std::rethrow_exception(e);
     }
+    if (interrupted.load(std::memory_order_relaxed))
+        throw ShardInterrupted(stage);
 }
 
 } // namespace dmpb

@@ -24,6 +24,8 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +35,22 @@ namespace dmpb {
 
 class BranchPredictor;
 class CacheHierarchy;
+
+/**
+ * Thrown by runShardedJobs() when its should_stop poll reported an
+ * expired deadline before every job was dispatched. The suite runner
+ * maps it to a TimedOut outcome, exactly like a stage-boundary
+ * deadline check -- but it fires *inside* a sharded measurement, so a
+ * --timeout smaller than the reference-measurement stage interrupts
+ * the run between shard jobs instead of only after the stage.
+ */
+struct ShardInterrupted : std::runtime_error
+{
+    explicit ShardInterrupted(const std::string &stage)
+        : std::runtime_error("deadline expired during sharded stage: " +
+                             stage)
+    {}
+};
 
 /**
  * Replay every event of @p batch, in order, into the models.
@@ -50,9 +68,18 @@ void replayBatch(const AccessBatch &batch, CacheHierarchy &caches,
  * slot); under that contract the observable outcome is identical for
  * every shards value. If jobs throw, the exception of the
  * lowest-indexed failing job is rethrown after all jobs finished.
+ *
+ * When @p should_stop is set it is polled immediately before each job
+ * starts; once it returns true the remaining jobs are skipped and,
+ * after every started job has finished, ShardInterrupted(@p stage) is
+ * thrown (job exceptions take precedence). The poll never interrupts
+ * a running job, so an expired deadline can still overshoot by one
+ * job's duration -- but no longer by the whole stage.
  */
 void runShardedJobs(std::size_t shards,
-                    std::vector<std::function<void()>> jobs);
+                    std::vector<std::function<void()>> jobs,
+                    const std::function<bool()> &should_stop = nullptr,
+                    const char *stage = "sharded jobs");
 
 /**
  * Double-buffered asynchronous batch replay for one simulated core.

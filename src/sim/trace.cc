@@ -55,6 +55,7 @@ TraceContext::profile() const
     p.disk_read_bytes = disk_read_;
     p.disk_write_bytes = disk_write_;
     p.net_bytes = net_;
+    p.merge(absorbed_);
     return p;
 }
 
@@ -62,6 +63,7 @@ void
 TraceContext::reset()
 {
     counts_ = OpCounts{};
+    absorbed_ = KernelProfile{};
     disk_read_ = disk_write_ = net_ = 0;
     hot_base_ = hot_off_ = pc_bytes_ = 0;
     ops_since_loop_br_ = 0;

@@ -67,6 +67,33 @@ class TraceContext
     void setCodeFootprint(std::uint64_t bytes);
     std::uint64_t codeFootprint() const { return code_footprint_; }
 
+    /**
+     * A fresh context modelling another core of the same machine:
+     * same construction parameters (machine, LLC sharers, sampling,
+     * batching) and code footprint, cold models and private address
+     * space. The sharded execution engines give every independent
+     * piece of a measurement (an image of a sampled training batch,
+     * an inception branch) one replica, then absorb() the replica
+     * profiles back in a fixed order -- the shard-count-invariant
+     * decomposition the whole measurement layer is built on.
+     */
+    TraceContext
+    replica() const
+    {
+        TraceContext ctx(machine_, l3_sharers_, sample_period_,
+                         batch_capacity_);
+        ctx.setCodeFootprint(code_footprint_);
+        return ctx;
+    }
+
+    /**
+     * Merge an externally produced profile (typically a replica's
+     * profile()) into this context's totals. Absorbed counters are
+     * final: they are added onto profile()'s own-model snapshot after
+     * sampling scale-up, never re-scaled.
+     */
+    void absorb(const KernelProfile &p) { absorbed_.merge(p); }
+
     /** Emit @p n non-memory ops of class @p c. */
     void
     emitOps(OpClass c, std::uint64_t n = 1)
@@ -428,6 +455,8 @@ class TraceContext
     std::uint32_t l3_sharers_;
     std::uint64_t va_next_ = kDataBase;
     std::map<std::uint64_t, std::vector<std::uint64_t>> va_free_;
+    /** Finalised replica profiles; added on top of profile(). */
+    KernelProfile absorbed_;
     /** Pending events; mutable so the const profile() can flush. */
     mutable AccessBatch batch_;
     std::size_t batch_capacity_;

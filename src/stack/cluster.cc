@@ -2,6 +2,13 @@
 
 namespace dmpb {
 
+std::string
+ClusterConfig::cacheId() const
+{
+    return node.name + "-x" + std::to_string(num_nodes) + "-mem" +
+           std::to_string(node.memory_bytes >> 30) + "g";
+}
+
 ClusterConfig
 paperCluster5()
 {

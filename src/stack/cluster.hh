@@ -10,6 +10,7 @@
 #define DMPB_STACK_CLUSTER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sim/access_batch.hh"
 #include "sim/machine.hh"
@@ -36,6 +37,16 @@ struct ClusterConfig
     {
         return slaveNodes() * node.totalCores();
     }
+
+    /**
+     * Cache-key identity of this deployment. The node name alone is
+     * NOT sufficient: paperCluster5() and paperCluster3() share it
+     * (both are Westmere) but differ in node count and memory, and
+     * every measured runtime depends on slaveNodes() -- so any
+     * on-disk cache keyed by cluster must key by this string.
+     * Excludes SimConfig (wall-clock-only by contract).
+     */
+    std::string cacheId() const;
 };
 
 /** The Section III evaluation cluster: 5 x E5645, 32 GB. */

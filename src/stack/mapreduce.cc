@@ -95,7 +95,9 @@ MapReduceEngine::run(const MapReduceJob &job) const
     // tasks are independent simulated cores (private TraceContext,
     // cache and predictor replicas), so the engine runs them sharded
     // across the ThreadPool; results are consumed in fixed order and
-    // are bit-identical for any cluster.sim.shards value.
+    // are bit-identical for any cluster.sim.shards value. The suite
+    // deadline is polled between the sample jobs (ShardInterrupted),
+    // so a small --timeout interrupts the measurement mid-stage.
     std::uint64_t map_task_bytes =
         std::min<std::uint64_t>(job.split_bytes, job.input_bytes);
     std::uint64_t shuffle_bytes = static_cast<std::uint64_t>(
@@ -122,7 +124,8 @@ MapReduceEngine::run(const MapReduceJob &job) const
                                   /*split_id=*/2);
         });
     }
-    runShardedJobs(cluster_.sim.shards, std::move(sample_jobs));
+    runShardedJobs(cluster_.sim.shards, std::move(sample_jobs),
+                   cluster_.sim.should_stop, "map/reduce sampling");
 
     // ---- Map phase (sampled execution + extrapolation).
     // Disk is shared by every concurrently running task on a node.

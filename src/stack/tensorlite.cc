@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "base/logging.hh"
+#include "base/names.hh"
 #include "base/rng.hh"
+#include "sim/engine.hh"
 
 namespace dmpb {
 
@@ -188,11 +191,26 @@ applyLayer(TraceContext &ctx, const LayerSpec &spec,
     dmpb_panic("unhandled layer type");
 }
 
+/**
+ * Seed of one inception branch's private weight stream. Keyed by the
+ * module position and branch index only -- never by how many values
+ * the trunk or sibling branches consumed -- so the stream is the same
+ * whether branches run sequentially or sharded.
+ */
+std::uint64_t
+branchSeed(std::uint64_t weight_seed, std::size_t node_index,
+           std::size_t branch_index)
+{
+    return mix64(weight_seed ^
+                 mix64((static_cast<std::uint64_t>(node_index) << 20) |
+                       (branch_index + 1)));
+}
+
 } // namespace
 
 Shape4
 Network::forward(TraceContext &ctx, const ImageBatch &input,
-                 std::uint64_t weight_seed) const
+                 const ForwardOptions &opts) const
 {
     dmpb_assert(input.layout == DataLayout::NCHW,
                 "tensorlite executes NCHW activations");
@@ -201,8 +219,8 @@ Network::forward(TraceContext &ctx, const ImageBatch &input,
              static_cast<std::uint32_t>(input.height),
              static_cast<std::uint32_t>(input.width)};
     TracedBuffer<float> act(ctx, input.data);
-    Rng wrng(weight_seed);
-    Rng drop_rng(weight_seed ^ 0xd00dULL);
+    Rng wrng(opts.weight_seed);
+    Rng drop_rng(opts.weight_seed ^ 0xd00dULL);
 
     for (std::size_t li = 0; li < nodes_.size(); ++li) {
         const NetNode &node = nodes_[li];
@@ -215,38 +233,66 @@ Network::forward(TraceContext &ctx, const ImageBatch &input,
             continue;
         }
 
-        // Inception module: run every branch on the same input and
-        // concatenate along the channel dimension.
-        std::vector<std::vector<float>> branch_data;
-        std::vector<Shape4> branch_shape;
-        for (const InceptionBranch &br : node.branches) {
-            TracedBuffer<float> bact(ctx, act.raw());
-            Shape4 bs = s;
-            for (const LayerSpec &spec : br.layers) {
-                TracedBuffer<float> out(ctx, 0);
-                Shape4 os = applyLayer(ctx, spec, bact, bs, out, wrng,
-                                       drop_rng);
-                bact.raw().swap(out.raw());
-                bs = os;
-            }
-            branch_data.push_back(std::move(bact.raw()));
-            branch_shape.push_back(bs);
+        // Inception module: every branch consumes the same input and
+        // the outputs concatenate along the channel dimension. The
+        // branches are data-independent, so each runs as one shard
+        // job on a private TraceContext replica (own cache/predictor
+        // models, own address space) with a private weight stream;
+        // afterwards the replica profiles are absorbed and the
+        // concatenation is traced in fixed branch order. One code
+        // path for every shards value keeps the result bit-identical
+        // whether the branches ran back to back or concurrently.
+        struct BranchRun
+        {
+            std::vector<float> data;
+            Shape4 shape;
+            KernelProfile profile;
+        };
+        std::vector<BranchRun> runs(node.branches.size());
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(node.branches.size());
+        for (std::size_t b = 0; b < node.branches.size(); ++b) {
+            jobs.push_back([&ctx, &node, &runs, &act, &opts, s, li,
+                            b]() {
+                // replica() only reads construction parameters, which
+                // no other shard mutates; safe from worker threads.
+                TraceContext bctx = ctx.replica();
+                std::uint64_t seed = branchSeed(opts.weight_seed, li, b);
+                Rng bwrng(seed);
+                Rng bdrop(seed ^ 0xd00dULL);
+                TracedBuffer<float> bact(bctx, act.raw());
+                Shape4 bs = s;
+                for (const LayerSpec &spec : node.branches[b].layers) {
+                    TracedBuffer<float> out(bctx, 0);
+                    Shape4 os = applyLayer(bctx, spec, bact, bs, out,
+                                           bwrng, bdrop);
+                    bact.raw().swap(out.raw());
+                    bs = os;
+                }
+                runs[b] = BranchRun{std::move(bact.raw()), bs,
+                                    bctx.profile()};
+            });
         }
+        runShardedJobs(opts.shards, std::move(jobs), opts.should_stop,
+                       "inception branches");
+        for (const BranchRun &run : runs)
+            ctx.absorb(run.profile);
+
         // All branches must agree on n, h, w.
         std::uint32_t total_c = 0;
-        for (std::size_t b = 0; b < branch_shape.size(); ++b) {
-            dmpb_assert(branch_shape[b].h == branch_shape[0].h &&
-                        branch_shape[b].w == branch_shape[0].w,
+        for (std::size_t b = 0; b < runs.size(); ++b) {
+            dmpb_assert(runs[b].shape.h == runs[0].shape.h &&
+                        runs[b].shape.w == runs[0].shape.w,
                         name_, ": branch ", b,
                         " spatial mismatch in inception module ", li);
-            total_c += branch_shape[b].c;
+            total_c += runs[b].shape.c;
         }
-        Shape4 os{s.n, total_c, branch_shape[0].h, branch_shape[0].w};
+        Shape4 os{s.n, total_c, runs[0].shape.h, runs[0].shape.w};
         TracedBuffer<float> cat(ctx, os.elems());
         std::uint32_t c_off = 0;
-        for (std::size_t b = 0; b < branch_data.size(); ++b) {
-            const Shape4 &bs = branch_shape[b];
-            TracedBuffer<float> src(ctx, std::move(branch_data[b]));
+        for (std::size_t b = 0; b < runs.size(); ++b) {
+            const Shape4 &bs = runs[b].shape;
+            TracedBuffer<float> src(ctx, std::move(runs[b].data));
             for (std::uint32_t n = 0; n < bs.n; ++n)
                 for (std::uint32_t c = 0; c < bs.c; ++c)
                     for (std::uint32_t y = 0; y < bs.h; ++y)
@@ -457,6 +503,17 @@ buildInceptionV3(std::uint32_t num_classes)
 
 // --------------------------------------------------------- TensorEngine
 
+std::uint64_t
+trainSampleSeed(const std::string &job_name, std::uint32_t image_index)
+{
+    // fnv1a64, not std::hash: the seed must be the same value on
+    // every standard library. Images of one sampled batch get
+    // decorrelated sibling seeds keyed by their index, independent of
+    // which shard traces them.
+    return mix64(fnv1a64(job_name) +
+                 0x9e3779b97f4a7c15ULL * image_index);
+}
+
 TensorEngine::TensorEngine(const ClusterConfig &cluster)
     : cluster_(cluster)
 {
@@ -475,20 +532,53 @@ TensorEngine::run(const TrainJob &job) const
     res.name = job.name;
     const double workers = cluster_.slaveNodes();
     const std::uint32_t cores = cluster_.node.totalCores();
+    const SimConfig &sim = cluster_.sim;
 
     std::uint32_t sim_dim = job.sim_dim ? job.sim_dim : job.image_dim;
     std::uint32_t sample_batch =
         std::min(job.sample_batch, job.batch_size);
 
-    // ---- Trace one sampled forward pass.
-    ImageGenerator gen(mix64(std::hash<std::string>{}(job.name)));
-    ImageBatch batch = gen.generate(sample_batch, job.channels, sim_dim,
-                                    sim_dim, job.num_classes);
-    TraceContext ctx(cluster_.node, cores, 1,
-                     cluster_.sim.batch_capacity);
-    ctx.setCodeFootprint(job.code_footprint);
-    job.net->forward(ctx, batch);
-    KernelProfile step = ctx.profile();
+    // ---- Trace one sampled forward pass, sharded per image: every
+    // image of the sampled batch is an independent simulated core
+    // (private TraceContext / cache / predictor replica, private
+    // deterministic image seed), so the images run concurrently on
+    // the shard pool and their profiles merge in image order --
+    // bit-identical totals for every sim.shards value, with inception
+    // branches sharded the same way inside each image's forward pass.
+    // Split the shard budget between the two nesting levels instead
+    // of multiplying it: each of the (up to shards) concurrent image
+    // jobs gets shards/image_fan workers for its inception branches,
+    // bounding live threads near sim.shards rather than shards^2.
+    // Shard counts never change results, only wall-clock, so this
+    // split is free to be a heuristic.
+    std::size_t image_fan = std::min<std::size_t>(
+        sample_batch, std::max<std::size_t>(1, sim.shards));
+    std::size_t branch_shards =
+        std::max<std::size_t>(1, sim.shards / image_fan);
+    std::vector<KernelProfile> image_profiles(sample_batch);
+    std::vector<std::function<void()>> image_jobs;
+    image_jobs.reserve(sample_batch);
+    for (std::uint32_t i = 0; i < sample_batch; ++i) {
+        image_jobs.push_back([this, &job, &image_profiles, &sim,
+                              branch_shards, sim_dim, cores, i]() {
+            ImageGenerator gen(trainSampleSeed(job.name, i));
+            ImageBatch batch = gen.generate(1, job.channels, sim_dim,
+                                            sim_dim, job.num_classes);
+            TraceContext ctx(cluster_.node, cores, 1,
+                             sim.batch_capacity);
+            ctx.setCodeFootprint(job.code_footprint);
+            ForwardOptions fwd;
+            fwd.shards = branch_shards;
+            fwd.should_stop = sim.should_stop;
+            job.net->forward(ctx, batch, fwd);
+            image_profiles[i] = ctx.profile();
+        });
+    }
+    runShardedJobs(sim.shards, std::move(image_jobs), sim.should_stop,
+                   "reference forward pass");
+    KernelProfile step;
+    for (const KernelProfile &p : image_profiles)
+        step.merge(p);
 
     // ---- Extrapolate: full batch, full resolution, plus backward.
     double spatial = static_cast<double>(job.image_dim) /
@@ -524,7 +614,7 @@ TensorEngine::run(const TrainJob &job) const
         params * job.total_steps / 2;
     total.ops[static_cast<std::size_t>(OpClass::Store)] +=
         params * job.total_steps / 2;
-    // Input pipeline:each step reads batch images (uint8) from disk.
+    // Input pipeline: each step reads batch images (uint8) from disk.
     total.disk_read_bytes +=
         static_cast<std::uint64_t>(job.total_steps) * job.batch_size *
         job.channels * job.image_dim * job.image_dim;

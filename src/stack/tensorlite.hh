@@ -19,6 +19,7 @@
 #define DMPB_STACK_TENSORLITE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,28 @@ struct InceptionBranch
     std::vector<LayerSpec> layers;
 };
 
+/**
+ * Execution options of one traced forward pass.
+ *
+ * shards > 1 runs the independent branches of each inception module
+ * concurrently, one TraceContext replica per branch; the profiles are
+ * absorbed back in branch order, so every statistic is bit-identical
+ * for every shards value (1 = the sequential reference order, same
+ * decomposition). Branch weights and dropout draw from per-branch
+ * streams seeded by (weight_seed, module index, branch index) --
+ * never from the shared trunk streams -- which is what makes the
+ * decomposition order-free in the first place.
+ */
+struct ForwardOptions
+{
+    /** Seed of the deterministic weight / dropout streams. */
+    std::uint64_t weight_seed = 0x5eedULL;
+    /** Worker threads inception branches are sharded across. */
+    std::size_t shards = 1;
+    /** Optional deadline poll (see SimConfig::should_stop). */
+    std::function<bool()> should_stop;
+};
+
 /** A feed-forward network: sequential nodes, some of which are
  *  inception modules (parallel branches concatenated on channels). */
 class Network
@@ -85,12 +108,22 @@ class Network
     Network &addInception(std::vector<InceptionBranch> branches);
 
     /**
-     * Run one forward pass on @p input (real arithmetic, traced).
-     * Weights are generated deterministically from @p weight_seed.
+     * Run one forward pass on @p input (real arithmetic, traced),
+     * optionally sharding inception branches (see ForwardOptions).
      * @return the output shape.
      */
     Shape4 forward(TraceContext &ctx, const ImageBatch &input,
-                   std::uint64_t weight_seed = 0x5eedULL) const;
+                   const ForwardOptions &opts) const;
+
+    /** Sequential forward pass (ForwardOptions with @p weight_seed). */
+    Shape4
+    forward(TraceContext &ctx, const ImageBatch &input,
+            std::uint64_t weight_seed = 0x5eedULL) const
+    {
+        ForwardOptions opts;
+        opts.weight_seed = weight_seed;
+        return forward(ctx, input, opts);
+    }
 
     /** Learnable parameter count for an input of shape @p in. */
     std::uint64_t paramCount(Shape4 in) const;
@@ -137,6 +170,18 @@ struct TrainJob
     std::uint64_t code_footprint = 320ULL * 1024;
     double setup_s = 30.0;            ///< session/bootstrap time
 };
+
+/**
+ * Seed of the synthetic-image generator for one sampled training
+ * image: image @p image_index of the batch TensorEngine::run traces
+ * for job @p job_name. Derived from the in-tree fnv1a64/mix64 (never
+ * std::hash, whose value is implementation-defined and would make
+ * reference metrics differ between standard libraries), so the traced
+ * pixels -- and every downstream statistic -- are identical on every
+ * toolchain and for every shard assignment.
+ */
+std::uint64_t trainSampleSeed(const std::string &job_name,
+                              std::uint32_t image_index);
 
 /** Result of a simulated training run. */
 struct TrainResult

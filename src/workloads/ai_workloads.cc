@@ -38,6 +38,14 @@ class AlexNetWorkload : public Workload
 
     std::uint64_t proxyDataBytes() const override { return 8 * kMiB; }
 
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        // Total training pixels: steps x batch x 3x32x32 uint8.
+        return static_cast<std::uint64_t>(total_steps_) * batch_size_ *
+               3 * 32 * 32;
+    }
+
     WorkloadResult
     run(const ClusterConfig &cluster) const override
     {
@@ -92,6 +100,14 @@ class InceptionV3Workload : public Workload
     }
 
     std::uint64_t proxyDataBytes() const override { return 12 * kMiB; }
+
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        // Total training pixels: steps x batch x 3x299x299 uint8.
+        return static_cast<std::uint64_t>(total_steps_) * batch_size_ *
+               3 * 299 * 299;
+    }
 
     WorkloadResult
     run(const ClusterConfig &cluster) const override

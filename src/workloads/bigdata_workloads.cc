@@ -51,6 +51,12 @@ class TeraSortWorkload : public Workload
 
     std::uint64_t proxyDataBytes() const override { return 48 * kMiB; }
 
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        return input_bytes_;
+    }
+
     WorkloadResult
     run(const ClusterConfig &cluster) const override
     {
@@ -187,6 +193,12 @@ class KMeansWorkload : public Workload
     }
 
     std::uint64_t proxyDataBytes() const override { return 24 * kMiB; }
+
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        return input_bytes_;
+    }
 
     double inputSparsity() const override { return sparsity_; }
 
@@ -345,6 +357,14 @@ class PageRankWorkload : public Workload
     }
 
     std::uint64_t proxyDataBytes() const override { return 32 * kMiB; }
+
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        // Mirrors run()'s edge-list sizing: ~16 text bytes per edge.
+        return static_cast<std::uint64_t>(
+            static_cast<double>(vertices_) * 8.0 * 16.0);
+    }
 
     WorkloadResult
     run(const ClusterConfig &cluster) const override

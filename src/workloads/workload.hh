@@ -68,6 +68,22 @@ class Workload
      */
     virtual std::uint64_t proxyDataBytes() const = 0;
 
+    /**
+     * Bytes of real input the reference execution processes (input
+     * size for the MapReduce workloads, total training pixels for the
+     * CNNs). This is the input-scale component of the
+     * reference-measurement cache key: it is what separates a --quick
+     * configuration from the full Section III-B one, so a smoke run
+     * can never serve its tiny reference to a full-size run (or vice
+     * versa). Defaults to proxyDataBytes() for workloads whose proxy
+     * input tracks the real input.
+     */
+    virtual std::uint64_t
+    referenceDataBytes() const
+    {
+        return proxyDataBytes();
+    }
+
     /** Input sparsity (only meaningful for K-means; 0 otherwise). */
     virtual double inputSparsity() const { return 0.0; }
 };

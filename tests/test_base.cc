@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "base/names.hh"
 #include "base/rng.hh"
 #include "base/stats_util.hh"
 #include "base/table.hh"
@@ -18,6 +19,43 @@
 
 namespace dmpb {
 namespace {
+
+TEST(Names, ShortNameTakesLastToken)
+{
+    EXPECT_EQ(shortName("Hadoop TeraSort"), "TeraSort");
+    EXPECT_EQ(shortName("TensorFlow Inception-V3"), "Inception-V3");
+    EXPECT_EQ(shortName("TeraSort"), "TeraSort");
+    EXPECT_EQ(shortName(""), "");
+    EXPECT_EQ(shortName("trailing "), "");
+}
+
+TEST(Names, CanonNameFoldsCaseAndPunctuation)
+{
+    EXPECT_EQ(canonName("K-means"), "kmeans");
+    EXPECT_EQ(canonName("kmeans"), "kmeans");
+    EXPECT_EQ(canonName("K_MEANS"), "kmeans");
+    EXPECT_EQ(canonName("Inception-V3"), "inceptionv3");
+    EXPECT_EQ(canonName("--- "), "");
+}
+
+TEST(Names, SanitizeFileStemKeepsAlnumOnly)
+{
+    EXPECT_EQ(sanitizeFileStem("k-means seed9"), "k_means_seed9");
+    EXPECT_EQ(sanitizeFileStem("abc123"), "abc123");
+    // Lossy by design: distinct keys may collide on the stem (cache
+    // filenames append fnv1a64 of the raw key to disambiguate).
+    EXPECT_EQ(sanitizeFileStem("k-means"), sanitizeFileStem("k_means"));
+}
+
+TEST(Names, Fnv1a64MatchesReferenceVectors)
+{
+    // Standard FNV-1a test vectors: the offset basis for "", and the
+    // published hash of "a". Pinned so the function can never drift
+    // (cache filenames and seeds on disk depend on it).
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_NE(fnv1a64("k-means"), fnv1a64("k_means"));
+}
 
 TEST(Rng, DeterministicForSameSeed)
 {

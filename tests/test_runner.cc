@@ -9,6 +9,7 @@
 
 #include <cctype>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -190,6 +191,44 @@ TEST_F(RunnerTest, TimeoutMarksWorkloadTimedOut)
     EXPECT_FALSE(result.allOk());
 }
 
+TEST_F(RunnerTest, ReferenceCacheServesWarmRunBitIdentically)
+{
+    std::filesystem::remove_all("test-runner-ref-cache");
+    SuiteOptions options = quickOptions();
+    options.ref_cache_dir = "test-runner-ref-cache";
+    options.workloads = {"alexnet"};
+
+    auto runOnce = [&]() {
+        SuiteRunner runner(options);
+        runner.addQuickWorkloads();
+        return runner.run();
+    };
+    SuiteResult cold = runOnce();
+    SuiteResult warm = runOnce();
+    std::filesystem::remove_all("test-runner-ref-cache");
+
+    ASSERT_EQ(cold.outcomes.size(), 1u);
+    ASSERT_EQ(warm.outcomes.size(), 1u);
+    const WorkloadOutcome &c = cold.outcomes[0];
+    const WorkloadOutcome &w = warm.outcomes[0];
+    EXPECT_EQ(c.status, RunStatus::Ok);
+    EXPECT_EQ(w.status, RunStatus::Ok);
+    EXPECT_FALSE(c.real_from_cache);
+    EXPECT_TRUE(w.real_from_cache);
+    // The cache-served reference is indistinguishable from the
+    // measured one, so everything downstream (tuning, proxy,
+    // checksums) reproduces bit for bit.
+    EXPECT_EQ(c.real.runtime_s, w.real.runtime_s);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        EXPECT_EQ(c.real.metrics[m], w.real.metrics[m])
+            << metricName(m);
+    }
+    EXPECT_EQ(c.proxy.checksum, w.proxy.checksum);
+    EXPECT_EQ(cold.checksum(), warm.checksum());
+    EXPECT_DOUBLE_EQ(c.avg_accuracy, w.avg_accuracy);
+}
+
 // ------------------------------------------------------- JSON report
 
 /** Bare-bones recursive-descent JSON validator/extractor. */
@@ -332,7 +371,7 @@ TEST_F(RunnerTest, JsonReportShape)
           "suite_checksum", "workloads", "name", "short_name",
           "status", "real", "proxy", "checksum", "tuning",
           "qualified", "iterations", "accuracy", "speedup",
-          "metrics"}) {
+          "metrics", "from_cache", "real_from_cache"}) {
         EXPECT_TRUE(probe.hasKey(key)) << "missing key: " << key;
     }
     // Hex checksums are strings, not numbers.

@@ -298,7 +298,10 @@ TEST(SimEngine, ProxyExecuteBitIdenticalForAnyShardAndBatch)
     auto run = [&](std::size_t shards, std::size_t batch) {
         ProxyBenchmark proxy = decomposeWorkload(*workload);
         proxy.baseParams().seed = 1234;
-        proxy.setSimConfig(SimConfig{shards, batch});
+        SimConfig sim;
+        sim.shards = shards;
+        sim.batch_capacity = batch;
+        proxy.setSimConfig(sim);
         return proxy.execute(machine, 512 * 1024);
     };
 

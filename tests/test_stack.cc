@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "base/names.hh"
 #include "datagen/images.hh"
+#include "sim/engine.hh"
 #include "stack/cluster.hh"
 #include "stack/managed_heap.hh"
 #include "stack/mapreduce.hh"
@@ -31,6 +33,20 @@ TEST(Cluster, PaperConfigurations)
 
     ClusterConfig h3 = haswellCluster3();
     EXPECT_NE(h3.node.name, c3.node.name);
+}
+
+TEST(Cluster, CacheIdsSeparateEveryPaperDeployment)
+{
+    // paper5 and paper3 share the node name (both Westmere) but
+    // differ in node count and memory; a cache keyed by the node
+    // name alone would serve one deployment's measurement to the
+    // other. cacheId() must keep all three apart.
+    std::string c5 = paperCluster5().cacheId();
+    std::string c3 = paperCluster3().cacheId();
+    std::string h3 = haswellCluster3().cacheId();
+    EXPECT_NE(c5, c3);
+    EXPECT_NE(c3, h3);
+    EXPECT_NE(c5, h3);
 }
 
 TEST(ManagedHeap, TriggersGcAtYoungCapacity)
@@ -267,6 +283,136 @@ TEST(TensorEngine, MoreStepsLongerRuntime)
     job.total_steps = 400;
     TrainResult b = engine.run(job);
     EXPECT_GT(b.runtime_s, 2.0 * a.runtime_s);
+}
+
+namespace {
+
+/** Bit-exact KernelProfile equality (every counter, every level). */
+void
+expectProfileEq(const KernelProfile &a, const KernelProfile &b,
+                const char *label)
+{
+    for (std::size_t c = 0; c < kNumOpClasses; ++c)
+        EXPECT_EQ(a.ops[c], b.ops[c]) << label << " op class " << c;
+    const CacheStats *ca[] = {&a.l1i, &a.l1d, &a.l2, &a.l3};
+    const CacheStats *cb[] = {&b.l1i, &b.l1d, &b.l2, &b.l3};
+    for (std::size_t l = 0; l < 4; ++l) {
+        EXPECT_EQ(ca[l]->accesses, cb[l]->accesses) << label << " L" << l;
+        EXPECT_EQ(ca[l]->misses, cb[l]->misses) << label << " L" << l;
+        EXPECT_EQ(ca[l]->writebacks, cb[l]->writebacks)
+            << label << " L" << l;
+    }
+    EXPECT_EQ(a.branch.branches, b.branch.branches) << label;
+    EXPECT_EQ(a.branch.mispredicts, b.branch.mispredicts) << label;
+    EXPECT_EQ(a.disk_read_bytes, b.disk_read_bytes) << label;
+    EXPECT_EQ(a.disk_write_bytes, b.disk_write_bytes) << label;
+    EXPECT_EQ(a.net_bytes, b.net_bytes) << label;
+}
+
+TrainJob
+smallTrainJob(const Network &net, std::uint32_t image_dim,
+              std::uint32_t num_classes, std::uint32_t sim_dim)
+{
+    TrainJob job;
+    job.name = std::string("shard-test-") + net.name();
+    job.net = &net;
+    job.total_steps = 40;
+    job.batch_size = 16;
+    job.image_dim = image_dim;
+    job.channels = 3;
+    job.num_classes = num_classes;
+    job.sim_dim = sim_dim;
+    job.sample_batch = 2;
+    return job;
+}
+
+} // namespace
+
+TEST(TensorEngine, TrainSampleSeedPinned)
+{
+    // The per-image generator seed must come from the in-tree
+    // fnv1a64/mix64 pipeline -- std::hash differs between standard
+    // libraries and would break cross-toolchain bit-determinism of
+    // every reference metric. Pinned values guard against any drift.
+    EXPECT_EQ(trainSampleSeed("TensorFlow AlexNet", 0),
+              0x16057e00c4839130ULL);
+    EXPECT_EQ(trainSampleSeed("TensorFlow AlexNet", 1),
+              0xba0b5b3d3c8cf2ddULL);
+    // Structure: image 0's seed is mix64 of the name hash.
+    EXPECT_EQ(trainSampleSeed("TensorFlow AlexNet", 0),
+              mix64(fnv1a64("TensorFlow AlexNet")));
+    EXPECT_NE(trainSampleSeed("a", 0), trainSampleSeed("b", 0));
+}
+
+TEST(TensorEngine, ShardedMeasurementBitIdenticalAlexNet)
+{
+    Network net = buildAlexNet(10);
+    TrainJob job = smallTrainJob(net, 32, 10, 32);
+
+    ClusterConfig serial = paperCluster5();
+    serial.sim.shards = 1;
+    serial.sim.batch_capacity = 1;  // unbatched scalar reference
+    ClusterConfig sharded = paperCluster5();
+    sharded.sim.shards = 4;
+
+    TrainResult a = TensorEngine(serial).run(job);
+    TrainResult b = TensorEngine(sharded).run(job);
+    expectProfileEq(a.cluster_profile, b.cluster_profile, "alexnet");
+    EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+    EXPECT_DOUBLE_EQ(a.step_time_s, b.step_time_s);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        EXPECT_DOUBLE_EQ(a.metrics[m], b.metrics[m]) << metricName(m);
+    }
+}
+
+TEST(TensorEngine, ShardedMeasurementBitIdenticalInceptionV3)
+{
+    // Inception-V3 exercises the branch-level sharding: every module
+    // runs its branches as independent shard jobs on TraceContext
+    // replicas. Reduced resolution keeps the test fast.
+    Network net = buildInceptionV3(100);
+    TrainJob job = smallTrainJob(net, 299, 100, 39);
+
+    ClusterConfig serial = paperCluster5();
+    serial.sim.shards = 1;
+    serial.sim.batch_capacity = 1;
+    ClusterConfig sharded = paperCluster5();
+    sharded.sim.shards = 3;  // deliberately != branch count
+
+    TrainResult a = TensorEngine(serial).run(job);
+    TrainResult b = TensorEngine(sharded).run(job);
+    expectProfileEq(a.cluster_profile, b.cluster_profile, "inception");
+    EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        EXPECT_DOUBLE_EQ(a.metrics[m], b.metrics[m]) << metricName(m);
+    }
+}
+
+TEST(MapReduceEngineDeadline, ExpiredDeadlineInterruptsSampling)
+{
+    MapReduceJob job;
+    job.name = "deadline";
+    job.input_bytes = 1ULL << 30;
+    job.sample_bytes = 64 * 1024;
+    job.num_reducers = 8;
+    job.map_kernel = [](TraceContext &ctx, ManagedHeap &,
+                        std::uint64_t bytes, std::uint64_t) {
+        ctx.emitOps(OpClass::IntAlu, bytes);
+    };
+    ClusterConfig cluster = paperCluster5();
+    cluster.sim.should_stop = []() { return true; };
+    EXPECT_THROW(MapReduceEngine(cluster).run(job), ShardInterrupted);
+}
+
+TEST(TensorEngineDeadline, ExpiredDeadlineInterruptsForwardPass)
+{
+    Network net = buildAlexNet(10);
+    TrainJob job = smallTrainJob(net, 32, 10, 32);
+    ClusterConfig cluster = paperCluster5();
+    cluster.sim.should_stop = []() { return true; };
+    EXPECT_THROW(TensorEngine(cluster).run(job), ShardInterrupted);
 }
 
 TEST(TensorEngine, HaswellFasterThanWestmere)
