@@ -48,12 +48,9 @@ main()
     const Workload &workload = *workloads.front();  // TeraSort
     RealRef real = realReference(workload, cluster, "TeraSort_w5");
 
-    TunerConfig config;  // default budget
-    if (quickMode()) {
-        config.max_iterations = 6;
-        config.impact_samples = 1;
-        config.trace_cap = 256 * 1024;
-    }
+    // Default budget at paper scale, the registry's light preset in
+    // quick mode (one definition shared with the dmpb CLI).
+    TunerConfig config = scaleTunerConfig(benchScale(), TunerConfig{});
 
     std::printf("== Ablation: tuning strategy vs achieved accuracy "
                 "(Proxy TeraSort)\n");

@@ -43,7 +43,8 @@ main()
 
         // Same proxy binaries, "recompiled" for the new machine:
         // executed on both machine models without regeneration.
-        ProxyBundle b = tunedProxy(*w5[i], c5, name + "_w5");
+        ProxyBundle b = tunedProxy(findWorkload(w5, name), c5,
+                                   name + "_w5");
         ProxyResult pw = b.proxy.execute(cw.node);
         ProxyResult ph = b.proxy.execute(ch.node);
         double proxy_sp = speedup(pw.runtime_s, ph.runtime_s);

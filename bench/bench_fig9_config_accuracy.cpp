@@ -37,8 +37,10 @@ main()
               "Retuned?"});
     for (std::size_t i = 0; i < w3.size(); ++i) {
         // The proxy was generated on the 5-node cluster...
-        std::string tag5 = shortName(w5[i]->name()) + "_w5";
-        ProxyBundle b = tunedProxy(*w5[i], c5, tag5);
+        const Workload &p5 =
+            findWorkload(w5, shortName(w3[i]->name()));
+        std::string tag5 = shortName(p5.name()) + "_w5";
+        ProxyBundle b = tunedProxy(p5, c5, tag5);
         // ...and is evaluated, unchanged, against the 3-node real run.
         std::string tag3 = shortName(w3[i]->name()) + "_w3";
         RealRef real3 = realReference(*w3[i], c3, tag3);

@@ -32,8 +32,10 @@ main()
     TextTable t;
     t.header({"Workload", "Real version", "Proxy version", "Speedup"});
     for (std::size_t i = 0; i < w3.size(); ++i) {
+        const Workload &p5 =
+            findWorkload(w5, shortName(w3[i]->name()));
         ProxyBundle b =
-            tunedProxy(*w5[i], c5, shortName(w5[i]->name()) + "_w5");
+            tunedProxy(p5, c5, shortName(p5.name()) + "_w5");
         RealRef real3 = realReference(
             *w3[i], c3, shortName(w3[i]->name()) + "_w3");
         ProxyResult run = b.proxy.execute(c3.node);

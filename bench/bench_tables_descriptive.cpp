@@ -76,7 +76,7 @@ tableThree()
     t.header({"Workload", "Motif implementation", "Class",
               "Initial weight"});
     for (const auto &w : bench::paperWorkloads()) {
-        for (const MotifWeight &mw : w->decomposition()) {
+        for (const MotifWeight &mw : w->motifWeights()) {
             const Motif *m = findMotif(mw.motif);
             t.row({w->name(), mw.motif,
                    m ? motifClassName(m->motifClass()) : "?",

@@ -6,8 +6,10 @@
 #include <fstream>
 #include <thread>
 
+#include "base/logging.hh"
 #include "base/names.hh"
 #include "core/reference_cache.hh"
+#include "workloads/registry.hh"
 
 namespace dmpb {
 namespace bench {
@@ -131,14 +133,12 @@ tunedProxy(const Workload &workload, const ClusterConfig &cluster,
     RealRef real = realReference(workload, cluster, tag);
     ProxyBenchmark proxy = decomposeWorkload(workload);
     proxy.setSimConfig(benchSimConfig());
-    TunerConfig config;
+    // The registry's scale preset is the single definition of the
+    // light quick-mode tuner budget (shared with the dmpb CLI).
+    TunerConfig config = scaleTunerConfig(benchScale(), TunerConfig{});
     std::string key = "proxy_" + tag;
-    if (quickMode()) {
-        config.max_iterations = 6;
-        config.impact_samples = 1;
-        config.trace_cap = 256 * 1024;
+    if (quickMode())
         key = "quick_" + key;
-    }
     TunerReport report =
         tuneWithCache(defaultCacheDir(), key, proxy, real.metrics,
                       cluster.node, config);
@@ -146,11 +146,28 @@ tunedProxy(const Workload &workload, const ClusterConfig &cluster,
                        std::move(real)};
 }
 
+Scale
+benchScale()
+{
+    return quickMode() ? Scale::Quick : Scale::Paper;
+}
+
 std::vector<std::unique_ptr<Workload>>
 paperWorkloads()
 {
-    return quickMode() ? makeQuickPaperWorkloads()
-                       : makePaperWorkloads();
+    return WorkloadRegistry::instance().makeAll(benchScale());
+}
+
+const Workload &
+findWorkload(const std::vector<std::unique_ptr<Workload>> &workloads,
+             const std::string &short_name)
+{
+    for (const auto &w : workloads) {
+        if (dmpb::shortName(w->name()) == short_name)
+            return *w;
+    }
+    dmpb_panic("no workload named '", short_name,
+               "' in the bench set");
 }
 
 } // namespace bench

@@ -24,6 +24,7 @@
 #include "core/proxy_cache.hh"
 #include "core/proxy_factory.hh"
 #include "stack/cluster.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 namespace dmpb {
@@ -115,8 +116,23 @@ ProxyBundle tunedProxy(const Workload &workload,
                        const ClusterConfig &cluster,
                        const std::string &tag);
 
-/** The five paper workloads (Section III-B inputs). */
+/** The scenario-matrix scale benches run at: Scale::Quick when
+ *  DMPB_BENCH_QUICK is set, Scale::Paper otherwise. */
+Scale benchScale();
+
+/** Every registered workload at benchScale() (registry order). */
 std::vector<std::unique_ptr<Workload>> paperWorkloads();
+
+/**
+ * The entry of @p workloads whose short name matches @p short_name
+ * (panics when absent). The cross-configuration benches pair their
+ * hand-built per-cluster workload lists against paperWorkloads()
+ * through this, so a registry reorder or insertion can never silently
+ * mispair a proxy with another workload's real measurement.
+ */
+const Workload &findWorkload(
+    const std::vector<std::unique_ptr<Workload>> &workloads,
+    const std::string &short_name);
 
 /** Percent string with one decimal. */
 std::string pct(double fraction);

@@ -35,7 +35,7 @@ class WordCountWorkload : public Workload
     std::string name() const override { return "Hadoop WordCount"; }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         // Hotspots: hash group-by (statistics), probability/entropy
         // style scans, sort of the final counts, set merge.

@@ -34,7 +34,7 @@ decomposeWorkload(const Workload &workload)
         short_name = short_name.substr(space + 1);
 
     ProxyBenchmark proxy("Proxy " + short_name, base);
-    for (const MotifWeight &mw : workload.decomposition())
+    for (const MotifWeight &mw : workload.motifWeights())
         proxy.addEdge(mw.motif, mw.weight);
     proxy.normalizeWeights();
     return proxy;

@@ -1,8 +1,9 @@
 /**
  * @file
- * The `dmpb` command-line entry point: registers the five paper
- * workloads, runs their proxy-generation pipelines in parallel, and
- * emits a table report on stdout plus a JSON report on disk.
+ * The `dmpb` command-line entry point: registers every workload of
+ * the registry at the selected --scale, runs their proxy-generation
+ * pipelines in parallel, and emits a table report on stdout plus a
+ * JSON report on disk.
  */
 
 #include <cstdio>
@@ -26,13 +27,18 @@ const char *kUsage = R"(dmpb -- data-motif proxy benchmark suite runner
 
 Runs the full proxy pipeline (real-workload measurement, motif
 decomposition, decision-tree auto-tuning, qualified-proxy execution)
-for the five paper workloads, in parallel.
+for every workload of the registry, in parallel.
 
 Usage: dmpb [options]
 
   --workloads a,b,c   Comma-separated subset by short name
-                      (terasort,kmeans,pagerank,alexnet,inception-v3);
-                      default: all five
+                      (terasort,kmeans,pagerank,alexnet,inception-v3,
+                      grep,wordcount,naivebayes); default: all
+  --scale NAME        Input scale of the scenario matrix: paper
+                      (Section III-B inputs, default), quick (~1000x
+                      smaller; light tuner budget) or tiny (another
+                      ~8x below quick). Every (workload, scale) cell
+                      keeps its own cache identity
   --jobs N            Parallel workload pipelines (default: one per
                       selected workload)
   --seed N            Master seed for data generation and tuning
@@ -75,9 +81,10 @@ Usage: dmpb [options]
                       apply in command-line order)
   --cluster NAME      paper5 (default), paper3, or haswell3
   --threshold X       Tuner deviation gate (default 0.15)
-  --quick             ~1000x smaller inputs + light tuner budget;
-                      used by the CI smoke step
-  --list              Print registered workload names and exit
+  --quick             Alias for --scale quick; used by the CI smoke
+                      step
+  --list              Print registered workload names (one per line,
+                      registry order) and exit
   --help              This text
 
 Exit status: 0 when every selected workload completed, 1 on a failed
@@ -138,7 +145,7 @@ main(int argc, char **argv)
     options.cache_dir = defaultCacheDir();
     bool ref_dir_explicit = false;
     std::string output = "dmpb-report.json";
-    bool quick = false;
+    Scale scale = Scale::Paper;
     bool list_only = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -154,7 +161,13 @@ main(int argc, char **argv)
         } else if (arg == "--list") {
             list_only = true;
         } else if (arg == "--quick") {
-            quick = true;
+            scale = Scale::Quick;
+        } else if (arg == "--scale") {
+            try {
+                scale = parseScale(value("--scale"));
+            } catch (const std::invalid_argument &e) {
+                usageError(e.what());
+            }
         } else if (arg == "--no-cache") {
             options.cache_dir.clear();
             options.ref_cache_dir.clear();
@@ -227,19 +240,13 @@ main(int argc, char **argv)
     if (!ref_dir_explicit)
         options.ref_cache_dir = options.cache_dir;
 
-    if (quick) {
-        // Keep CI smoke runs fast: fewer tuner iterations and a
-        // smaller per-edge trace budget on the tiny inputs.
-        options.tuner.max_iterations = 6;
-        options.tuner.impact_samples = 1;
-        options.tuner.trace_cap = 256 * 1024;
-    }
+    // Non-paper scales run with the registry's light tuner budget
+    // (the same preset the benches use, so quick mode cannot drift
+    // between bench and runner).
+    options.tuner = scaleTunerConfig(scale, options.tuner);
 
     SuiteRunner runner(options);
-    if (quick)
-        runner.addQuickWorkloads();
-    else
-        runner.addPaperWorkloads();
+    runner.addScaleWorkloads(scale);
 
     if (list_only) {
         for (const std::string &name : runner.registeredNames())

@@ -103,17 +103,22 @@ SuiteRunner::add(std::unique_ptr<Workload> workload)
 }
 
 void
+SuiteRunner::addScaleWorkloads(Scale scale)
+{
+    for (auto &w : WorkloadRegistry::instance().makeAll(scale))
+        add(std::move(w));
+}
+
+void
 SuiteRunner::addPaperWorkloads()
 {
-    for (auto &w : makePaperWorkloads())
-        add(std::move(w));
+    addScaleWorkloads(Scale::Paper);
 }
 
 void
 SuiteRunner::addQuickWorkloads()
 {
-    for (auto &w : makeQuickPaperWorkloads())
-        add(std::move(w));
+    addScaleWorkloads(Scale::Quick);
 }
 
 std::vector<std::string>
@@ -235,12 +240,17 @@ SuiteRunner::runOne(const Workload &workload) const
         TunerReport report;
         if (!options_.cache_dir.empty()) {
             // The key carries everything the tuned parameter vector
-            // depends on -- in particular the input scale, so a
-            // --quick run can never poison the full-size cache.
+            // depends on -- in particular both input scales: the
+            // proxy's own data size and the reference input the
+            // target metrics were measured from (-ref separates the
+            // scenario-matrix scales even when they share a tuner
+            // budget, e.g. tiny vs quick), so no scale can poison
+            // another scale's cache.
             std::ostringstream key;
             key << out.short_name << "-" << options_.cluster.cacheId()
                 << "-seed" << options_.seed << "-thr" << tuner.threshold
-                << "-bytes" << workload.proxyDataBytes() << "-it"
+                << "-bytes" << workload.proxyDataBytes() << "-ref"
+                << workload.referenceDataBytes() << "-it"
                 << tuner.max_iterations << "-cap" << tuner.trace_cap
                 << "-spec" << tuner.speculation;
             report = tuneWithCache(options_.cache_dir, key.str(), proxy,

@@ -23,6 +23,7 @@
 
 #include "core/auto_tuner.hh"
 #include "stack/cluster.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 namespace dmpb {
@@ -131,13 +132,21 @@ class SuiteRunner
     /** Register one workload (takes ownership). */
     void add(std::unique_ptr<Workload> workload);
 
-    /** Register all five paper workloads (Section III-B inputs). */
+    /**
+     * Register every workload of the WorkloadRegistry at @p scale
+     * (one row of the scenario matrix). Each scale has a distinct
+     * reference input size, so cache identities never cross scales.
+     */
+    void addScaleWorkloads(Scale scale);
+
+    /** Every registered workload at paper scale (Section III-B
+     *  inputs): addScaleWorkloads(Scale::Paper). */
     void addPaperWorkloads();
 
     /**
-     * Like addPaperWorkloads() but with inputs scaled down ~1000x;
-     * the CI smoke step uses this to exercise the full pipeline in
-     * seconds instead of minutes.
+     * Every registered workload with inputs scaled down ~1000x
+     * (addScaleWorkloads(Scale::Quick)); the CI smoke step uses this
+     * to exercise the full pipeline in seconds instead of minutes.
      */
     void addQuickWorkloads();
 

@@ -27,7 +27,7 @@ class AlexNetWorkload : public Workload
     std::string name() const override { return "TensorFlow AlexNet"; }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         // Table III: Matrix (fully connected), Sampling (max pooling),
         // Transform (convolution), Statistics (batch normalization).
@@ -88,7 +88,7 @@ class InceptionV3Workload : public Workload
     }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         // Table III: Matrix (fc, softmax), Sampling (max/avg pooling,
         // dropout), Logic (relu), Transform (convolution),
@@ -149,34 +149,6 @@ makeInceptionV3(std::uint32_t total_steps, std::uint32_t batch_size)
 {
     return std::make_unique<InceptionV3Workload>(total_steps,
                                                  batch_size);
-}
-
-std::vector<std::unique_ptr<Workload>>
-makePaperWorkloads()
-{
-    std::vector<std::unique_ptr<Workload>> out;
-    out.push_back(makeTeraSort());
-    out.push_back(makeKMeans());
-    out.push_back(makePageRank());
-    out.push_back(makeAlexNet());
-    out.push_back(makeInceptionV3());
-    return out;
-}
-
-std::vector<std::unique_ptr<Workload>>
-makeQuickPaperWorkloads()
-{
-    // Inputs ~1000x below the Section III-B configuration: TeraSort
-    // and K-means on 128 MiB, PageRank on 2^16 vertices, the CNNs on
-    // a handful of training steps. Smoke/CI runs exercise the exact
-    // same pipelines in seconds instead of minutes.
-    std::vector<std::unique_ptr<Workload>> out;
-    out.push_back(makeTeraSort(128ULL * 1024 * 1024));
-    out.push_back(makeKMeans(128ULL * 1024 * 1024, 0.9));
-    out.push_back(makePageRank(1ULL << 16));
-    out.push_back(makeAlexNet(100, 128));
-    out.push_back(makeInceptionV3(10, 32));
-    return out;
 }
 
 } // namespace dmpb

@@ -41,7 +41,7 @@ class TeraSortWorkload : public Workload
     std::string name() const override { return "Hadoop TeraSort"; }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         // Section II-B1: 70% sort, 10% sampling, 20% graph.
         return {{"quick_sort", 0.40}, {"merge_sort", 0.30},
@@ -184,7 +184,7 @@ class KMeansWorkload : public Workload
     std::string name() const override { return "Hadoop K-means"; }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         // Table III: Matrix (distances), Sort, Statistics.
         return {{"euclidean_distance", 0.55}, {"cosine_distance", 0.15},
@@ -347,7 +347,7 @@ class PageRankWorkload : public Workload
     std::string name() const override { return "Hadoop PageRank"; }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         // Table III: Graph/Matrix (construction + multiplication),
         // Sort, Statistics (degree counts, min/max).

@@ -1,0 +1,244 @@
+#include "workloads/registry.hh"
+
+#include <stdexcept>
+
+#include "base/names.hh"
+#include "base/units.hh"
+#include "core/auto_tuner.hh"
+
+namespace dmpb {
+
+namespace {
+
+/** Per-scale input presets. One row per workload, three cells per
+ *  row: the {tiny, quick, paper} corner of the scenario matrix.
+ *  Reference input sizes are strictly increasing along the scale
+ *  axis, so every cell owns a distinct reference-cache identity. */
+struct ByteScale
+{
+    std::uint64_t tiny, quick, paper;
+
+    std::uint64_t
+    at(Scale s) const
+    {
+        switch (s) {
+          case Scale::Tiny: return tiny;
+          case Scale::Quick: return quick;
+          case Scale::Paper: return paper;
+        }
+        return paper;
+    }
+};
+
+/** (steps, batch) presets for the CNN trainers. */
+struct TrainScale
+{
+    std::uint32_t tiny_steps, tiny_batch;
+    std::uint32_t quick_steps, quick_batch;
+    std::uint32_t paper_steps, paper_batch;
+
+    std::pair<std::uint32_t, std::uint32_t>
+    at(Scale s) const
+    {
+        switch (s) {
+          case Scale::Tiny: return {tiny_steps, tiny_batch};
+          case Scale::Quick: return {quick_steps, quick_batch};
+          case Scale::Paper: return {paper_steps, paper_batch};
+        }
+        return {paper_steps, paper_batch};
+    }
+};
+
+std::uint64_t
+pickBytes(const WorkloadSpec &spec, const ByteScale &preset)
+{
+    return spec.params.input_bytes != 0 ? spec.params.input_bytes
+                                        : preset.at(spec.scale);
+}
+
+// MapReduce text/record inputs: paper = Section III-B 100 GB class,
+// quick ~1000x below, tiny another ~8x below quick.
+constexpr ByteScale kTeraSortBytes{16 * kMiB, 128 * kMiB, 100 * kGiB};
+constexpr ByteScale kKMeansBytes{16 * kMiB, 128 * kMiB, 100 * kGiB};
+constexpr ByteScale kGrepBytes{16 * kMiB, 128 * kMiB, 100 * kGiB};
+constexpr ByteScale kWordCountBytes{16 * kMiB, 128 * kMiB, 100 * kGiB};
+constexpr ByteScale kBayesBytes{8 * kMiB, 64 * kMiB, 50 * kGiB};
+// PageRank is sized in vertices.
+constexpr ByteScale kPageRankVerts{1ULL << 13, 1ULL << 16, 1ULL << 26};
+// CNN trainers: (global steps, batch size).
+constexpr TrainScale kAlexNetTrain{10, 32, 100, 128, 10000, 128};
+constexpr TrainScale kInceptionTrain{2, 8, 10, 32, 1000, 32};
+
+} // namespace
+
+const char *
+scaleName(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return "tiny";
+      case Scale::Quick: return "quick";
+      case Scale::Paper: return "paper";
+    }
+    return "unknown";
+}
+
+Scale
+parseScale(const std::string &name)
+{
+    std::string c = canonName(name);
+    for (Scale s : {Scale::Tiny, Scale::Quick, Scale::Paper}) {
+        if (c == scaleName(s))
+            return s;
+    }
+    throw std::invalid_argument("unknown scale '" + name +
+                                "' (expected tiny, quick or paper)");
+}
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    auto reg = [this](std::string name, std::string full,
+                      std::string description, Factory factory) {
+        entries_.push_back(Entry{std::move(name), std::move(full),
+                                 std::move(description),
+                                 std::move(factory)});
+    };
+
+    reg("TeraSort", "Hadoop TeraSort",
+        "sort of gensort records (I/O-intensive; Sort/Sampling/Graph)",
+        [](const WorkloadSpec &spec) {
+            return makeTeraSort(pickBytes(spec, kTeraSortBytes));
+        });
+    reg("K-means", "Hadoop K-means",
+        "sparse-vector clustering (CPU-intensive; Matrix/Sort/Stats)",
+        [](const WorkloadSpec &spec) {
+            double sparsity = spec.params.sparsity >= 0.0
+                                  ? spec.params.sparsity
+                                  : 0.9;
+            return makeKMeans(pickBytes(spec, kKMeansBytes), sparsity);
+        });
+    reg("PageRank", "Hadoop PageRank",
+        "rank iteration on a scale-free graph (Graph/Matrix/Stats)",
+        [](const WorkloadSpec &spec) {
+            std::uint64_t vertices = spec.params.vertices != 0
+                                         ? spec.params.vertices
+                                         : kPageRankVerts.at(spec.scale);
+            return makePageRank(vertices);
+        });
+    reg("AlexNet", "TensorFlow AlexNet",
+        "CNN training on CIFAR-10-shaped data (Transform/Matrix)",
+        [](const WorkloadSpec &spec) {
+            auto [steps, batch] = kAlexNetTrain.at(spec.scale);
+            if (spec.params.steps != 0)
+                steps = spec.params.steps;
+            if (spec.params.batch != 0)
+                batch = spec.params.batch;
+            return makeAlexNet(steps, batch);
+        });
+    reg("Inception-V3", "TensorFlow Inception-V3",
+        "CNN training on ILSVRC2012-shaped data (Transform/Matrix)",
+        [](const WorkloadSpec &spec) {
+            auto [steps, batch] = kInceptionTrain.at(spec.scale);
+            if (spec.params.steps != 0)
+                steps = spec.params.steps;
+            if (spec.params.batch != 0)
+                batch = spec.params.batch;
+            return makeInceptionV3(steps, batch);
+        });
+    reg("Grep", "Hadoop Grep",
+        "pattern matching over a text corpus (Logic/Sampling/Stats)",
+        [](const WorkloadSpec &spec) {
+            return makeGrep(pickBytes(spec, kGrepBytes));
+        });
+    reg("WordCount", "Hadoop WordCount",
+        "term counting over a text corpus (Sort/Statistics/Set)",
+        [](const WorkloadSpec &spec) {
+            return makeWordCount(pickBytes(spec, kWordCountBytes));
+        });
+    reg("NaiveBayes", "Hadoop NaiveBayes",
+        "text classification training (Statistics/Matrix/Sampling)",
+        [](const WorkloadSpec &spec) {
+            return makeNaiveBayes(pickBytes(spec, kBayesBytes));
+        });
+}
+
+const WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static const WorkloadRegistry registry;
+    return registry;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+const WorkloadRegistry::Entry *
+WorkloadRegistry::find(const std::string &name) const
+{
+    std::string c = canonName(name);
+    for (const Entry &e : entries_) {
+        if (canonName(e.name) == c || canonName(e.full_name) == c)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::make(const WorkloadSpec &spec) const
+{
+    const Entry *entry = find(spec.name);
+    if (entry == nullptr)
+        throw std::invalid_argument(
+            "unknown workload '" + spec.name +
+            "' (see --list for registered names)");
+    return entry->factory(spec);
+}
+
+std::vector<std::unique_ptr<Workload>>
+WorkloadRegistry::makeAll(Scale scale) const
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        WorkloadSpec spec;
+        spec.name = e.name;
+        spec.scale = scale;
+        out.push_back(e.factory(spec));
+    }
+    return out;
+}
+
+TunerConfig
+scaleTunerConfig(Scale scale, TunerConfig base)
+{
+    if (scale != Scale::Paper) {
+        // The light smoke budget: fewer tuner iterations and a
+        // smaller per-edge trace cap on the small inputs. One
+        // definition here, shared by the dmpb CLI and the benches,
+        // so quick mode cannot drift between them.
+        base.max_iterations = 6;
+        base.impact_samples = 1;
+        base.trace_cap = 256 * 1024;
+    }
+    return base;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makePaperWorkloads()
+{
+    return WorkloadRegistry::instance().makeAll(Scale::Paper);
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeQuickPaperWorkloads()
+{
+    return WorkloadRegistry::instance().makeAll(Scale::Quick);
+}
+
+} // namespace dmpb

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The workload registry and the scenario matrix.
+ *
+ * The paper's methodology is workload-agnostic: any workload with a
+ * Table-III motif decomposition can be proxied. This registry is the
+ * single place that knows how to build every reference workload, at
+ * every input scale, from a canonical name -- the suite runner, the
+ * `dmpb` CLI and the bench harnesses all resolve workloads through it,
+ * so adding a workload is one registry entry instead of a
+ * cross-cutting edit.
+ *
+ * The scenario matrix has two axes today:
+ *
+ *   workload x scale
+ *
+ * where scale is one of {tiny, quick, paper}. `paper` is the
+ * Section III-B configuration; `quick` is ~1000x smaller (the CI
+ * smoke configuration); `tiny` is another ~8x below quick, for unit
+ * tests that need a full pipeline in tens of milliseconds. Every
+ * (workload, scale) cell has a distinct reference input size
+ * (Workload::referenceDataBytes() is strictly monotone in scale), so
+ * the reference-measurement and tuned-parameter caches keep per-cell
+ * identities by construction -- a tiny run can never serve its
+ * measurement to a quick or paper run, or vice versa.
+ */
+
+#ifndef DMPB_WORKLOADS_REGISTRY_HH
+#define DMPB_WORKLOADS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace dmpb {
+
+struct TunerConfig;
+
+/** The input-scale axis of the scenario matrix. */
+enum class Scale : std::uint8_t
+{
+    Tiny = 0,   ///< ~8x below quick; unit-test sized
+    Quick,      ///< ~1000x below paper; CI smoke sized
+    Paper,      ///< the Section III-B evaluation inputs
+};
+
+/** Printable scale name ("tiny", "quick", "paper"). */
+const char *scaleName(Scale s);
+
+/**
+ * Parse a scale name (case-insensitive, via canonName).
+ * @throws std::invalid_argument naming the valid values.
+ */
+Scale parseScale(const std::string &name);
+
+/**
+ * One cell of the scenario matrix: which workload to build and at
+ * which scale. `params` carries explicit overrides; a zero (or
+ * negative, for sparsity) field means "use the scale preset".
+ */
+struct WorkloadSpec
+{
+    /** Canonical workload name (any canonName-equivalent form of the
+     *  registry entry's short or full name selects it). */
+    std::string name;
+    Scale scale = Scale::Paper;
+
+    /** Optional overrides of the scale preset (0 / negative = keep
+     *  the preset value). Factories read only the fields that apply
+     *  to them. */
+    struct Params
+    {
+        std::uint64_t input_bytes = 0;  ///< MapReduce logical input
+        std::uint64_t vertices = 0;     ///< PageRank graph order
+        std::uint32_t steps = 0;        ///< CNN training steps
+        std::uint32_t batch = 0;        ///< CNN batch size
+        double sparsity = -1.0;         ///< K-means input sparsity
+    } params;
+};
+
+/** Canonical-name -> parameterised-factory map for every reference
+ *  workload. One immutable process-wide instance. */
+class WorkloadRegistry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<Workload>(const WorkloadSpec &)>;
+
+    struct Entry
+    {
+        std::string name;        ///< short display name, e.g. "TeraSort"
+        std::string full_name;   ///< e.g. "Hadoop TeraSort"
+        std::string description; ///< one-line summary for --list
+        Factory factory;
+    };
+
+    /** The process-wide registry (built once, immutable after). */
+    static const WorkloadRegistry &instance();
+
+    /** All entries, registration order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Short display names, registration order (the --list output). */
+    std::vector<std::string> names() const;
+
+    /** Look up by any canonName-equivalent form of the short or full
+     *  name; nullptr when absent. */
+    const Entry *find(const std::string &name) const;
+
+    /**
+     * Build the workload one spec describes.
+     * @throws std::invalid_argument for an unknown name, listing
+     *         --list as the way to enumerate valid ones.
+     */
+    std::unique_ptr<Workload> make(const WorkloadSpec &spec) const;
+
+    /** Build every registered workload at @p scale, registration
+     *  order. */
+    std::vector<std::unique_ptr<Workload>> makeAll(Scale scale) const;
+
+  private:
+    WorkloadRegistry();
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * The tuner budget preset of a scale, applied on top of @p base
+ * (which carries the caller's seed/threshold/jobs knobs). Paper scale
+ * keeps the full TunerConfig defaults; quick and tiny use the light
+ * budget the CI smoke step runs with. The `dmpb` CLI and the bench
+ * harnesses both resolve their budgets through this one function, so
+ * quick mode cannot drift between bench and runner.
+ */
+TunerConfig scaleTunerConfig(Scale scale, TunerConfig base);
+
+} // namespace dmpb
+
+#endif // DMPB_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * The three text-analytics reference workloads on hadooplite: Hadoop
+ * Grep, Hadoop WordCount and Hadoop NaiveBayes (BigDataBench 4.0's
+ * text-corpus selections, with Table-III-style motif weights from the
+ * data-motif-lens decompositions).
+ *
+ * All three consume the same kind of input -- a Zipf-distributed
+ * token corpus from datagen/text, as natural text is -- and their
+ * map/reduce hotspots execute the very same instrumented kernels the
+ * motifs wrap, so the bottom-up hotspot analysis recovers the motif
+ * computation directly.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/units.hh"
+#include "datagen/text.hh"
+#include "motifs/bd_kernels.hh"
+#include "motifs/kernel_util.hh"
+#include "sim/traced_buffer.hh"
+#include "stack/managed_heap.hh"
+#include "stack/mapreduce.hh"
+
+namespace dmpb {
+
+namespace {
+
+/** ~8 text bytes per token (word + separator) across the corpus. */
+constexpr std::uint64_t kBytesPerToken = 8;
+
+/** Materialise a traced Zipf token stream of @p n ids. */
+TracedBuffer<std::uint32_t>
+corpusTokens(TraceContext &ctx, std::size_t n, std::uint32_t vocab,
+             std::uint64_t seed)
+{
+    TextGenerator gen(seed);
+    return TracedBuffer<std::uint32_t>(ctx,
+                                       gen.generateTokens(n, vocab,
+                                                          0.8));
+}
+
+// ---------------------------------------------------------------- Grep
+
+class GrepWorkload : public Workload
+{
+  public:
+    explicit GrepWorkload(std::uint64_t input_bytes)
+        : input_bytes_(input_bytes)
+    {
+    }
+
+    std::string name() const override { return "Hadoop Grep"; }
+
+    std::vector<MotifWeight>
+    motifWeights() const override
+    {
+        // Data-motif lens (arXiv:1808.08512): Grep is Logic (pattern
+        // matching / fingerprinting), Sampling (match selection) and
+        // Statistics (per-term match counts).
+        return {{"md5_hash", 0.30}, {"encryption", 0.10},
+                {"interval_sampling", 0.12}, {"random_sampling", 0.08},
+                {"count_avg_stats", 0.25}, {"min_max", 0.15}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 40 * kMiB; }
+
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        return input_bytes_;
+    }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        MapReduceJob job;
+        job.name = name();
+        job.input_bytes = input_bytes_;
+        job.sample_bytes = kMiB;
+        job.map_output_ratio = 0.05;   // only matching lines shuffle
+        job.reduce_output_ratio = 1.0;
+        job.num_reducers = cluster.totalSlots();
+        job.framework_ops_per_byte = 3.0;
+        job.output_replication = 1;
+
+        job.map_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                            std::uint64_t bytes, std::uint64_t id) {
+            const std::size_t n = std::max<std::size_t>(
+                64, bytes / kBytesPerToken);
+            const auto vocab = static_cast<std::uint32_t>(
+                std::max<std::size_t>(64, n / 64));
+            auto tokens = corpusTokens(ctx, n, vocab,
+                                       0x62eeULL + id);
+            heap.allocate(n * 24);  // line/Text object headers
+
+            // Hotspot 1 (logic motif): fingerprint the raw split --
+            // per-line hashing is how Hadoop Grep's RegexMapper
+            // amortises pattern compilation across the block.
+            Rng rng(0x6e9ULL + id);
+            const std::size_t text_bytes = std::min<std::size_t>(
+                static_cast<std::size_t>(bytes), 64 * 1024);
+            TracedBuffer<std::uint8_t> text(ctx, text_bytes);
+            for (std::size_t i = 0; i < text_bytes; i += 8) {
+                std::uint64_t v = rng.next();
+                std::memcpy(text.data() + i, &v,
+                            std::min<std::size_t>(8, text_bytes - i));
+            }
+            std::uint64_t digest = kernels::md5Digest(ctx, text);
+
+            // Hotspot 2 (logic motif): the match loop proper -- a
+            // comparison chain per token against the pattern set,
+            // highly biased branches (most lines do not match).
+            std::vector<std::uint64_t> hits;
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint32_t t = tokens.rd(i);
+                ctx.emitOps(OpClass::IntAlu, 5);  // DFA step + compare
+                bool hit = (mix64(t ^ digest) & 0xf) == 0;
+                DMPB_BR(ctx, hit);
+                if (hit)
+                    hits.push_back(t);
+            }
+            const std::size_t m = hits.size();
+            TracedBuffer<std::uint64_t> matches(
+                ctx, std::max<std::size_t>(1, m));
+            for (std::size_t i = 0; i < m; ++i)
+                matches.wr(i, hits[i]);
+            heap.allocate(m * 48 + 64);  // match records
+
+            // Hotspot 3 (sampling motif): thin the match stream the
+            // way Grep's output sampler caps per-split emission.
+            if (m > 16) {
+                TracedBuffer<std::uint64_t> picked(ctx,
+                                                   matches.size() / 4 +
+                                                       1);
+                kernels::intervalSample(ctx, matches, picked, 4);
+            }
+
+            // Hotspot 4 (statistics motif): per-term match counts
+            // (the combiner's term -> count aggregation).
+            TracedBuffer<std::uint32_t> mkeys(ctx, std::max<std::size_t>(
+                                                       1, m));
+            TracedBuffer<float> mvals(ctx, std::max<std::size_t>(1, m));
+            for (std::size_t i = 0; i < m; ++i) {
+                mkeys.raw()[i] = static_cast<std::uint32_t>(
+                    matches.rd(i));
+                mvals.raw()[i] = 1.0f;
+            }
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, mkeys, mvals, ok, oc, os);
+        };
+
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                               std::uint64_t bytes, std::uint64_t id) {
+            // Aggregate the per-split match counts; report extrema.
+            const std::size_t n = std::max<std::size_t>(64, bytes / 8);
+            const auto vocab = static_cast<std::uint32_t>(
+                std::max<std::size_t>(64, n / 16));
+            auto keys = corpusTokens(ctx, n, vocab, 0xced0ULL + id);
+            TracedBuffer<float> vals(ctx, n);
+            Rng rng(0x9e1ULL + id);
+            for (std::size_t i = 0; i < n; ++i)
+                vals.raw()[i] = static_cast<float>(
+                    rng.nextDouble(1.0, 8.0));
+            heap.allocate(n * 12);
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, keys, vals, ok, oc, os);
+            TracedBuffer<std::uint64_t> counts(ctx, std::max<std::size_t>(
+                                                        1, ok.size()));
+            for (std::size_t g = 0; g < ok.size(); ++g)
+                counts.raw()[g] = oc[g];
+            kernels::minMaxScan(ctx, counts);
+        };
+
+        MapReduceEngine engine(cluster);
+        JobResult jr = engine.run(job);
+        return {name(), jr.runtime_s, jr.cluster_profile, jr.metrics};
+    }
+
+  private:
+    std::uint64_t input_bytes_;
+};
+
+// ----------------------------------------------------------- WordCount
+
+class WordCountWorkload : public Workload
+{
+  public:
+    explicit WordCountWorkload(std::uint64_t input_bytes)
+        : input_bytes_(input_bytes)
+    {
+    }
+
+    std::string name() const override { return "Hadoop WordCount"; }
+
+    std::vector<MotifWeight>
+    motifWeights() const override
+    {
+        // Data-motif lens: WordCount is Sort (per-split term
+        // ordering), Statistics (term counting / frequencies) and
+        // Set (vocabulary algebra against the stop-word list).
+        return {{"quick_sort", 0.22}, {"merge_sort", 0.13},
+                {"count_avg_stats", 0.30}, {"probability_stats", 0.10},
+                {"set_union", 0.15}, {"set_difference", 0.10}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 40 * kMiB; }
+
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        return input_bytes_;
+    }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        MapReduceJob job;
+        job.name = name();
+        job.input_bytes = input_bytes_;
+        job.sample_bytes = kMiB;
+        // Combiners collapse each split to its term -> count table.
+        job.map_output_ratio = 0.12;
+        job.reduce_output_ratio = 0.5;
+        job.num_reducers = cluster.totalSlots();
+        job.framework_ops_per_byte = 5.0;  // per-token object churn
+        job.output_replication = 1;
+
+        job.map_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                            std::uint64_t bytes, std::uint64_t id) {
+            const std::size_t n = std::max<std::size_t>(
+                64, bytes / kBytesPerToken);
+            const auto vocab = static_cast<std::uint32_t>(
+                std::max<std::size_t>(64, n / 48));
+            auto tokens = corpusTokens(ctx, n, vocab,
+                                       0x77c0ULL + id);
+            heap.allocate(n * 32);  // Text/IntWritable boxes
+
+            // Hotspot 1 (sort motif): order the split's terms so the
+            // combiner can run-length them (the map-side sort Hadoop
+            // performs before the combiner).
+            TracedBuffer<std::uint64_t> sorted(ctx, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                sorted.wr(i, (static_cast<std::uint64_t>(tokens.rd(i))
+                              << 24) |
+                                 (i & 0xffffff));
+                ctx.emitOps(OpClass::IntAlu, 2);
+            }
+            kernels::quickSortU64(ctx, sorted, 0, n - 1);
+
+            // Hotspot 2 (statistics motif): the combiner's
+            // term -> (count, sum) table.
+            TracedBuffer<float> ones(ctx, n);
+            for (auto &v : ones.raw())
+                v = 1.0f;
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, tokens, ones, ok, oc, os);
+            heap.allocate(ok.size() * 40 + 64);
+
+            // Hotspot 3 (set motif): split vocabulary minus the
+            // stop-word list, then merged into the global dictionary.
+            const std::size_t sv = std::max<std::size_t>(16, ok.size());
+            TextGenerator gdict(0x57a9ULL);  // shared stop-word list
+            TextGenerator gsplit(0x57aaULL + id);
+            auto stop = gdict.generateIdSet(sv / 4 + 8, vocab * 8ULL);
+            auto seen = gsplit.generateIdSet(sv, vocab * 8ULL);
+            TracedBuffer<std::uint64_t> a(ctx, std::move(seen));
+            TracedBuffer<std::uint64_t> b(ctx, std::move(stop));
+            TracedBuffer<std::uint64_t> scratch(ctx,
+                                                a.size() + b.size());
+            std::size_t k = kernels::setDifference(ctx, a, b, scratch);
+            // The set kernels consume whole buffers (sorted, unique),
+            // so re-materialise the k-element difference exactly.
+            TracedBuffer<std::uint64_t> kept(ctx,
+                                             std::max<std::size_t>(1,
+                                                                   k));
+            for (std::size_t i = 0; i < k; ++i)
+                kept.wr(i, scratch.rd(i));
+            TracedBuffer<std::uint64_t> dict(ctx,
+                                             kept.size() + b.size());
+            kernels::setUnion(ctx, b, kept, dict);
+        };
+
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                               std::uint64_t bytes, std::uint64_t id) {
+            // Merge the fetched per-map count tables: a merge sort of
+            // the key runs, then final counts and corpus frequencies.
+            const std::size_t n = std::max<std::size_t>(64, bytes / 8);
+            const auto vocab = static_cast<std::uint32_t>(
+                std::max<std::size_t>(64, n / 16));
+            auto keys = corpusTokens(ctx, n, vocab, 0x3edcULL + id);
+            heap.allocate(n * 16);
+            TracedBuffer<std::uint64_t> run(ctx, n);
+            for (std::size_t i = 0; i < n; ++i) {
+                run.wr(i, static_cast<std::uint64_t>(keys.rd(i)));
+                ctx.emitOps(OpClass::IntAlu, 1);
+            }
+            kernels::mergeSortU64(ctx, run);
+
+            TracedBuffer<float> counts(ctx, n);
+            Rng rng(0xb00cULL + id);
+            for (std::size_t i = 0; i < n; ++i)
+                counts.raw()[i] = static_cast<float>(
+                    rng.nextDouble(1.0, 64.0));
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, keys, counts, ok, oc, os);
+            // Corpus term-frequency distribution (statistics motif).
+            kernels::probabilityStats(ctx, keys, vocab);
+        };
+
+        MapReduceEngine engine(cluster);
+        JobResult jr = engine.run(job);
+        return {name(), jr.runtime_s, jr.cluster_profile, jr.metrics};
+    }
+
+  private:
+    std::uint64_t input_bytes_;
+};
+
+// ---------------------------------------------------------- NaiveBayes
+
+class NaiveBayesWorkload : public Workload
+{
+  public:
+    explicit NaiveBayesWorkload(std::uint64_t input_bytes)
+        : input_bytes_(input_bytes)
+    {
+    }
+
+    std::string name() const override { return "Hadoop NaiveBayes"; }
+
+    std::vector<MotifWeight>
+    motifWeights() const override
+    {
+        // Data-motif lens: Naive Bayes is Statistics (conditional
+        // probabilities), Matrix (class-likelihood scoring) and
+        // Sampling (train/test split).
+        return {{"probability_stats", 0.35}, {"count_avg_stats", 0.15},
+                {"matrix_multiply", 0.25}, {"cosine_distance", 0.05},
+                {"random_sampling", 0.12}, {"interval_sampling", 0.08}};
+    }
+
+    std::uint64_t proxyDataBytes() const override { return 32 * kMiB; }
+
+    std::uint64_t
+    referenceDataBytes() const override
+    {
+        return input_bytes_;
+    }
+
+    WorkloadResult
+    run(const ClusterConfig &cluster) const override
+    {
+        constexpr std::size_t kClasses = 16;
+
+        MapReduceJob job;
+        job.name = name();
+        job.input_bytes = input_bytes_;
+        job.sample_bytes = kMiB;
+        // Only per-class sufficient statistics shuffle.
+        job.map_output_ratio = 0.002;
+        job.reduce_output_ratio = 1.0;
+        job.num_reducers = kClasses;
+        // Mahout-style trainer: heavy per-document object churn.
+        job.framework_ops_per_byte = 6.0;
+        job.output_replication = 1;
+
+        job.map_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                            std::uint64_t bytes, std::uint64_t id) {
+            const std::size_t n = std::max<std::size_t>(
+                256, bytes / kBytesPerToken);
+            const auto vocab = static_cast<std::uint32_t>(
+                std::max<std::size_t>(64, n / 64));
+            auto tokens = corpusTokens(ctx, n, vocab,
+                                       0xba7e5ULL + id);
+            heap.allocate(n * 28);  // document vectors
+
+            // Hotspot 1 (sampling motif): held-out split -- Bernoulli
+            // selection of the training portion.
+            TracedBuffer<std::uint64_t> ids(ctx, n);
+            for (std::size_t i = 0; i < n; ++i)
+                ids.raw()[i] = tokens.rd(i);
+            TracedBuffer<std::uint64_t> train(ctx, n);
+            Rng srng(0x5ca1eULL + id);
+            std::size_t tn = kernels::randomSample(ctx, ids, train,
+                                                   0.8, srng);
+
+            // Hotspot 2 (statistics motif): per-class term counts and
+            // the conditional-probability tables.
+            TracedBuffer<std::uint32_t> ckeys(ctx, std::max<std::size_t>(
+                                                       1, tn));
+            TracedBuffer<float> ones(ctx, std::max<std::size_t>(1, tn));
+            for (std::size_t i = 0; i < tn; ++i) {
+                std::uint64_t t = train.rd(i);
+                // class(doc) x term key, as Mahout's trainer emits.
+                ckeys.raw()[i] = static_cast<std::uint32_t>(
+                    (mix64(t) % kClasses) * vocab + t % vocab);
+                ones.raw()[i] = 1.0f;
+                ctx.emitOps(OpClass::IntAlu, 3);
+            }
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, ckeys, ones, ok, oc, os);
+            TracedBuffer<std::uint32_t> terms(ctx, std::max<std::size_t>(
+                                                       1, tn));
+            for (std::size_t i = 0; i < tn; ++i)
+                terms.raw()[i] = static_cast<std::uint32_t>(
+                    train.rd(i) % vocab);
+            kernels::probabilityStats(ctx, terms, vocab);
+            heap.allocate(ok.size() * 24 + kClasses * 64);
+
+            // Hotspot 3 (matrix motif): score the held-out documents
+            // against the per-class log-likelihood matrix -- a dense
+            // documents x terms * terms x classes product.
+            std::size_t d = 8;
+            while ((d + 8) * (d + 8) * 12 <= bytes / 16)
+                d += 8;
+            d = std::min<std::size_t>(d, 64);
+            Rng mrng(0xfacadeULL + id);
+            TracedBuffer<float> docs(ctx, d * d), like(ctx, d * d),
+                scores(ctx, d * d);
+            for (auto &v : docs.raw())
+                v = static_cast<float>(mrng.nextDouble(0.0, 1.0));
+            for (auto &v : like.raw())
+                v = static_cast<float>(mrng.nextDouble(-4.0, 0.0));
+            kernels::matMul(ctx, docs, like, scores, d, d, d);
+        };
+
+        job.reduce_kernel = [](TraceContext &ctx, ManagedHeap &heap,
+                               std::uint64_t bytes, std::uint64_t id) {
+            // Fold the per-map sufficient statistics into the model:
+            // class priors plus smoothed conditional probabilities.
+            const std::size_t n = std::max<std::size_t>(64, bytes / 8);
+            const auto vocab = static_cast<std::uint32_t>(
+                std::max<std::size_t>(64, n / 32));
+            auto terms = corpusTokens(ctx, n, vocab, 0x90daULL + id);
+            heap.allocate(n * 12);
+            TracedBuffer<float> counts(ctx, n);
+            Rng rng(0xf01dULL + id);
+            for (std::size_t i = 0; i < n; ++i)
+                counts.raw()[i] = static_cast<float>(
+                    rng.nextDouble(0.0, 32.0));
+            std::vector<std::uint32_t> ok;
+            std::vector<std::uint64_t> oc;
+            std::vector<double> os;
+            kernels::hashGroupStats(ctx, terms, counts, ok, oc, os);
+            kernels::probabilityStats(ctx, terms, vocab);
+            for (std::size_t g = 0; g < ok.size(); ++g) {
+                ctx.emitOps(OpClass::FpMul, 1);  // Laplace smoothing
+                ctx.emitOps(OpClass::FpAlu, 2);
+            }
+        };
+
+        MapReduceEngine engine(cluster);
+        JobResult jr = engine.run(job);
+        return {name(), jr.runtime_s, jr.cluster_profile, jr.metrics};
+    }
+
+  private:
+    std::uint64_t input_bytes_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGrep(std::uint64_t input_bytes)
+{
+    return std::make_unique<GrepWorkload>(input_bytes);
+}
+
+std::unique_ptr<Workload>
+makeWordCount(std::uint64_t input_bytes)
+{
+    return std::make_unique<WordCountWorkload>(input_bytes);
+}
+
+std::unique_ptr<Workload>
+makeNaiveBayes(std::uint64_t input_bytes)
+{
+    return std::make_unique<NaiveBayesWorkload>(input_bytes);
+}
+
+} // namespace dmpb

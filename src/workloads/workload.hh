@@ -1,15 +1,22 @@
 /**
  * @file
- * The five real-world reference workloads of the paper's evaluation
- * (BigDataBench 4.0 selections): Hadoop TeraSort, Hadoop K-means,
- * Hadoop PageRank, TensorFlow AlexNet and TensorFlow Inception-V3 --
- * reimplemented on the hadooplite / tensorlite stacks.
+ * The real-world reference workloads (BigDataBench 4.0 selections):
+ * the five of the paper's evaluation -- Hadoop TeraSort, Hadoop
+ * K-means, Hadoop PageRank, TensorFlow AlexNet and TensorFlow
+ * Inception-V3 -- plus the text-analytics trio Hadoop Grep, Hadoop
+ * WordCount and Hadoop NaiveBayes, all reimplemented on the
+ * hadooplite / tensorlite stacks.
  *
  * Each workload can run on any ClusterConfig and yields the runtime
  * plus the metric vector a perf-based collector would have measured;
- * it also exposes its data-motif decomposition (Table III) with
- * hotspot execution ratios, which seed the proxy generator's initial
- * weights (Section II-B1).
+ * it also exposes its data-motif weights (Table III) with hotspot
+ * execution ratios, which seed the proxy generator's initial weights
+ * (Section II-B1).
+ *
+ * Construction is registry-driven: workloads/registry.hh maps
+ * canonical names to parameterised factories and resolves the
+ * {tiny, quick, paper} input-scale presets; the factories below are
+ * the raw building blocks it is composed from.
  */
 
 #ifndef DMPB_WORKLOADS_WORKLOAD_HH
@@ -34,7 +41,7 @@ struct WorkloadResult
     MetricVector metrics;    ///< per-slave-node averages
 };
 
-/** One entry of a Table III decomposition. */
+/** One entry of a Table III motif-weight decomposition. */
 struct MotifWeight
 {
     std::string motif;   ///< implementation name in the registry
@@ -54,12 +61,14 @@ class Workload
     virtual WorkloadResult run(const ClusterConfig &cluster) const = 0;
 
     /**
-     * The workload's data-motif decomposition (Table III) with the
-     * initial weights the paper assigns from execution ratios
+     * The workload's data-motif weights (Table III) -- the initial
+     * weights the paper assigns from hotspot execution ratios
      * (Section II-B1, e.g. TeraSort: 70% sort, 10% sampling,
-     * 20% graph).
+     * 20% graph). Every named motif resolves in motifRegistry() and
+     * the weights sum to 1 (both properties are unit-tested for
+     * every registry entry).
      */
-    virtual std::vector<MotifWeight> decomposition() const = 0;
+    virtual std::vector<MotifWeight> motifWeights() const = 0;
 
     /**
      * Bytes of input data one proxy motif-task should start from
@@ -109,11 +118,28 @@ std::unique_ptr<Workload> makeAlexNet(std::uint32_t total_steps = 10000,
 std::unique_ptr<Workload> makeInceptionV3(
     std::uint32_t total_steps = 1000, std::uint32_t batch_size = 32);
 
-/** All five paper workloads with Section III-B inputs. */
+/** Grep over a Zipf-distributed text corpus (pattern matching,
+ *  match selection, per-term match statistics). */
+std::unique_ptr<Workload> makeGrep(
+    std::uint64_t input_bytes = 100ULL * 1024 * 1024 * 1024);
+
+/** WordCount over a Zipf-distributed text corpus (per-split term
+ *  sorting, group counting, vocabulary set algebra). */
+std::unique_ptr<Workload> makeWordCount(
+    std::uint64_t input_bytes = 100ULL * 1024 * 1024 * 1024);
+
+/** Naive Bayes training/scoring over a labelled text corpus
+ *  (conditional-probability statistics, likelihood matrix scoring,
+ *  train/test sampling). */
+std::unique_ptr<Workload> makeNaiveBayes(
+    std::uint64_t input_bytes = 50ULL * 1024 * 1024 * 1024);
+
+/** Every registered workload at paper scale (Section III-B inputs);
+ *  resolved through the workload registry, registration order. */
 std::vector<std::unique_ptr<Workload>> makePaperWorkloads();
 
-/** The same five workloads with inputs ~1000x smaller, for smoke
- *  tests and CI: the full pipeline in seconds instead of minutes. */
+/** The same workloads with inputs ~1000x smaller, for smoke tests
+ *  and CI: the full pipeline in seconds instead of minutes. */
 std::vector<std::unique_ptr<Workload>> makeQuickPaperWorkloads();
 
 } // namespace dmpb

@@ -229,7 +229,7 @@ TEST(Decomposer, BuildsProxyFromTableThree)
     auto w = makeTeraSort();
     ProxyBenchmark proxy = decomposeWorkload(*w);
     EXPECT_EQ(proxy.name(), "Proxy TeraSort");
-    EXPECT_EQ(proxy.edges().size(), w->decomposition().size());
+    EXPECT_EQ(proxy.edges().size(), w->motifWeights().size());
     double sum = 0;
     for (const auto &e : proxy.edges())
         sum += e.weight;

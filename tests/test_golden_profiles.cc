@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Golden-profile regression suite: pinned quick-scale fingerprints of
+ * every registry workload's reference measurement.
+ *
+ * Each fingerprint is fnv1a64 over the serialized KernelProfile event
+ * totals plus the runtime and MetricVector (17 significant digits, the
+ * same precision the reference cache persists). The whole measurement
+ * layer is bit-deterministic by design -- across runs, threads, ASLR,
+ * shard counts and batching -- so these values must reproduce exactly;
+ * any drift that today only a bench reader would notice (a kernel
+ * emitting one op more, a changed extrapolation factor, a cache-model
+ * tweak) fails here with a diff-ready table.
+ *
+ * Intentional metric changes are expected to update the pinned table:
+ * run the suite and copy the "golden fingerprint table" block it
+ * prints on mismatch (or set DMPB_GOLDEN_OUT=path to write the
+ * current fingerprints as JSON -- CI uploads that file as a
+ * per-commit artifact).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/names.hh"
+#include "sim/metrics.hh"
+#include "workloads/registry.hh"
+
+namespace dmpb {
+namespace {
+
+/** The pinned quick-scale fingerprints (paperCluster5). */
+struct GoldenCase
+{
+    const char *name;
+    std::uint64_t fingerprint;
+};
+
+constexpr GoldenCase kGolden[] = {
+    {"TeraSort", 0xef6bdc0fa69b3d85ULL},
+    {"K-means", 0x71572317fccafebeULL},
+    {"PageRank", 0x19508d750f2a7447ULL},
+    {"AlexNet", 0x77a22d312a7c8bf5ULL},
+    {"Inception-V3", 0xf3944681ec9f3858ULL},
+    {"Grep", 0xd98876e3bb0e02d6ULL},
+    {"WordCount", 0x844c308383915360ULL},
+    {"NaiveBayes", 0x003fec6265763390ULL},
+};
+
+void
+appendU64(std::string &s, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu|",
+                  static_cast<unsigned long long>(v));
+    s += buf;
+}
+
+void
+appendF(std::string &s, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g|", v);
+    s += buf;
+}
+
+void
+appendCache(std::string &s, const CacheStats &c)
+{
+    appendU64(s, c.accesses);
+    appendU64(s, c.misses);
+    appendU64(s, c.writebacks);
+}
+
+/** Serialize profile + runtime + metrics and hash (fnv1a64). */
+std::uint64_t
+fingerprint(const WorkloadResult &r)
+{
+    std::string s;
+    s.reserve(1024);
+    for (std::uint64_t ops : r.profile.ops)
+        appendU64(s, ops);
+    appendCache(s, r.profile.l1i);
+    appendCache(s, r.profile.l1d);
+    appendCache(s, r.profile.l2);
+    appendCache(s, r.profile.l3);
+    appendU64(s, r.profile.branch.branches);
+    appendU64(s, r.profile.branch.mispredicts);
+    appendU64(s, r.profile.disk_read_bytes);
+    appendU64(s, r.profile.disk_write_bytes);
+    appendU64(s, r.profile.net_bytes);
+    appendF(s, r.runtime_s);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        appendF(s, r.metrics[static_cast<Metric>(i)]);
+    return fnv1a64(s);
+}
+
+struct Measured
+{
+    std::string name;
+    std::uint64_t fp_1shard;
+    std::uint64_t fp_4shards;
+};
+
+std::uint64_t
+measureFingerprint(const std::string &name, std::size_t shards)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.scale = Scale::Quick;
+    auto workload = WorkloadRegistry::instance().make(spec);
+    ClusterConfig cluster = paperCluster5();
+    cluster.sim.shards = shards;
+    return fingerprint(workload->run(cluster));
+}
+
+/** Quick-scale measurements of every registry workload, computed
+ *  once per test binary at --sim-shards 1 and 4. */
+const std::vector<Measured> &
+allMeasured()
+{
+    static const std::vector<Measured> measured = [] {
+        std::vector<Measured> out;
+        for (const std::string &name :
+             WorkloadRegistry::instance().names()) {
+            out.push_back(Measured{name,
+                                   measureFingerprint(name, 1),
+                                   measureFingerprint(name, 4)});
+        }
+        return out;
+    }();
+    return measured;
+}
+
+/** The regeneration block printed on any mismatch. */
+std::string
+goldenTable()
+{
+    std::string s = "golden fingerprint table (paste into "
+                    "tests/test_golden_profiles.cc):\n";
+    for (const Measured &m : allMeasured()) {
+        char line[128];
+        std::snprintf(line, sizeof(line), "    {\"%s\", 0x%016llxULL},\n",
+                      m.name.c_str(),
+                      static_cast<unsigned long long>(m.fp_1shard));
+        s += line;
+    }
+    return s;
+}
+
+TEST(GoldenProfiles, FingerprintsBitIdenticalAcrossShardCounts)
+{
+    for (const Measured &m : allMeasured()) {
+        EXPECT_EQ(m.fp_1shard, m.fp_4shards)
+            << m.name
+            << ": sharded measurement diverged from the serial path";
+    }
+}
+
+TEST(GoldenProfiles, QuickScaleFingerprintsMatchPinnedGolden)
+{
+    const auto &measured = allMeasured();
+    ASSERT_EQ(measured.size(), std::size(kGolden));
+    bool all_ok = true;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        EXPECT_EQ(measured[i].name, kGolden[i].name);
+        if (measured[i].fp_1shard != kGolden[i].fingerprint)
+            all_ok = false;
+        EXPECT_EQ(measured[i].fp_1shard, kGolden[i].fingerprint)
+            << measured[i].name << ": quick-scale profile drifted";
+    }
+    if (!all_ok)
+        ADD_FAILURE() << goldenTable();
+}
+
+TEST(GoldenProfiles, WritesFingerprintArtifactWhenRequested)
+{
+    // CI sets DMPB_GOLDEN_OUT and uploads the file as a per-commit
+    // artifact; without the variable this is a no-op.
+    const char *path = std::getenv("DMPB_GOLDEN_OUT");
+    if (path == nullptr || *path == '\0')
+        GTEST_SKIP() << "DMPB_GOLDEN_OUT not set";
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "{\n  \"scale\": \"quick\",\n  \"cluster\": \"paper5\",\n"
+        << "  \"fingerprints\": {";
+    const auto &measured = allMeasured();
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": \"0x%016llx\"",
+                      i ? "," : "", measured[i].name.c_str(),
+                      static_cast<unsigned long long>(
+                          measured[i].fp_1shard));
+        out << buf;
+    }
+    out << "\n  }\n}\n";
+}
+
+} // namespace
+} // namespace dmpb

@@ -83,7 +83,7 @@ class CountingWorkload : public Workload
     }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         return {{"quick_sort", 1.0}};
     }

@@ -56,7 +56,7 @@ class ThrowingWorkload : public Workload
     }
 
     std::vector<MotifWeight>
-    decomposition() const override
+    motifWeights() const override
     {
         return {{"quick_sort", 1.0}};
     }
@@ -71,26 +71,33 @@ class RunnerTest : public ::testing::Test
     void TearDown() override { setLoggingEnabled(true); }
 };
 
-TEST_F(RunnerTest, RegistersAllFivePaperWorkloads)
+TEST_F(RunnerTest, RegistersEveryRegistryWorkload)
 {
     SuiteRunner runner(quickOptions());
     runner.addPaperWorkloads();
     std::vector<std::string> names = runner.registeredNames();
-    ASSERT_EQ(names.size(), 5u);
+    ASSERT_EQ(names.size(), 8u);
     EXPECT_EQ(names[0], "TeraSort");
     EXPECT_EQ(names[1], "K-means");
     EXPECT_EQ(names[2], "PageRank");
     EXPECT_EQ(names[3], "AlexNet");
     EXPECT_EQ(names[4], "Inception-V3");
+    EXPECT_EQ(names[5], "Grep");
+    EXPECT_EQ(names[6], "WordCount");
+    EXPECT_EQ(names[7], "NaiveBayes");
 }
 
-TEST_F(RunnerTest, QuickWorkloadsMirrorThePaperSet)
+TEST_F(RunnerTest, RegisteredNamesMatchRegistryEnumeration)
 {
-    SuiteRunner quick(quickOptions());
-    quick.addQuickWorkloads();
-    SuiteRunner paper(quickOptions());
-    paper.addPaperWorkloads();
-    EXPECT_EQ(quick.registeredNames(), paper.registeredNames());
+    // The --list output is registeredNames(); it must be exactly the
+    // registry enumeration, at every scale.
+    for (Scale s : {Scale::Tiny, Scale::Quick, Scale::Paper}) {
+        SuiteRunner runner(quickOptions());
+        runner.addScaleWorkloads(s);
+        EXPECT_EQ(runner.registeredNames(),
+                  WorkloadRegistry::instance().names())
+            << scaleName(s);
+    }
 }
 
 TEST_F(RunnerTest, SelectionFiltersByShortNameCaseInsensitive)
@@ -105,13 +112,46 @@ TEST_F(RunnerTest, SelectionFiltersByShortNameCaseInsensitive)
     EXPECT_EQ(result.outcomes[0].status, RunStatus::Ok);
 }
 
+TEST_F(RunnerTest, SelectionFindsTheNewTextWorkloads)
+{
+    SuiteOptions options = quickOptions();
+    options.workloads = {"grep"};
+    SuiteRunner runner(options);
+    runner.addScaleWorkloads(Scale::Tiny);
+    SuiteResult result = runner.run();
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes[0].short_name, "Grep");
+    EXPECT_EQ(result.outcomes[0].name, "Hadoop Grep");
+    EXPECT_EQ(result.outcomes[0].status, RunStatus::Ok);
+}
+
+TEST_F(RunnerTest, DuplicateSelectionsStayDeduplicated)
+{
+    SuiteOptions options = quickOptions();
+    options.workloads = {"wordcount", "WordCount", "WORDCOUNT"};
+    SuiteRunner runner(options);
+    runner.addScaleWorkloads(Scale::Tiny);
+    SuiteResult result = runner.run();
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes[0].short_name, "WordCount");
+}
+
 TEST_F(RunnerTest, UnknownWorkloadSelectionThrows)
 {
     SuiteOptions options = quickOptions();
     options.workloads = {"no-such-workload"};
     SuiteRunner runner(options);
     runner.addQuickWorkloads();
-    EXPECT_THROW(runner.run(), std::invalid_argument);
+    try {
+        runner.run();
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The diagnostic names the offender and points at --list.
+        EXPECT_NE(std::string(e.what()).find("no-such-workload"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--list"),
+                  std::string::npos);
+    }
 }
 
 TEST_F(RunnerTest, ParallelExecutionIsDeterministicUnderFixedSeed)

@@ -1,15 +1,21 @@
 /**
  * @file
- * Tests for the five reference workloads: decompositions reference
- * real motifs (Table III), workload patterns match the paper's
+ * Tests for the reference workloads and the workload registry: every
+ * registry entry satisfies the motif-weight and naming invariants,
+ * scale presets are monotone, workload patterns match the paper's
  * characterisation (Section III-A), and the data-input effects of
  * Section IV-A reproduce.
  */
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "base/names.hh"
 #include "base/units.hh"
+#include "core/auto_tuner.hh"
 #include "motifs/motif.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 namespace dmpb {
@@ -25,40 +31,165 @@ smallWorkloads()
     out.push_back(makePageRank(1ULL << 20));
     out.push_back(makeAlexNet(200, 64));
     out.push_back(makeInceptionV3(40, 8));
+    out.push_back(makeGrep(4ULL << 30));
+    out.push_back(makeWordCount(4ULL << 30));
+    out.push_back(makeNaiveBayes(4ULL << 30));
     return out;
 }
 
-TEST(Workloads, FiveWorkloadsWithPaperNames)
+/** Build one registry workload at @p scale. */
+std::unique_ptr<Workload>
+atScale(const std::string &name, Scale scale)
 {
-    auto all = makePaperWorkloads();
-    ASSERT_EQ(all.size(), 5u);
-    EXPECT_EQ(all[0]->name(), "Hadoop TeraSort");
-    EXPECT_EQ(all[1]->name(), "Hadoop K-means");
-    EXPECT_EQ(all[2]->name(), "Hadoop PageRank");
-    EXPECT_EQ(all[3]->name(), "TensorFlow AlexNet");
-    EXPECT_EQ(all[4]->name(), "TensorFlow Inception-V3");
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.scale = scale;
+    return WorkloadRegistry::instance().make(spec);
 }
 
-TEST(Workloads, DecompositionsReferenceRegisteredMotifs)
+// ---------------------------------------------------------- registry
+
+TEST(Registry, EightWorkloadsInRegistrationOrder)
 {
-    for (const auto &w : makePaperWorkloads()) {
+    const auto &reg = WorkloadRegistry::instance();
+    std::vector<std::string> names = reg.names();
+    ASSERT_EQ(names.size(), 8u);
+    EXPECT_EQ(names[0], "TeraSort");
+    EXPECT_EQ(names[1], "K-means");
+    EXPECT_EQ(names[2], "PageRank");
+    EXPECT_EQ(names[3], "AlexNet");
+    EXPECT_EQ(names[4], "Inception-V3");
+    EXPECT_EQ(names[5], "Grep");
+    EXPECT_EQ(names[6], "WordCount");
+    EXPECT_EQ(names[7], "NaiveBayes");
+
+    auto paper = makePaperWorkloads();
+    ASSERT_EQ(paper.size(), names.size());
+    EXPECT_EQ(paper[0]->name(), "Hadoop TeraSort");
+    EXPECT_EQ(paper[5]->name(), "Hadoop Grep");
+    EXPECT_EQ(paper[6]->name(), "Hadoop WordCount");
+    EXPECT_EQ(paper[7]->name(), "Hadoop NaiveBayes");
+}
+
+TEST(Registry, MotifWeightsSumToOneAndResolve)
+{
+    for (const auto &entry : WorkloadRegistry::instance().entries()) {
+        auto w = atScale(entry.name, Scale::Tiny);
         double sum = 0.0;
-        for (const MotifWeight &mw : w->decomposition()) {
+        for (const MotifWeight &mw : w->motifWeights()) {
             EXPECT_NE(findMotif(mw.motif), nullptr)
-                << w->name() << " -> " << mw.motif;
-            EXPECT_GT(mw.weight, 0.0);
+                << entry.name << " -> " << mw.motif;
+            EXPECT_GT(mw.weight, 0.0) << entry.name;
             sum += mw.weight;
         }
-        EXPECT_NEAR(sum, 1.0, 0.02) << w->name();
+        EXPECT_NEAR(sum, 1.0, 1e-6) << entry.name;
     }
 }
 
+TEST(Registry, ReferenceDataBytesMonotoneInScale)
+{
+    for (const auto &entry : WorkloadRegistry::instance().entries()) {
+        std::uint64_t tiny =
+            atScale(entry.name, Scale::Tiny)->referenceDataBytes();
+        std::uint64_t quick =
+            atScale(entry.name, Scale::Quick)->referenceDataBytes();
+        std::uint64_t paper =
+            atScale(entry.name, Scale::Paper)->referenceDataBytes();
+        EXPECT_LT(tiny, quick) << entry.name;
+        EXPECT_LT(quick, paper) << entry.name;
+    }
+}
+
+TEST(Registry, NamesRoundTripThroughCanonAndShortName)
+{
+    const auto &reg = WorkloadRegistry::instance();
+    for (const auto &entry : reg.entries()) {
+        // The display name is the short form of the full name...
+        EXPECT_EQ(entry.name, shortName(entry.full_name));
+        // ...every canonical spelling selects the same entry...
+        EXPECT_EQ(reg.find(entry.name), &entry);
+        EXPECT_EQ(reg.find(entry.full_name), &entry);
+        EXPECT_EQ(reg.find(canonName(entry.name)), &entry);
+        // ...and the built workload carries the registered full name.
+        auto w = atScale(entry.name, Scale::Tiny);
+        EXPECT_EQ(w->name(), entry.full_name);
+        EXPECT_EQ(shortName(w->name()), entry.name);
+    }
+}
+
+TEST(Registry, UnknownNameThrowsWithListHint)
+{
+    WorkloadSpec spec;
+    spec.name = "no-such-workload";
+    try {
+        WorkloadRegistry::instance().make(spec);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("--list"),
+                  std::string::npos);
+    }
+}
+
+TEST(Registry, SpecParamsOverrideScalePresets)
+{
+    WorkloadSpec spec;
+    spec.name = "terasort";
+    spec.scale = Scale::Tiny;
+    spec.params.input_bytes = 3ULL << 30;
+    EXPECT_EQ(WorkloadRegistry::instance().make(spec)
+                  ->referenceDataBytes(),
+              3ULL << 30);
+
+    WorkloadSpec pr;
+    pr.name = "pagerank";
+    pr.scale = Scale::Quick;
+    pr.params.vertices = 1ULL << 18;
+    EXPECT_EQ(WorkloadRegistry::instance().make(pr)
+                  ->referenceDataBytes(),
+              atScale("pagerank", Scale::Quick)->referenceDataBytes() *
+                  4);
+}
+
+TEST(Registry, ScaleNamesParseAndRoundTrip)
+{
+    for (Scale s : {Scale::Tiny, Scale::Quick, Scale::Paper})
+        EXPECT_EQ(parseScale(scaleName(s)), s);
+    EXPECT_EQ(parseScale("QUICK"), Scale::Quick);
+    EXPECT_THROW(parseScale("huge"), std::invalid_argument);
+}
+
+TEST(Registry, ScaleTunerPresetIsLightBelowPaper)
+{
+    TunerConfig base;
+    base.seed = 123;
+    TunerConfig paper = scaleTunerConfig(Scale::Paper, base);
+    EXPECT_EQ(paper.max_iterations, base.max_iterations);
+    EXPECT_EQ(paper.seed, 123u);
+    for (Scale s : {Scale::Tiny, Scale::Quick}) {
+        TunerConfig light = scaleTunerConfig(s, base);
+        EXPECT_LT(light.max_iterations, paper.max_iterations);
+        EXPECT_LT(light.trace_cap, paper.trace_cap);
+        EXPECT_EQ(light.seed, 123u);  // caller knobs survive
+    }
+}
+
+// --------------------------------------------------------- workloads
+
 TEST(Workloads, AiDecompositionsUseAiMotifs)
 {
-    auto all = makePaperWorkloads();
-    for (std::size_t i : {3u, 4u}) {
-        for (const MotifWeight &mw : all[i]->decomposition())
+    for (const char *name : {"alexnet", "inception-v3"}) {
+        auto w = atScale(name, Scale::Tiny);
+        for (const MotifWeight &mw : w->motifWeights())
             EXPECT_TRUE(findMotif(mw.motif)->isAi()) << mw.motif;
+    }
+}
+
+TEST(Workloads, TextWorkloadsUseBigDataMotifs)
+{
+    for (const char *name : {"grep", "wordcount", "naivebayes"}) {
+        auto w = atScale(name, Scale::Tiny);
+        for (const MotifWeight &mw : w->motifWeights())
+            EXPECT_FALSE(findMotif(mw.motif)->isAi()) << mw.motif;
     }
 }
 
@@ -90,6 +221,27 @@ TEST(Workloads, AiWorkloadsAreFpHeavyAndDiskLight)
     EXPECT_LT(r.metrics[Metric::BranchMiss], 0.05);
 }
 
+TEST(Workloads, GrepIsIntegerDominatedAndShuffleLight)
+{
+    auto g = makeGrep(4ULL << 30)->run(paperCluster5());
+    // Pattern matching: overwhelmingly integer work...
+    EXPECT_GT(g.metrics[Metric::RatioInt], 0.2);
+    EXPECT_LT(g.metrics[Metric::RatioFp], 0.02);
+    // ...and only matches shuffle, so far less disk traffic than the
+    // full-shuffle TeraSort at the same input size.
+    auto ts = makeTeraSort(4ULL << 30)->run(paperCluster5());
+    EXPECT_LT(g.metrics[Metric::DiskBw], ts.metrics[Metric::DiskBw]);
+}
+
+TEST(Workloads, NaiveBayesIsMoreFpIntensiveThanWordCount)
+{
+    auto nb = makeNaiveBayes(4ULL << 30)->run(paperCluster5());
+    auto wc = makeWordCount(4ULL << 30)->run(paperCluster5());
+    // Likelihood scoring vs integer counting.
+    EXPECT_GT(nb.metrics[Metric::RatioFp],
+              wc.metrics[Metric::RatioFp]);
+}
+
 TEST(Workloads, DenseKMeansRaisesMemoryBandwidth)
 {
     // The Fig. 7 effect at test scale: dense input sustains clearly
@@ -108,6 +260,10 @@ TEST(Workloads, RuntimeScalesWithInput)
     auto small = makeTeraSort(2ULL << 30)->run(paperCluster5());
     auto large = makeTeraSort(16ULL << 30)->run(paperCluster5());
     EXPECT_GT(large.runtime_s, 2.0 * small.runtime_s);
+
+    auto wc_small = makeWordCount(2ULL << 30)->run(paperCluster5());
+    auto wc_large = makeWordCount(16ULL << 30)->run(paperCluster5());
+    EXPECT_GT(wc_large.runtime_s, 2.0 * wc_small.runtime_s);
 }
 
 TEST(Workloads, ThreeNodeClusterSlower)
