@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Minimal dependency-free JSON support, shared by every producer and
+ * consumer of JSON in the repo:
+ *
+ *  - JsonWriter: the streaming emitter behind the suite report, the
+ *    per-outcome serializer (runner/report writeOutcomeJson) and the
+ *    serve daemon's responses. One implementation of RFC 8259 string
+ *    escaping, tested once in tests/test_json.cc.
+ *  - JsonValue: a strict recursive-descent parser for the daemon's
+ *    newline-delimited request protocol and the loadgen's response
+ *    handling. Parses one complete document per call; anything
+ *    malformed is rejected with a diagnostic instead of a guess.
+ */
+
+#ifndef DMPB_BASE_JSON_HH
+#define DMPB_BASE_JSON_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dmpb {
+
+/** Streaming JSON emitter: handles nesting, commas and escaping. */
+class JsonWriter
+{
+  public:
+    JsonWriter()
+    {
+        os_.precision(std::numeric_limits<double>::max_digits10);
+    }
+
+    void openObject() { element(); os_ << "{"; push(); }
+    void openObject(const std::string &k) { key(k); os_ << "{"; push(); }
+    void closeObject() { pop(); os_ << "}"; }
+    void openArray() { element(); os_ << "["; push(); }
+    void openArray(const std::string &k) { key(k); os_ << "["; push(); }
+    void closeArray() { pop(); os_ << "]"; }
+
+    void
+    field(const std::string &k, const std::string &v)
+    {
+        key(k);
+        string(v);
+    }
+
+    void
+    field(const std::string &k, const char *v)
+    {
+        field(k, std::string(v));
+    }
+
+    void
+    field(const std::string &k, double v)
+    {
+        key(k);
+        number(v);
+    }
+
+    void
+    field(const std::string &k, std::uint64_t v)
+    {
+        key(k);
+        os_ << v;
+    }
+
+    void
+    field(const std::string &k, bool v)
+    {
+        key(k);
+        os_ << (v ? "true" : "false");
+    }
+
+    /** Array-element emitters (no key). */
+    void element(const std::string &v) { element(); string(v); }
+    void element(double v) { element(); number(v); }
+
+    /**
+     * Splice @p json -- a complete, already-serialized JSON value --
+     * in as the value of @p k. This is how a pre-rendered outcome
+     * object (writeOutcomeJson) embeds into a response envelope
+     * without re-serializing: the bytes land verbatim.
+     */
+    void
+    rawField(const std::string &k, const std::string &json)
+    {
+        key(k);
+        os_ << json;
+    }
+
+    /** Splice @p json in as one array element, verbatim. */
+    void
+    rawElement(const std::string &json)
+    {
+        element();
+        os_ << json;
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    void
+    element()
+    {
+        if (!first_.empty() && !first_.back())
+            os_ << ",";
+        if (!first_.empty())
+            first_.back() = false;
+    }
+
+    void
+    key(const std::string &k)
+    {
+        element();
+        string(k);
+        os_ << ":";
+    }
+
+    void number(double v);
+    void string(const std::string &s);
+
+    void push() { first_.push_back(true); }
+    void pop() { first_.pop_back(); }
+
+    std::ostringstream os_;
+    std::vector<bool> first_;
+};
+
+/** RFC 8259-escape @p s (without the surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * One parsed JSON value. Object members keep their document order;
+ * duplicate keys resolve to the first occurrence (find()).
+ */
+class JsonValue
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null = 0,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /**
+     * Parse @p text as exactly one JSON document (leading/trailing
+     * whitespace allowed, nothing else). On failure returns false and
+     * fills @p error (when non-null) with a position-stamped
+     * diagnostic. Nesting is capped at 32 levels so a hostile request
+     * cannot overflow the stack.
+     */
+    static bool parse(std::string_view text, JsonValue &out,
+                      std::string *error = nullptr);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isString() const { return type_ == Type::String; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isArray() const { return type_ == Type::Array; }
+
+    /** Value accessors; the fallback is returned on type mismatch. */
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    std::uint64_t asU64(std::uint64_t fallback = 0) const;
+    const std::string &asString() const;
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Array elements / object members (empty for scalar types). */
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_BASE_JSON_HH

@@ -108,4 +108,24 @@ median(std::vector<double> v)
     return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    dmpb_assert(p >= 0.0 && p <= 100.0, "percentile out of range");
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    std::sort(v.begin(), v.end());
+    return sortedPercentile(v, p);
+}
+
 } // namespace dmpb

@@ -1,0 +1,24 @@
+#include "core/cache_config.hh"
+
+namespace dmpb {
+
+CacheConfig
+resolveCacheConfig(bool no_cache, const std::string &cache_dir,
+                   const std::string &ref_cache_dir,
+                   const std::string &default_dir)
+{
+    CacheConfig config;
+    if (!cache_dir.empty())
+        config.proxy_dir = cache_dir;
+    else if (!no_cache)
+        config.proxy_dir = default_dir;
+
+    if (!ref_cache_dir.empty())
+        config.ref_dir = ref_cache_dir;
+    else if (!no_cache)
+        config.ref_dir = config.proxy_dir;
+
+    return config;
+}
+
+} // namespace dmpb

@@ -34,6 +34,21 @@ bool parseCacheValue(std::string_view text, double &out);
  *  next run recomputes instead of tripping over it again. */
 void dropBadCacheFile(const std::string &path);
 
+/**
+ * Atomically publish @p content at @p path: write to a unique
+ * temporary in the same directory, then rename over the target.
+ * rename(2) is atomic within a filesystem, so a concurrent reader --
+ * another thread, or another process sharing the cache directory --
+ * sees either the old complete file or the new complete one, never a
+ * torn write. Concurrent writers of the same key race benignly: both
+ * values are complete (and, for these caches, deterministic
+ * functions of the key), whichever rename lands last wins. Creates
+ * the directory if needed; false (cleaning up the temporary) on any
+ * failure.
+ */
+bool writeCacheFileAtomic(const std::string &path,
+                          const std::string &content);
+
 } // namespace dmpb
 
 #endif // DMPB_CORE_CACHE_FILE_HH

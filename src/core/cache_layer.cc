@@ -1,0 +1,133 @@
+#include "core/cache_layer.hh"
+
+#include "core/proxy_cache.hh"
+#include "core/reference_cache.hh"
+
+namespace dmpb {
+
+namespace {
+
+/** release() on every exit path, including exceptions: a crashed
+ *  computation must wake its waiters so one of them takes over. */
+struct FlightGuard
+{
+    KeyedSingleFlight &flight;
+    const std::string &key;
+    ~FlightGuard() { flight.release(key); }
+};
+
+} // namespace
+
+ReferenceLayer::ReferenceLayer(std::string dir,
+                               std::size_t mem_entries)
+    : dir_(std::move(dir)), mem_(dir_.empty() ? 0 : mem_entries)
+{}
+
+WorkloadResult
+ReferenceLayer::measure(const std::string &key,
+                        const Workload &workload,
+                        const ClusterConfig &cluster, bool *from_cache)
+{
+    WorkloadResult result;
+    result.name = workload.name();
+    if (!enabled()) {
+        if (from_cache != nullptr)
+            *from_cache = false;
+        return workload.run(cluster);
+    }
+
+    CachedRef cached;
+    for (;;) {
+        if (mem_.get(key, cached)) {
+            result.runtime_s = cached.runtime_s;
+            result.metrics = cached.metrics;
+            if (from_cache != nullptr)
+                *from_cache = true;
+            return result;
+        }
+        // Cold here. If another thread is already measuring this key,
+        // wait for it and re-check the memory layer; otherwise we own
+        // the computation.
+        if (flight_.acquire(key))
+            break;
+    }
+    FlightGuard guard{flight_, key};
+
+    // Won the race after a concurrent owner published to disk only
+    // (mem layer capped out or disabled)? The disk probe below still
+    // serves it; a stale double-compute is impossible to observe
+    // because the measurement is a pure function of the key.
+    if (loadReference(dir_, key, result)) {
+        mem_.put(key, CachedRef{result.runtime_s, result.metrics});
+        if (from_cache != nullptr)
+            *from_cache = true;
+        return result;
+    }
+
+    result = workload.run(cluster);
+    saveReference(dir_, key, result);
+    mem_.put(key, CachedRef{result.runtime_s, result.metrics});
+    if (from_cache != nullptr)
+        *from_cache = false;
+    return result;
+}
+
+TunerLayer::TunerLayer(std::string dir, std::size_t mem_entries)
+    : dir_(std::move(dir)), mem_(dir_.empty() ? 0 : mem_entries)
+{}
+
+TunerReport
+TunerLayer::tune(const std::string &key, ProxyBenchmark &proxy,
+                 const MetricVector &target,
+                 const MachineConfig &machine,
+                 const TunerConfig &config)
+{
+    if (!enabled()) {
+        AutoTuner tuner(target, config);
+        return tuner.tune(proxy, machine);
+    }
+
+    auto replayCached = [&](const CachedParams &cached) {
+        for (const auto &[name, value] : cached.params)
+            proxy.setParameter(name, value);
+        return replayTunedParams(proxy, target, machine, config,
+                                 cached.qualified);
+    };
+
+    CachedParams cached;
+    for (;;) {
+        if (mem_.get(key, cached))
+            return replayCached(cached);
+        if (flight_.acquire(key))
+            break;
+    }
+    FlightGuard guard{flight_, key};
+
+    bool stored_qualified = false;
+    if (loadProxyParams(dir_, key, proxy, &stored_qualified)) {
+        CachedParams fresh;
+        fresh.qualified = stored_qualified;
+        for (const TunableParam &p : proxy.parameters())
+            fresh.params.emplace_back(p.name, p.value);
+        mem_.put(key, fresh);
+        return replayTunedParams(proxy, target, machine, config,
+                                 stored_qualified);
+    }
+
+    AutoTuner tuner(target, config);
+    TunerReport report = tuner.tune(proxy, machine);
+    // Same persistence rule as tuneWithCache: a deadline-truncated,
+    // unqualified search is not cached at any level -- it would
+    // short-circuit every future, better-budgeted run.
+    if (report.qualified || !report.interrupted) {
+        saveProxyParams(dir_, key, proxy, report.qualified);
+        CachedParams fresh;
+        fresh.qualified = report.qualified;
+        for (const TunableParam &p : proxy.parameters())
+            fresh.params.emplace_back(p.name, p.value);
+        mem_.put(key, fresh);
+    }
+    return report;
+}
+
+} // namespace dmpb

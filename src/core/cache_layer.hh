@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Concurrent-safe caching layers over the two on-disk pipeline
+ * caches.
+ *
+ * The one-shot CLI exercises core/proxy_cache and
+ * core/reference_cache single-threaded from disk. A long-running
+ * `dmpb --serve` daemon hits them from many worker threads at once,
+ * so each cache gains:
+ *
+ *  - an in-memory LRU layer (core/memory_cache) with a size cap and
+ *    hit/miss/eviction counters, so repeat requests never touch disk;
+ *  - per-key single-flight: concurrent cold misses on the same key
+ *    block behind one computation instead of tuning/measuring the
+ *    same cell N times (the computation is deterministic, so a
+ *    duplicate would waste work, not diverge -- but at daemon
+ *    concurrency the waste is N-fold);
+ *  - torn-file safety via the atomic publish in core/cache_file
+ *    (shared with the plain disk path).
+ *
+ * Results served through a layer are bit-identical to the plain
+ * measureWithCache / tuneWithCache paths: a memory hit replays
+ * exactly what a disk hit replays.
+ */
+
+#ifndef DMPB_CORE_CACHE_LAYER_HH
+#define DMPB_CORE_CACHE_LAYER_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/auto_tuner.hh"
+#include "core/memory_cache.hh"
+#include "core/proxy_benchmark.hh"
+#include "stack/cluster.hh"
+#include "workloads/workload.hh"
+
+namespace dmpb {
+
+/**
+ * Per-key in-flight computation dedup. acquire() returns true when
+ * the caller owns the computation for @p key (it must call release()
+ * when done, success or failure); false when it blocked behind
+ * another owner finishing -- the caller then re-checks the cache and
+ * retries.
+ */
+class KeyedSingleFlight
+{
+  public:
+    bool
+    acquire(const std::string &key)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (inflight_.insert(key).second)
+            return true;
+        cv_.wait(lock,
+                 [&]() { return inflight_.count(key) == 0; });
+        return false;
+    }
+
+    void
+    release(const std::string &key)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key);
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::set<std::string> inflight_;
+};
+
+/** Reference-measurement cache with an in-memory layer. Thread-safe;
+ *  an instance with an empty directory computes without caching. */
+class ReferenceLayer
+{
+  public:
+    ReferenceLayer(std::string dir, std::size_t mem_entries);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /**
+     * measureWithCache() semantics behind the layered lookup
+     * memory -> disk -> compute. @p from_cache (when non-null)
+     * reports whether any cache level served the result.
+     */
+    WorkloadResult measure(const std::string &key,
+                           const Workload &workload,
+                           const ClusterConfig &cluster,
+                           bool *from_cache = nullptr);
+
+    MemoryCacheStats stats() const { return mem_.stats(); }
+
+  private:
+    struct CachedRef
+    {
+        double runtime_s = 0.0;
+        MetricVector metrics;
+    };
+
+    std::string dir_;
+    MemoryCache<CachedRef> mem_;
+    KeyedSingleFlight flight_;
+};
+
+/** Tuned-parameter cache with an in-memory layer. Thread-safe; an
+ *  instance with an empty directory tunes without caching. */
+class TunerLayer
+{
+  public:
+    TunerLayer(std::string dir, std::size_t mem_entries);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /**
+     * tuneWithCache() semantics behind the layered lookup
+     * memory -> disk -> full search. A hit at either level restores
+     * the stored parameter vector into @p proxy and replays it
+     * (core/proxy_cache replayTunedParams), so the report is
+     * bit-identical whichever level serves. Interrupted unqualified
+     * searches are cached at no level.
+     */
+    TunerReport tune(const std::string &key, ProxyBenchmark &proxy,
+                     const MetricVector &target,
+                     const MachineConfig &machine,
+                     const TunerConfig &config);
+
+    MemoryCacheStats stats() const { return mem_.stats(); }
+
+  private:
+    struct CachedParams
+    {
+        std::vector<std::pair<std::string, double>> params;
+        bool qualified = false;
+    };
+
+    std::string dir_;
+    MemoryCache<CachedParams> mem_;
+    KeyedSingleFlight flight_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_CACHE_LAYER_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A concurrent-safe, size-capped, LRU-evicting in-memory cache.
+ *
+ * The serve daemon keeps both on-disk caches (tuned parameters,
+ * reference measurements) warm behind one of these: a hit costs a
+ * mutex acquisition and a list splice instead of a file open + parse,
+ * and the capacity cap keeps a long-running daemon's footprint
+ * bounded no matter how many scenario cells pass through it.
+ * Hit/miss/eviction counters are maintained under the same lock and
+ * surfaced through the daemon's {"cmd":"stats"} response.
+ *
+ * All operations are linearizable (one mutex); values are returned by
+ * copy so a reader can never observe a concurrent eviction tearing
+ * its entry. Capacity 0 disables the cache entirely: get() always
+ * misses and put() is a no-op, which is also the configuration the
+ * one-shot CLI uses implicitly when caching is off.
+ */
+
+#ifndef DMPB_CORE_MEMORY_CACHE_HH
+#define DMPB_CORE_MEMORY_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace dmpb {
+
+/** Counter snapshot of one in-memory cache layer. */
+struct MemoryCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;   ///< current resident entry count
+    std::uint64_t capacity = 0;  ///< configured cap (0 = disabled)
+};
+
+template <class Value>
+class MemoryCache
+{
+  public:
+    /** @p capacity entries at most; 0 disables the cache. */
+    explicit MemoryCache(std::size_t capacity) : capacity_(capacity) {}
+
+    MemoryCache(const MemoryCache &) = delete;
+    MemoryCache &operator=(const MemoryCache &) = delete;
+
+    /** Copy the cached value for @p key into @p out and mark it
+     *  most-recently-used; false (counting a miss) when absent. */
+    bool
+    get(const std::string &key, Value &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second);
+        out = it->second->second;
+        ++hits_;
+        return true;
+    }
+
+    /** Insert (or refresh) @p key, evicting least-recently-used
+     *  entries beyond the capacity cap. */
+    void
+    put(const std::string &key, Value value)
+    {
+        if (capacity_ == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
+        }
+        lru_.emplace_front(key, std::move(value));
+        index_[key] = lru_.begin();
+        while (lru_.size() > capacity_) {
+            index_.erase(lru_.back().first);
+            lru_.pop_back();
+            ++evictions_;
+        }
+    }
+
+    MemoryCacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        MemoryCacheStats s;
+        s.hits = hits_;
+        s.misses = misses_;
+        s.evictions = evictions_;
+        s.entries = lru_.size();
+        s.capacity = capacity_;
+        return s;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return lru_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    using Entry = std::pair<std::string, Value>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, typename std::list<Entry>::iterator>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_CORE_MEMORY_CACHE_HH

@@ -37,17 +37,15 @@ saveProxyParams(const std::string &cache_dir, const std::string &key,
 {
     dmpb_assert(key.find('\n') == std::string::npos,
                 "cache keys must be single-line");
-    std::error_code ec;
-    std::filesystem::create_directories(cache_dir, ec);
-    std::ofstream out(cachePath(cache_dir, key));
-    if (!out)
-        return false;
+    std::ostringstream out;
     out.precision(17);
     out << kHeaderMagic << key << "\n";
     out << "qualified=" << (qualified ? 1 : 0) << "\n";
     for (const TunableParam &p : proxy.parameters())
         out << p.name << "=" << p.value << "\n";
-    return static_cast<bool>(out);
+    // Atomic publish: concurrent cold misses sharing one cache
+    // directory must never expose a torn file to a concurrent load.
+    return writeCacheFileAtomic(cachePath(cache_dir, key), out.str());
 }
 
 bool
@@ -113,33 +111,42 @@ loadProxyParams(const std::string &cache_dir, const std::string &key,
 }
 
 TunerReport
+replayTunedParams(ProxyBenchmark &proxy, const MetricVector &target,
+                  const MachineConfig &machine,
+                  const TunerConfig &config, bool stored_qualified)
+{
+    // Rebuild the report by re-executing with the restored P.
+    ProxyResult r = proxy.execute(machine, config.trace_cap);
+    TunerReport report;
+    report.from_cache = true;
+    report.iterations = 0;
+    report.evaluations = 1;
+    report.metric_accuracy = accuracyVector(target, r.metrics);
+    report.avg_accuracy = averageAccuracy(target, r.metrics);
+    for (Metric m : accuracyMetricSet()) {
+        report.max_deviation = std::max(
+            report.max_deviation,
+            metricDeviation(m, target[m], r.metrics[m]));
+    }
+    // A vector the tuner never qualified stays unqualified even
+    // when served from cache; a qualified one is re-checked
+    // against the (possibly different) current threshold.
+    report.qualified = stored_qualified &&
+                       report.max_deviation <= config.threshold;
+    report.proxy_metrics = r.metrics;
+    report.final_result = r;
+    return report;
+}
+
+TunerReport
 tuneWithCache(const std::string &cache_dir, const std::string &key,
               ProxyBenchmark &proxy, const MetricVector &target,
               const MachineConfig &machine, const TunerConfig &config)
 {
     bool stored_qualified = false;
     if (loadProxyParams(cache_dir, key, proxy, &stored_qualified)) {
-        // Rebuild the report by re-executing with the cached P.
-        ProxyResult r = proxy.execute(machine, config.trace_cap);
-        TunerReport report;
-        report.from_cache = true;
-        report.iterations = 0;
-        report.evaluations = 1;
-        report.metric_accuracy = accuracyVector(target, r.metrics);
-        report.avg_accuracy = averageAccuracy(target, r.metrics);
-        for (Metric m : accuracyMetricSet()) {
-            report.max_deviation = std::max(
-                report.max_deviation,
-                metricDeviation(m, target[m], r.metrics[m]));
-        }
-        // A vector the tuner never qualified stays unqualified even
-        // when served from cache; a qualified one is re-checked
-        // against the (possibly different) current threshold.
-        report.qualified = stored_qualified &&
-                           report.max_deviation <= config.threshold;
-        report.proxy_metrics = r.metrics;
-        report.final_result = r;
-        return report;
+        return replayTunedParams(proxy, target, machine, config,
+                                 stored_qualified);
     }
     AutoTuner tuner(target, config);
     TunerReport report = tuner.tune(proxy, machine);

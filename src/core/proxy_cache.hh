@@ -68,6 +68,21 @@ TunerReport tuneWithCache(const std::string &cache_dir,
                           const MachineConfig &machine,
                           const TunerConfig &config = {});
 
+/**
+ * Rebuild a cache-hit TunerReport by re-executing @p proxy with the
+ * parameter vector already applied to it (restored from the disk
+ * cache or the in-memory layer). `from_cache` is set; a vector stored
+ * unqualified stays unqualified, a qualified one is re-checked
+ * against the current threshold. Shared by tuneWithCache and
+ * core/cache_layer's in-memory hit path so both produce bit-identical
+ * reports.
+ */
+TunerReport replayTunedParams(ProxyBenchmark &proxy,
+                              const MetricVector &target,
+                              const MachineConfig &machine,
+                              const TunerConfig &config,
+                              bool stored_qualified);
+
 /** Default cache directory ("dmpb-cache" under the working dir). */
 std::string defaultCacheDir();
 

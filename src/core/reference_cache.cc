@@ -57,11 +57,7 @@ saveReference(const std::string &cache_dir, const std::string &key,
 {
     dmpb_assert(key.find('\n') == std::string::npos,
                 "cache keys must be single-line");
-    std::error_code ec;
-    std::filesystem::create_directories(cache_dir, ec);
-    std::ofstream out(cachePath(cache_dir, key));
-    if (!out)
-        return false;
+    std::ostringstream out;
     out.precision(17);
     out << kHeaderMagic << key << "\n";
     out << "runtime_s=" << result.runtime_s << "\n";
@@ -69,7 +65,9 @@ saveReference(const std::string &cache_dir, const std::string &key,
         Metric m = static_cast<Metric>(i);
         out << metricName(m) << "=" << result.metrics[m] << "\n";
     }
-    return static_cast<bool>(out);
+    // Atomic publish: concurrent cold misses sharing one cache
+    // directory must never expose a torn file to a concurrent load.
+    return writeCacheFileAtomic(cachePath(cache_dir, key), out.str());
 }
 
 bool

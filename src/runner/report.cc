@@ -1,11 +1,10 @@
 #include "runner/report.hh"
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <limits>
 #include <sstream>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "sim/metrics.hh"
@@ -31,117 +30,6 @@ hex64(std::uint64_t v)
     return buf;
 }
 
-/** Minimal JSON emitter: handles nesting, commas and escaping. */
-class JsonWriter
-{
-  public:
-    JsonWriter()
-    {
-        os_.precision(std::numeric_limits<double>::max_digits10);
-    }
-
-    void openObject() { element(); os_ << "{"; push(); }
-    void openObject(const std::string &k) { key(k); os_ << "{"; push(); }
-    void closeObject() { pop(); os_ << "}"; }
-    void openArray(const std::string &k) { key(k); os_ << "["; push(); }
-    void closeArray() { pop(); os_ << "]"; }
-
-    void
-    field(const std::string &k, const std::string &v)
-    {
-        key(k);
-        string(v);
-    }
-
-    void
-    field(const std::string &k, const char *v)
-    {
-        field(k, std::string(v));
-    }
-
-    void
-    field(const std::string &k, double v)
-    {
-        key(k);
-        if (std::isfinite(v))
-            os_ << v;
-        else
-            os_ << "null";  // JSON has no NaN/Inf
-    }
-
-    void
-    field(const std::string &k, std::uint64_t v)
-    {
-        key(k);
-        os_ << v;
-    }
-
-    void
-    field(const std::string &k, bool v)
-    {
-        key(k);
-        os_ << (v ? "true" : "false");
-    }
-
-    std::string str() const { return os_.str(); }
-
-  private:
-    void
-    element()
-    {
-        if (!first_.empty() && !first_.back())
-            os_ << ",";
-        if (!first_.empty())
-            first_.back() = false;
-    }
-
-    void
-    key(const std::string &k)
-    {
-        element();
-        string(k);
-        os_ << ":";
-    }
-
-    void
-    string(const std::string &s)
-    {
-        os_ << '"';
-        // RFC 8259: every control character below 0x20 MUST be
-        // escaped -- the named shorthands where they exist, \u00XX
-        // for the rest (a workload or parameter name containing one
-        // must still yield a parseable document).
-        for (char c : s) {
-            switch (c) {
-              case '"': os_ << "\\\""; break;
-              case '\\': os_ << "\\\\"; break;
-              case '\b': os_ << "\\b"; break;
-              case '\f': os_ << "\\f"; break;
-              case '\n': os_ << "\\n"; break;
-              case '\r': os_ << "\\r"; break;
-              case '\t': os_ << "\\t"; break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x",
-                                  static_cast<unsigned>(
-                                      static_cast<unsigned char>(c)));
-                    os_ << buf;
-                } else {
-                    os_ << c;
-                }
-            }
-        }
-        os_ << '"';
-    }
-
-    void push() { first_.push_back(true); }
-    void pop() { first_.pop_back(); }
-
-    std::ostringstream os_;
-    std::vector<bool> first_;
-};
-
 void
 emitMetrics(JsonWriter &json, const MetricVector &metrics)
 {
@@ -154,6 +42,50 @@ emitMetrics(JsonWriter &json, const MetricVector &metrics)
 }
 
 } // namespace
+
+std::string
+writeOutcomeJson(const WorkloadOutcome &o)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("name", o.name);
+    json.field("short_name", o.short_name);
+    json.field("status", runStatusName(o.status));
+    json.field("error", o.error);
+    json.field("from_cache", o.from_cache);
+    json.field("real_from_cache", o.real_from_cache);
+    json.field("elapsed_s", o.elapsed_s);
+    if (o.status == RunStatus::Ok) {
+        json.openObject("real");
+        json.field("runtime_s", o.real.runtime_s);
+        emitMetrics(json, o.real.metrics);
+        json.closeObject();
+        json.openObject("proxy");
+        json.field("runtime_s", o.proxy.runtime_s);
+        json.field("checksum", hex64(o.proxy.checksum));
+        emitMetrics(json, o.proxy.metrics);
+        json.closeObject();
+        json.openObject("tuning");
+        json.field("qualified", o.qualified);
+        json.field("iterations",
+                   static_cast<std::uint64_t>(o.iterations));
+        json.field("evaluations",
+                   static_cast<std::uint64_t>(o.evaluations));
+        json.field("avg_accuracy", o.avg_accuracy);
+        json.field("max_deviation", o.max_deviation);
+        json.closeObject();
+        json.openObject("accuracy");
+        const std::vector<Metric> &set = accuracyMetricSet();
+        for (std::size_t i = 0;
+             i < set.size() && i < o.metric_accuracy.size(); ++i) {
+            json.field(metricName(set[i]), o.metric_accuracy[i]);
+        }
+        json.closeObject();
+        json.field("speedup", o.speedup);
+    }
+    json.closeObject();
+    return json.str();
+}
 
 std::string
 renderTable(const SuiteResult &result)
@@ -211,45 +143,11 @@ renderJson(const SuiteResult &result)
     json.field("all_ok", result.allOk());
     json.field("suite_checksum", hex64(result.checksum()));
     json.openArray("workloads");
-    for (const WorkloadOutcome &o : result.outcomes) {
-        json.openObject();
-        json.field("name", o.name);
-        json.field("short_name", o.short_name);
-        json.field("status", runStatusName(o.status));
-        json.field("error", o.error);
-        json.field("from_cache", o.from_cache);
-        json.field("real_from_cache", o.real_from_cache);
-        json.field("elapsed_s", o.elapsed_s);
-        if (o.status == RunStatus::Ok) {
-            json.openObject("real");
-            json.field("runtime_s", o.real.runtime_s);
-            emitMetrics(json, o.real.metrics);
-            json.closeObject();
-            json.openObject("proxy");
-            json.field("runtime_s", o.proxy.runtime_s);
-            json.field("checksum", hex64(o.proxy.checksum));
-            emitMetrics(json, o.proxy.metrics);
-            json.closeObject();
-            json.openObject("tuning");
-            json.field("qualified", o.qualified);
-            json.field("iterations",
-                       static_cast<std::uint64_t>(o.iterations));
-            json.field("evaluations",
-                       static_cast<std::uint64_t>(o.evaluations));
-            json.field("avg_accuracy", o.avg_accuracy);
-            json.field("max_deviation", o.max_deviation);
-            json.closeObject();
-            json.openObject("accuracy");
-            const std::vector<Metric> &set = accuracyMetricSet();
-            for (std::size_t i = 0;
-                 i < set.size() && i < o.metric_accuracy.size(); ++i) {
-                json.field(metricName(set[i]), o.metric_accuracy[i]);
-            }
-            json.closeObject();
-            json.field("speedup", o.speedup);
-        }
-        json.closeObject();
-    }
+    // One serializer, three consumers: each element is exactly the
+    // writeOutcomeJson document the serve daemon streams per request
+    // (and the loadgen verifies), spliced in verbatim.
+    for (const WorkloadOutcome &o : result.outcomes)
+        json.rawElement(writeOutcomeJson(o));
     json.closeArray();
     json.closeObject();
     return json.str() + "\n";

@@ -15,6 +15,16 @@
 
 namespace dmpb {
 
+/**
+ * Serialize one outcome as a standalone JSON object -- the exact
+ * element shape of renderJson's "workloads" array. One serializer,
+ * three consumers: the suite report splices these into its array,
+ * the serve daemon streams one per request response, and the loadgen
+ * parses them back; RFC 8259 escaping therefore lives (and is
+ * tested) in exactly one place (base/json).
+ */
+std::string writeOutcomeJson(const WorkloadOutcome &outcome);
+
 /** Render the per-workload summary as an aligned ASCII table. */
 std::string renderTable(const SuiteResult &result);
 

@@ -1,9 +1,15 @@
 /**
  * @file
- * The `dmpb` command-line entry point: registers every workload of
- * the registry at the selected --scale, runs their proxy-generation
- * pipelines in parallel, and emits a table report on stdout plus a
- * JSON report on disk.
+ * The `dmpb` command-line entry point. Three modes share one flag
+ * parser and one PipelineService configuration:
+ *
+ *   (default)   one-shot suite: run every selected workload's proxy
+ *               pipeline in parallel, emit a table + JSON report.
+ *   --serve     benchmark-as-a-service daemon on a Unix socket
+ *               (serve/server).
+ *   --loadgen   closed-loop load generator replaying a mixed
+ *               warm/cold request stream against a --serve daemon
+ *               (serve/loadgen).
  */
 
 #include <cstdio>
@@ -20,6 +26,8 @@
 #include "core/proxy_cache.hh"
 #include "runner/report.hh"
 #include "runner/suite.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 
 namespace {
 
@@ -27,13 +35,15 @@ const char *kUsage = R"(dmpb -- data-motif proxy benchmark suite runner
 
 Runs the full proxy pipeline (real-workload measurement, motif
 decomposition, decision-tree auto-tuning, qualified-proxy execution)
-for every workload of the registry, in parallel.
+for every workload of the registry, in parallel -- one-shot, or as a
+long-running daemon (--serve) driven by NDJSON requests.
 
 Usage: dmpb [options]
 
   --workloads a,b,c   Comma-separated subset by short name
                       (terasort,kmeans,pagerank,alexnet,inception-v3,
-                      grep,wordcount,naivebayes); default: all
+                      grep,wordcount,naivebayes); default: all.
+                      Also the loadgen request mix
   --scale NAME        Input scale of the scenario matrix: paper
                       (Section III-B inputs, default), quick (~1000x
                       smaller; light tuner budget) or tiny (another
@@ -76,9 +86,18 @@ Usage: dmpb [options]
                       cluster, input scale and seed -- served
                       bit-identically on later runs (default: the
                       tuned-parameter cache directory)
-  --no-cache          Disable both caches (a later --cache-dir /
-                      --ref-cache-dir re-enables that cache; flags
-                      apply in command-line order)
+  --no-cache          Disable on-disk caching. Cache flags are
+                      order-independent: an explicit --cache-dir /
+                      --ref-cache-dir always wins for its own cache,
+                      --no-cache disables every cache not explicitly
+                      pointed at a directory, and otherwise the
+                      reference cache rides along with the
+                      tuned-parameter cache
+  --mem-cache N       Entry cap of the in-memory layer fronting each
+                      enabled on-disk cache (default 1024; 0 sends
+                      every lookup to disk). Mostly relevant under
+                      --serve, where it is what keeps a hot scenario
+                      cell from re-reading its cache file per request
   --cluster NAME      paper5 (default), paper3, or haswell3
   --threshold X       Tuner deviation gate (default 0.15)
   --quick             Alias for --scale quick; used by the CI smoke
@@ -87,8 +106,35 @@ Usage: dmpb [options]
                       registry order) and exit
   --help              This text
 
-Exit status: 0 when every selected workload completed, 1 on a failed
-or timed-out workload, 2 on a usage error.
+Serve mode (benchmark-as-a-service daemon):
+
+  --serve PATH        Listen on the Unix-domain socket PATH and
+                      answer newline-delimited JSON pipeline requests
+                      (protocol: src/serve/protocol.hh, README).
+                      Cache/cluster/tuner flags above configure the
+                      shared service; scale, seed, timeout and cache
+                      policy travel per request. Drains and exits on
+                      SIGTERM/SIGINT or {"cmd":"shutdown"}
+  --serve-workers N   Concurrent pipeline workers (default 1)
+  --serve-queue N     Admission-queue capacity; further run requests
+                      are rejected with "overloaded" (default 64)
+
+Loadgen mode (drive a running --serve daemon):
+
+  --loadgen PATH          Connect to the daemon socket PATH and replay
+                          a closed-loop request stream; reports
+                          throughput and p50/p95/p99 latency.
+                          --workloads/--scale/--seed/--timeout shape
+                          the requests (scale defaults to tiny here)
+  --loadgen-requests N    Total run requests (default 1000)
+  --loadgen-conns N       Concurrent connections (default 4)
+  --loadgen-cold P        Percent of requests sent with
+                          "cache":"bypass" (default 10)
+  --loadgen-json          Print the report as JSON instead of text
+
+Exit status: 0 when every selected workload completed (or the daemon /
+loadgen ran cleanly), 1 on a failed or timed-out workload, 2 on a
+usage error.
 )";
 
 bool
@@ -142,11 +188,24 @@ main(int argc, char **argv)
 
     SuiteOptions options;
     options.cluster = paperCluster5();
-    options.cache_dir = defaultCacheDir();
-    bool ref_dir_explicit = false;
     std::string output = "dmpb-report.json";
     Scale scale = Scale::Paper;
+    bool scale_given = false;
     bool list_only = false;
+
+    // Cache-flag observations; resolved order-independently after the
+    // parse loop (core/cache_config).
+    bool no_cache = false;
+    std::string cache_dir;
+    std::string ref_cache_dir;
+    std::uint64_t mem_entries = CacheConfig::kDefaultMemEntries;
+
+    ServeOptions serve;
+    bool serve_mode = false;
+
+    LoadGenOptions loadgen;
+    bool loadgen_mode = false;
+    bool loadgen_json = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -162,16 +221,16 @@ main(int argc, char **argv)
             list_only = true;
         } else if (arg == "--quick") {
             scale = Scale::Quick;
+            scale_given = true;
         } else if (arg == "--scale") {
             try {
                 scale = parseScale(value("--scale"));
+                scale_given = true;
             } catch (const std::invalid_argument &e) {
                 usageError(e.what());
             }
         } else if (arg == "--no-cache") {
-            options.cache_dir.clear();
-            options.ref_cache_dir.clear();
-            ref_dir_explicit = false;
+            no_cache = true;
         } else if (arg == "--workloads") {
             options.workloads = splitCsv(value("--workloads"));
         } else if (arg == "--jobs") {
@@ -210,10 +269,12 @@ main(int argc, char **argv)
         } else if (arg == "--output") {
             output = value("--output");
         } else if (arg == "--cache-dir") {
-            options.cache_dir = value("--cache-dir");
+            cache_dir = value("--cache-dir");
         } else if (arg == "--ref-cache-dir") {
-            options.ref_cache_dir = value("--ref-cache-dir");
-            ref_dir_explicit = true;
+            ref_cache_dir = value("--ref-cache-dir");
+        } else if (arg == "--mem-cache") {
+            if (!parseU64(value("--mem-cache"), mem_entries))
+                usageError("--mem-cache needs an unsigned integer");
         } else if (arg == "--threshold") {
             if (!parseDouble(value("--threshold"),
                              options.tuner.threshold) ||
@@ -230,15 +291,89 @@ main(int argc, char **argv)
                 options.cluster = haswellCluster3();
             else
                 usageError("unknown cluster '" + c + "'");
+        } else if (arg == "--serve") {
+            serve.socket_path = value("--serve");
+            serve_mode = true;
+        } else if (arg == "--serve-workers") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--serve-workers"), n) || n == 0)
+                usageError("--serve-workers needs a positive integer");
+            serve.workers = static_cast<std::size_t>(n);
+        } else if (arg == "--serve-queue") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--serve-queue"), n) || n == 0)
+                usageError("--serve-queue needs a positive integer");
+            serve.max_queue = static_cast<std::size_t>(n);
+        } else if (arg == "--loadgen") {
+            loadgen.socket_path = value("--loadgen");
+            loadgen_mode = true;
+        } else if (arg == "--loadgen-requests") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--loadgen-requests"), n) || n == 0)
+                usageError(
+                    "--loadgen-requests needs a positive integer");
+            loadgen.requests = static_cast<std::size_t>(n);
+        } else if (arg == "--loadgen-conns") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--loadgen-conns"), n) || n == 0)
+                usageError("--loadgen-conns needs a positive integer");
+            loadgen.connections = static_cast<std::size_t>(n);
+        } else if (arg == "--loadgen-cold") {
+            std::uint64_t n = 0;
+            if (!parseU64(value("--loadgen-cold"), n) || n > 100)
+                usageError("--loadgen-cold needs a percent (0..100)");
+            loadgen.cold_percent = static_cast<unsigned>(n);
+        } else if (arg == "--loadgen-json") {
+            loadgen_json = true;
         } else {
             usageError("unknown option '" + arg + "'");
         }
     }
 
-    // The reference cache rides along with the tuned-parameter cache
-    // unless pointed elsewhere explicitly.
-    if (!ref_dir_explicit)
-        options.ref_cache_dir = options.cache_dir;
+    if (serve_mode && loadgen_mode)
+        usageError("--serve and --loadgen are mutually exclusive");
+
+    options.cache = resolveCacheConfig(no_cache, cache_dir,
+                                       ref_cache_dir,
+                                       defaultCacheDir());
+    options.cache.mem_entries =
+        static_cast<std::size_t>(mem_entries);
+
+    if (list_only) {
+        for (const auto &e : WorkloadRegistry::instance().entries())
+            std::cout << e.name << "\n";
+        return 0;
+    }
+
+    if (loadgen_mode) {
+        loadgen.workloads = options.workloads;
+        // Loadgen replays thousands of pipelines; default to the
+        // unit-test scale unless the user asked for a heavier one.
+        loadgen.scale = scale_given ? scale : Scale::Tiny;
+        loadgen.seed = options.seed;
+        loadgen.timeout_s = options.timeout_s;
+        LoadGenReport report = runLoadGen(loadgen);
+        if (loadgen_json)
+            std::cout << renderLoadGenJson(report);
+        else
+            std::cout << renderLoadGenTable(report);
+        return report.ok ? 0 : 1;
+    }
+
+    if (serve_mode) {
+        // The daemon gets the *base* tuner budget: the registry path
+        // of PipelineService applies each request's scale preset
+        // (scaleTunerConfig), exactly as the one-shot path below
+        // applies its --scale -- so a served cell and a CLI cell tune
+        // identically.
+        ServiceConfig service_config;
+        service_config.cluster = options.cluster;
+        service_config.tuner = options.tuner;
+        service_config.sim = options.sim;
+        service_config.cache = options.cache;
+        Server server(std::move(service_config), std::move(serve));
+        return server.serve();
+    }
 
     // Non-paper scales run with the registry's light tuner budget
     // (the same preset the benches use, so quick mode cannot drift
@@ -247,12 +382,6 @@ main(int argc, char **argv)
 
     SuiteRunner runner(options);
     runner.addScaleWorkloads(scale);
-
-    if (list_only) {
-        for (const std::string &name : runner.registeredNames())
-            std::cout << name << "\n";
-        return 0;
-    }
 
     try {
         SuiteResult result = runner.run();

@@ -2,17 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <exception>
-#include <sstream>
 #include <stdexcept>
 
 #include "base/logging.hh"
 #include "base/names.hh"
 #include "base/thread_pool.hh"
-#include "core/proxy_cache.hh"
-#include "core/proxy_factory.hh"
-#include "core/reference_cache.hh"
-#include "sim/engine.hh"
 
 namespace dmpb {
 
@@ -26,7 +20,8 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** splitmix64 finaliser: decorrelates the master seed per workload. */
+/** splitmix64 finaliser: decorrelates the checksum mix per workload
+ *  (same mixing the service applies to seeds). */
 std::uint64_t
 mixSeed(std::uint64_t seed, const std::string &salt)
 {
@@ -40,26 +35,7 @@ mixSeed(std::uint64_t seed, const std::string &salt)
     return z ^ (z >> 31);
 }
 
-/** Thrown when a pipeline stage finds its deadline expired. */
-struct DeadlineExpired : std::runtime_error
-{
-    explicit DeadlineExpired(const std::string &stage)
-        : std::runtime_error("deadline expired after stage: " + stage)
-    {}
-};
-
 } // namespace
-
-const char *
-runStatusName(RunStatus s)
-{
-    switch (s) {
-      case RunStatus::Ok: return "ok";
-      case RunStatus::Failed: return "failed";
-      case RunStatus::TimedOut: return "timeout";
-    }
-    return "unknown";
-}
 
 std::uint64_t
 SuiteResult::checksum() const
@@ -87,12 +63,16 @@ SuiteResult::allOk() const
 SuiteRunner::SuiteRunner(SuiteOptions options)
     : options_(std::move(options))
 {
-    if (options_.cluster.num_nodes < 2)
-        options_.cluster = paperCluster5();
-    if (options_.sim.shards == 0)
-        options_.sim.shards = 1;
-    // The workload engines read the engine knobs off the cluster.
-    options_.cluster.sim = options_.sim;
+    ServiceConfig service;
+    service.cluster = options_.cluster;
+    service.tuner = options_.tuner;
+    service.sim = options_.sim;
+    service.cache = options_.cache;
+    service_ = std::make_unique<PipelineService>(std::move(service));
+    // The service normalizes the cluster/engine config (default
+    // cluster, shard floor); mirror it so reports describe what ran.
+    options_.cluster = service_->config().cluster;
+    options_.sim = service_->config().sim;
 }
 
 void
@@ -168,127 +148,6 @@ SuiteRunner::selectedIndices() const
     return selected;
 }
 
-WorkloadOutcome
-SuiteRunner::runOne(const Workload &workload) const
-{
-    WorkloadOutcome out;
-    out.name = workload.name();
-    out.short_name = shortName(out.name);
-
-    Clock::time_point start = Clock::now();
-    bool bounded = options_.timeout_s > 0.0;
-    auto checkpoint = [&](const char *stage) {
-        if (bounded && secondsSince(start) > options_.timeout_s)
-            throw DeadlineExpired(stage);
-    };
-
-    // Per-pipeline cluster copy: the deadline hook captures this
-    // pipeline's start time, so it cannot live in the shared options.
-    // The execution engines poll it between shard jobs and raise
-    // ShardInterrupted, letting --timeout interrupt a long reference
-    // measurement mid-stage.
-    ClusterConfig cluster = options_.cluster;
-    if (bounded) {
-        cluster.sim.should_stop = [this, start]() {
-            return secondsSince(start) > options_.timeout_s;
-        };
-    }
-
-    try {
-        // Stage 1: measure the real workload on the cluster --
-        // memoised when a reference-cache directory is set, since the
-        // measurement is a pure function of (workload, input scale,
-        // cluster) and by design the most expensive stage.
-        if (!options_.ref_cache_dir.empty()) {
-            // Keyed by the full cluster identity (cacheId(), not the
-            // node name: paper5 and paper3 share the node) and the
-            // seed -- today's measurements never read the suite seed,
-            // but keying by it keeps the cache conservative should a
-            // future workload consume it.
-            std::string key = referenceCacheKey(
-                out.short_name, cluster.cacheId(),
-                workload.referenceDataBytes(), options_.seed);
-            out.real = measureWithCache(options_.ref_cache_dir, key,
-                                        workload, cluster,
-                                        &out.real_from_cache);
-        } else {
-            out.real = workload.run(cluster);
-        }
-        checkpoint("real-workload measurement");
-
-        // Stage 2: decompose into the motif DAG and derive the
-        // per-workload seeds from the master seed.
-        ProxyBenchmark proxy = decomposeWorkload(workload);
-        proxy.setSimConfig(options_.sim);
-        proxy.baseParams().seed = mixSeed(options_.seed, out.short_name);
-        TunerConfig tuner = options_.tuner;
-        tuner.seed = mixSeed(options_.seed, out.short_name + "/tuner");
-        if (bounded) {
-            // Deadline propagates into the tuner: it stops issuing
-            // proxy evaluations once the budget is gone, and the
-            // checkpoint below converts that into TimedOut. The
-            // parallel tuner polls this from its evaluation workers;
-            // it only reads the immutable timeout and a captured
-            // steady_clock origin, so concurrent polls are safe.
-            tuner.should_stop = [this, start]() {
-                return secondsSince(start) > options_.timeout_s;
-            };
-        }
-        checkpoint("decomposition");
-
-        // Stage 3: auto-tune (memoised when a cache dir is set).
-        TunerReport report;
-        if (!options_.cache_dir.empty()) {
-            // The key carries everything the tuned parameter vector
-            // depends on -- in particular both input scales: the
-            // proxy's own data size and the reference input the
-            // target metrics were measured from (-ref separates the
-            // scenario-matrix scales even when they share a tuner
-            // budget, e.g. tiny vs quick), so no scale can poison
-            // another scale's cache.
-            std::ostringstream key;
-            key << out.short_name << "-" << options_.cluster.cacheId()
-                << "-seed" << options_.seed << "-thr" << tuner.threshold
-                << "-bytes" << workload.proxyDataBytes() << "-ref"
-                << workload.referenceDataBytes() << "-it"
-                << tuner.max_iterations << "-cap" << tuner.trace_cap
-                << "-spec" << tuner.speculation;
-            report = tuneWithCache(options_.cache_dir, key.str(), proxy,
-                                   out.real.metrics,
-                                   options_.cluster.node, tuner);
-            out.from_cache = report.from_cache;
-        } else {
-            AutoTuner auto_tuner(out.real.metrics, tuner);
-            report = auto_tuner.tune(proxy, options_.cluster.node);
-        }
-        checkpoint("auto-tuning");
-
-        out.proxy = report.final_result;
-        out.qualified = report.qualified;
-        out.iterations = report.iterations;
-        out.evaluations = report.evaluations;
-        out.avg_accuracy = report.avg_accuracy;
-        out.max_deviation = report.max_deviation;
-        out.metric_accuracy = report.metric_accuracy;
-        out.speedup = speedup(out.real.runtime_s, out.proxy.runtime_s);
-        out.status = RunStatus::Ok;
-    } catch (const DeadlineExpired &e) {
-        out.status = RunStatus::TimedOut;
-        out.error = e.what();
-    } catch (const ShardInterrupted &e) {
-        out.status = RunStatus::TimedOut;
-        out.error = e.what();
-    } catch (const std::exception &e) {
-        out.status = RunStatus::Failed;
-        out.error = e.what();
-    } catch (...) {
-        out.status = RunStatus::Failed;
-        out.error = "unknown exception";
-    }
-    out.elapsed_s = secondsSince(start);
-    return out;
-}
-
 SuiteResult
 SuiteRunner::run()
 {
@@ -296,25 +155,35 @@ SuiteRunner::run()
 
     SuiteResult result;
     result.seed = options_.seed;
-    result.sim_shards = options_.sim.shards;
+    result.sim_shards = service_->config().sim.shards;
     result.tuner_jobs = effectiveTunerJobs(options_.tuner);
-    result.cluster_name = options_.cluster.node.name;
+    result.cluster_name = service_->config().cluster.node.name;
     result.jobs = options_.jobs > 0 ? options_.jobs
                                     : std::max<std::size_t>(
                                           1, selected.size());
     result.outcomes.resize(selected.size());
 
+    // Every workload of the suite shares one request envelope; only
+    // the workload itself varies. (The per-workload seed decorrelation
+    // happens inside the service.)
+    PipelineRequest request;
+    request.seed = options_.seed;
+    request.timeout_s = options_.timeout_s;
+
     Clock::time_point start = Clock::now();
     if (selected.size() <= 1 || result.jobs == 1) {
-        for (std::size_t i = 0; i < selected.size(); ++i)
-            result.outcomes[i] = runOne(*workloads_[selected[i]]);
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            result.outcomes[i] =
+                service_->execute(*workloads_[selected[i]], request);
+        }
     } else {
         // Independent pipelines; each task writes only its own slot,
         // so no synchronisation beyond the pool barrier is needed.
         ThreadPool pool(std::min(result.jobs, selected.size()));
         for (std::size_t i = 0; i < selected.size(); ++i) {
-            pool.submit([this, i, &selected, &result]() {
-                result.outcomes[i] = runOne(*workloads_[selected[i]]);
+            pool.submit([this, i, &selected, &request, &result]() {
+                result.outcomes[i] = service_->execute(
+                    *workloads_[selected[i]], request);
             });
         }
         pool.waitIdle();

@@ -1,16 +1,15 @@
 /**
  * @file
- * The suite runner: one entry point that drives the full proxy
- * pipeline (real-workload measurement -> motif decomposition ->
- * decision-tree auto-tuning -> qualified-proxy execution) for every
- * registered workload, running independent workloads in parallel on
- * the shared ThreadPool.
+ * The suite runner: the batch client of the PipelineService API. It
+ * registers workloads, fans their pipeline requests out over the
+ * shared ThreadPool, and collects the outcomes into one report.
  *
  * Each workload runs under failure isolation: an exception or a
  * blown per-workload deadline marks that entry Failed / TimedOut in
- * the report without sinking the rest of the suite. Tuned parameter
- * vectors are memoised through core/proxy_cache so repeated
- * invocations skip the expensive search.
+ * the report without sinking the rest of the suite. The expensive
+ * pipeline stages are memoised through the service's cache layers
+ * (runner/pipeline_service), so repeated invocations skip the tuner
+ * search and the reference measurement.
  */
 
 #ifndef DMPB_RUNNER_SUITE_HH
@@ -22,22 +21,12 @@
 #include <vector>
 
 #include "core/auto_tuner.hh"
+#include "runner/pipeline_service.hh"
 #include "stack/cluster.hh"
 #include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 namespace dmpb {
-
-/** How one workload's pipeline ended. */
-enum class RunStatus : std::uint8_t
-{
-    Ok = 0,      ///< pipeline completed (qualified or not)
-    Failed,      ///< an exception escaped the pipeline
-    TimedOut,    ///< the per-workload deadline expired
-};
-
-/** Printable status ("ok", "failed", "timeout"). */
-const char *runStatusName(RunStatus s);
 
 /** Suite configuration (the dmpb CLI maps flags onto this). */
 struct SuiteOptions
@@ -55,12 +44,12 @@ struct SuiteOptions
      *  mid-stage; residual overshoot is one shard job, not the whole
      *  measurement). */
     double timeout_s = 0.0;
-    /** Tuned-parameter cache directory; empty disables memoisation. */
-    std::string cache_dir;
-    /** Reference-measurement cache directory (core/reference_cache);
-     *  empty disables it. The dmpb CLI defaults both cache
-     *  directories to the same place (dmpb-cache). */
-    std::string ref_cache_dir;
+    /** Resolved cache configuration (core/cache_config): tuned-
+     *  parameter and reference-measurement directories (empty
+     *  disables each) plus the in-memory layer cap. The dmpb CLI
+     *  resolves --no-cache/--cache-dir/--ref-cache-dir into this
+     *  order-independently. */
+    CacheConfig cache;
     /** Deployment every workload and proxy runs on. */
     ClusterConfig cluster;
     /** Auto-tuner budget (seed is overridden by SuiteOptions::seed).
@@ -75,33 +64,6 @@ struct SuiteOptions
      * setting -- only wall-clock changes.
      */
     SimConfig sim;
-};
-
-/** Everything the suite learned about one workload. */
-struct WorkloadOutcome
-{
-    std::string name;          ///< full name, e.g. "Hadoop TeraSort"
-    std::string short_name;    ///< e.g. "TeraSort"
-    RunStatus status = RunStatus::Failed;
-    std::string error;         ///< diagnostic for Failed / TimedOut
-    bool from_cache = false;   ///< tuned parameters were memoised
-    /** The reference measurement was served from the cache (its
-     *  runtime and metrics are bit-identical to a fresh run; the
-     *  cluster-aggregate profile is not restored). */
-    bool real_from_cache = false;
-
-    WorkloadResult real;       ///< reference measurement
-    ProxyResult proxy;         ///< qualified-proxy execution
-    double speedup = 0.0;      ///< Eq. 4: real runtime / proxy runtime
-    double avg_accuracy = 0.0; ///< Eq. 3 mean over the Table V set
-    std::vector<double> metric_accuracy; ///< accuracyMetricSet() order
-
-    bool qualified = false;    ///< tuner met the deviation gate
-    std::uint32_t iterations = 0;
-    std::uint32_t evaluations = 0;
-    double max_deviation = 0.0;
-
-    double elapsed_s = 0.0;    ///< wall time of this pipeline
 };
 
 /** Outcome of one suite invocation. */
@@ -160,14 +122,17 @@ class SuiteRunner
      */
     SuiteResult run();
 
+    /** The service this runner executes requests against. */
+    const PipelineService &service() const { return *service_; }
+
     /** Short display name (base/names.hh shortName()). */
     static std::string shortName(const std::string &name);
 
   private:
     std::vector<std::size_t> selectedIndices() const;
-    WorkloadOutcome runOne(const Workload &workload) const;
 
     SuiteOptions options_;
+    std::unique_ptr<PipelineService> service_;
     std::vector<std::unique_ptr<Workload>> workloads_;
 };
 

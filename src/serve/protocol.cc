@@ -1,0 +1,207 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+
+#include "base/json.hh"
+#include "base/names.hh"
+
+namespace dmpb {
+
+namespace {
+
+bool
+parseRunFields(const JsonValue &doc, ServeRequest &out,
+               std::string &error)
+{
+    const JsonValue *workload = doc.find("workload");
+    if (workload == nullptr || !workload->isString() ||
+        workload->asString().empty()) {
+        error = "run request needs a string 'workload' field";
+        return false;
+    }
+    out.pipeline.workload = workload->asString();
+
+    if (const JsonValue *scale = doc.find("scale")) {
+        if (!scale->isString()) {
+            error = "'scale' must be a string";
+            return false;
+        }
+        try {
+            out.pipeline.scale = parseScale(scale->asString());
+        } catch (const std::invalid_argument &e) {
+            error = e.what();
+            return false;
+        }
+    }
+    if (const JsonValue *cache = doc.find("cache")) {
+        if (!cache->isString()) {
+            error = "'cache' must be a string";
+            return false;
+        }
+        try {
+            out.pipeline.cache_policy =
+                parseCachePolicy(cache->asString());
+        } catch (const std::invalid_argument &e) {
+            error = e.what();
+            return false;
+        }
+    }
+    if (const JsonValue *seed = doc.find("seed")) {
+        if (!seed->isNumber()) {
+            error = "'seed' must be a number";
+            return false;
+        }
+        out.pipeline.seed = seed->asU64();
+    }
+    if (const JsonValue *timeout = doc.find("timeout_s")) {
+        if (!timeout->isNumber() || timeout->asNumber() < 0.0) {
+            error = "'timeout_s' must be a non-negative number";
+            return false;
+        }
+        out.pipeline.timeout_s = timeout->asNumber();
+    }
+    if (const JsonValue *priority = doc.find("priority")) {
+        if (!priority->isNumber()) {
+            error = "'priority' must be a number";
+            return false;
+        }
+        out.priority =
+            static_cast<std::int64_t>(priority->asNumber());
+    }
+
+    // Optional scale-preset overrides (workloads/registry
+    // WorkloadSpec::Params semantics: 0 / negative = keep preset).
+    if (const JsonValue *v = doc.find("input_bytes"))
+        out.pipeline.params.input_bytes = v->asU64();
+    if (const JsonValue *v = doc.find("vertices"))
+        out.pipeline.params.vertices = v->asU64();
+    if (const JsonValue *v = doc.find("steps"))
+        out.pipeline.params.steps =
+            static_cast<std::uint32_t>(v->asU64());
+    if (const JsonValue *v = doc.find("batch"))
+        out.pipeline.params.batch =
+            static_cast<std::uint32_t>(v->asU64());
+    if (const JsonValue *v = doc.find("sparsity"))
+        out.pipeline.params.sparsity = v->asNumber(-1.0);
+    return true;
+}
+
+} // namespace
+
+bool
+parseServeRequest(const std::string &line, ServeRequest &out,
+                  std::string &error)
+{
+    out = ServeRequest();
+    JsonValue doc;
+    if (!JsonValue::parse(line, doc, &error))
+        return false;
+    if (!doc.isObject()) {
+        error = "request must be a JSON object";
+        return false;
+    }
+
+    // Recover the id first so even error responses correlate.
+    if (const JsonValue *id = doc.find("id"))
+        out.id = id->asU64();
+
+    std::string cmd = "run";
+    if (const JsonValue *c = doc.find("cmd")) {
+        if (!c->isString()) {
+            error = "'cmd' must be a string";
+            return false;
+        }
+        cmd = canonName(c->asString());
+    }
+
+    if (cmd == "run") {
+        out.cmd = ServeCmd::Run;
+        return parseRunFields(doc, out, error);
+    }
+    if (cmd == "stats") {
+        out.cmd = ServeCmd::Stats;
+        return true;
+    }
+    if (cmd == "list") {
+        out.cmd = ServeCmd::List;
+        return true;
+    }
+    if (cmd == "ping") {
+        out.cmd = ServeCmd::Ping;
+        return true;
+    }
+    if (cmd == "shutdown") {
+        out.cmd = ServeCmd::Shutdown;
+        return true;
+    }
+    error = "unknown cmd '" + cmd +
+            "' (valid: run, stats, list, ping, shutdown)";
+    return false;
+}
+
+std::string
+buildRunResponse(std::uint64_t id, double queue_s,
+                 const std::string &outcome_json)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("id", id);
+    json.field("ok", true);
+    json.field("queue_s", queue_s);
+    json.rawField("result", outcome_json);
+    json.closeObject();
+    return json.str();
+}
+
+std::string
+buildRejectedResponse(std::uint64_t id, const char *reason,
+                      std::size_t queue_depth)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("id", id);
+    json.field("ok", false);
+    json.field("rejected", reason);
+    json.field("queue_depth",
+               static_cast<std::uint64_t>(queue_depth));
+    json.closeObject();
+    return json.str();
+}
+
+std::string
+buildErrorResponse(std::uint64_t id, const std::string &error)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("id", id);
+    json.field("ok", false);
+    json.field("error", error);
+    json.closeObject();
+    return json.str();
+}
+
+std::string
+buildPongResponse(std::uint64_t id)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("id", id);
+    json.field("ok", true);
+    json.field("pong", true);
+    json.closeObject();
+    return json.str();
+}
+
+std::string
+buildShutdownResponse(std::uint64_t id)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("id", id);
+    json.field("ok", true);
+    json.field("shutdown", true);
+    json.closeObject();
+    return json.str();
+}
+
+} // namespace dmpb

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The PipelineService wire protocol of the `dmpb --serve` daemon.
+ *
+ * Transport: a local SOCK_STREAM Unix-domain socket carrying
+ * newline-delimited JSON (NDJSON): one request object per line in,
+ * one response object per line out. Responses to immediate commands
+ * (stats, ping, list) keep request order within a connection; run
+ * responses complete out of order (the `id` a client supplies is
+ * echoed back so it can match them up).
+ *
+ * Requests:
+ *
+ *   {"cmd":"run","workload":"terasort","scale":"tiny","seed":99,
+ *    "timeout_s":5,"cache":"use","priority":0,"id":1}
+ *       cmd defaults to "run" when a workload field is present.
+ *       scale: tiny|quick|paper (default quick); cache: use|bypass
+ *       (default use); priority: higher runs sooner (default 0);
+ *       optional preset overrides: input_bytes, vertices, steps,
+ *       batch, sparsity.
+ *   {"cmd":"stats","id":2}     counters + cache layer stats
+ *   {"cmd":"list","id":3}      registered workload names
+ *   {"cmd":"ping","id":4}      liveness probe
+ *   {"cmd":"shutdown","id":5}  graceful drain, response after drain
+ *
+ * Responses:
+ *
+ *   {"id":1,"ok":true,"queue_s":x,"result":{...}}   run completed;
+ *       result is exactly runner/report writeOutcomeJson
+ *   {"id":1,"ok":false,"rejected":"overloaded","queue_depth":N}
+ *       back-pressure: the bounded admission queue was full
+ *   {"id":1,"ok":false,"rejected":"shutting-down"}
+ *   {"id":0,"ok":false,"error":"..."}               malformed request
+ *   {"id":2,"ok":true,"stats":{...}}
+ *   {"id":3,"ok":true,"workloads":[...]}
+ *   {"id":4,"ok":true,"pong":true}
+ *   {"id":5,"ok":true,"shutdown":true}              sent post-drain
+ *
+ * Unknown request fields are ignored (forward compatibility); an
+ * unknown cmd or a missing/unknown workload is an error response.
+ */
+
+#ifndef DMPB_SERVE_PROTOCOL_HH
+#define DMPB_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runner/pipeline_service.hh"
+
+namespace dmpb {
+
+/** The request kinds a serve connection may issue. */
+enum class ServeCmd : std::uint8_t
+{
+    Run = 0,
+    Stats,
+    List,
+    Ping,
+    Shutdown,
+};
+
+/** One parsed request line. */
+struct ServeRequest
+{
+    ServeCmd cmd = ServeCmd::Run;
+    /** Client-chosen correlation id, echoed in the response. */
+    std::uint64_t id = 0;
+    /** Admission priority: higher pops sooner; FIFO within equal
+     *  priorities. */
+    std::int64_t priority = 0;
+    /** The pipeline request (cmd == Run only). */
+    PipelineRequest pipeline;
+};
+
+/**
+ * Parse one NDJSON request line. False on malformed JSON or an
+ * invalid request shape, with @p error describing why (and @p out.id
+ * carrying any id that could still be recovered, so the error
+ * response stays correlatable).
+ */
+bool parseServeRequest(const std::string &line, ServeRequest &out,
+                       std::string &error);
+
+/** Response builders (each returns one line, without the '\n'). */
+std::string buildRunResponse(std::uint64_t id, double queue_s,
+                             const std::string &outcome_json);
+std::string buildRejectedResponse(std::uint64_t id, const char *reason,
+                                  std::size_t queue_depth);
+std::string buildErrorResponse(std::uint64_t id,
+                               const std::string &error);
+std::string buildPongResponse(std::uint64_t id);
+std::string buildShutdownResponse(std::uint64_t id);
+
+} // namespace dmpb
+
+#endif // DMPB_SERVE_PROTOCOL_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The `dmpb --serve` daemon: a benchmark-as-a-service front end over
+ * PipelineService.
+ *
+ * One Server binds a local Unix-domain socket and speaks the NDJSON
+ * protocol of serve/protocol.hh. Run requests are admission-controlled
+ * through a bounded priority queue: when the queue is full the request
+ * is rejected immediately with `"rejected":"overloaded"` instead of
+ * growing memory without bound, which is the whole back-pressure
+ * contract -- a client that floods the daemon learns so synchronously.
+ * Admitted requests are drained by a fixed set of worker tasks running
+ * on the repo's existing ThreadPool (base/thread_pool); each worker
+ * executes PipelineService::execute and streams the outcome back as
+ * one response line on the requesting connection.
+ *
+ * Shutdown is graceful on both paths: SIGTERM/SIGINT flips the same
+ * flag a `{"cmd":"shutdown"}` request does. New run requests are then
+ * rejected with `"rejected":"shutting-down"`, already-admitted work
+ * drains to completion, and the shutdown requester (if any) receives
+ * its response only after the drain, so observing the response means
+ * every admitted request has been answered.
+ */
+
+#ifndef DMPB_SERVE_SERVER_HH
+#define DMPB_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/pipeline_service.hh"
+#include "serve/protocol.hh"
+
+namespace dmpb {
+
+/** Daemon knobs (the service itself is configured by ServiceConfig). */
+struct ServeOptions
+{
+    /** Filesystem path of the Unix-domain listening socket. A stale
+     *  socket file at this path is replaced. Kept short: sockaddr_un
+     *  caps it at ~107 bytes. */
+    std::string socket_path;
+    /** Pipeline worker tasks draining the admission queue. */
+    std::size_t workers = 1;
+    /** Admission-queue capacity; a run request arriving when this
+     *  many are already queued is rejected ("overloaded"). */
+    std::size_t max_queue = 64;
+};
+
+/** Daemon-level counter snapshot (stats command). */
+struct ServeStats
+{
+    std::uint64_t connections = 0;   ///< accepted connections, total
+    std::uint64_t admitted = 0;      ///< run requests queued
+    std::uint64_t completed = 0;     ///< run responses sent
+    std::uint64_t rejected = 0;      ///< back-pressure rejections
+    std::uint64_t errors = 0;        ///< malformed-request responses
+    std::uint64_t queue_depth = 0;   ///< runnable requests right now
+};
+
+/** The serve daemon. Construct, then serve() until shutdown. */
+class Server
+{
+  public:
+    Server(ServiceConfig service_config, ServeOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and run the accept loop on the calling thread
+     * until a shutdown request or SIGTERM/SIGINT arrives, then drain
+     * and tear down. Returns 0 on a clean run, 1 when the socket
+     * could not be bound. Installs SIGTERM/SIGINT handlers for the
+     * duration of the call and restores the previous ones after.
+     */
+    int serve();
+
+    /** Request a graceful stop (as the signal path does). Safe from
+     *  any thread; serve() returns once the drain completes. */
+    void requestStop();
+
+    /** Counter snapshot (thread-safe). */
+    ServeStats stats() const;
+
+    const ServeOptions &options() const { return options_; }
+    const PipelineService &service() const { return service_; }
+
+  private:
+    struct Connection;
+
+    /** One admitted run request waiting for a worker. */
+    struct Job
+    {
+        ServeRequest request;
+        std::shared_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point enqueued;
+        std::uint64_t seq = 0;
+    };
+
+    /** Heap order: higher priority first, admission order within. */
+    struct JobOrder
+    {
+        bool
+        operator()(const Job &a, const Job &b) const
+        {
+            if (a.request.priority != b.request.priority)
+                return a.request.priority < b.request.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void handleRun(const std::shared_ptr<Connection> &conn,
+                   ServeRequest request);
+    void workerLoop();
+    bool popJob(Job &out);
+    void drainAndJoin();
+
+    std::string statsResponse(std::uint64_t id) const;
+    std::string listResponse(std::uint64_t id) const;
+
+    PipelineService service_;
+    ServeOptions options_;
+
+    int listen_fd_ = -1;
+
+    /** Set once shutdown begins: no new admissions, queue drains. */
+    std::atomic<bool> stopping_{false};
+
+    /** Admission queue: priority desc, admission order within. */
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::priority_queue<Job, std::vector<Job>, JobOrder> queue_;
+    std::uint64_t next_seq_ = 0;
+
+    /** Live connections + their reader threads. */
+    std::mutex conns_mutex_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+    std::vector<std::thread> readers_;
+
+    /** The shutdown requester, answered post-drain. */
+    std::mutex shutdown_mutex_;
+    std::shared_ptr<Connection> shutdown_conn_;
+    std::uint64_t shutdown_id_ = 0;
+    bool shutdown_requested_ = false;
+
+    mutable std::mutex stats_mutex_;
+    ServeStats stats_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_SERVE_SERVER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for core/cache_config: the order-independent resolution
+ * of --no-cache / --cache-dir / --ref-cache-dir. The arguments of
+ * resolveCacheConfig are pure observations of the command line, so
+ * flag order cannot influence the result by construction -- these
+ * tests pin the rule itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cache_config.hh"
+
+namespace dmpb {
+namespace {
+
+constexpr const char *kDefault = "default-cache";
+
+TEST(CacheConfig, DefaultsShareTheProxyDirectory)
+{
+    CacheConfig c = resolveCacheConfig(false, "", "", kDefault);
+    EXPECT_EQ(c.proxy_dir, kDefault);
+    EXPECT_EQ(c.ref_dir, kDefault);
+    EXPECT_TRUE(c.proxyEnabled());
+    EXPECT_TRUE(c.refEnabled());
+}
+
+TEST(CacheConfig, NoCacheDisablesBoth)
+{
+    CacheConfig c = resolveCacheConfig(true, "", "", kDefault);
+    EXPECT_FALSE(c.proxyEnabled());
+    EXPECT_FALSE(c.refEnabled());
+}
+
+TEST(CacheConfig, ExplicitProxyDirWinsOverNoCache)
+{
+    // `--cache-dir d --no-cache` and `--no-cache --cache-dir d` are
+    // the same command line now: the explicit dir keeps its cache on,
+    // --no-cache turns off only the unnamed one.
+    CacheConfig c = resolveCacheConfig(true, "d", "", kDefault);
+    EXPECT_EQ(c.proxy_dir, "d");
+    EXPECT_FALSE(c.refEnabled());
+}
+
+TEST(CacheConfig, ExplicitRefDirWinsOverNoCache)
+{
+    CacheConfig c = resolveCacheConfig(true, "", "r", kDefault);
+    EXPECT_FALSE(c.proxyEnabled());
+    EXPECT_EQ(c.ref_dir, "r");
+}
+
+TEST(CacheConfig, RefRidesAlongWithExplicitProxyDir)
+{
+    CacheConfig c = resolveCacheConfig(false, "d", "", kDefault);
+    EXPECT_EQ(c.proxy_dir, "d");
+    EXPECT_EQ(c.ref_dir, "d");
+}
+
+TEST(CacheConfig, ExplicitDirsAreIndependent)
+{
+    CacheConfig c = resolveCacheConfig(false, "d", "r", kDefault);
+    EXPECT_EQ(c.proxy_dir, "d");
+    EXPECT_EQ(c.ref_dir, "r");
+}
+
+TEST(CacheConfig, EmptyDefaultMeansCachingOff)
+{
+    // Tests construct services with no default directory: everything
+    // stays disabled unless pointed somewhere explicitly.
+    CacheConfig c = resolveCacheConfig(false, "", "", "");
+    EXPECT_FALSE(c.proxyEnabled());
+    EXPECT_FALSE(c.refEnabled());
+}
+
+TEST(CacheConfig, BothExplicitWithNoCacheKeepsBoth)
+{
+    CacheConfig c = resolveCacheConfig(true, "d", "r", kDefault);
+    EXPECT_EQ(c.proxy_dir, "d");
+    EXPECT_EQ(c.ref_dir, "r");
+}
+
+} // namespace
+} // namespace dmpb

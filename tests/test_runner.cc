@@ -235,7 +235,7 @@ TEST_F(RunnerTest, ReferenceCacheServesWarmRunBitIdentically)
 {
     std::filesystem::remove_all("test-runner-ref-cache");
     SuiteOptions options = quickOptions();
-    options.ref_cache_dir = "test-runner-ref-cache";
+    options.cache.ref_dir = "test-runner-ref-cache";
     options.workloads = {"alexnet"};
 
     auto runOnce = [&]() {
