@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotations and an annotated mutex.
+ *
+ * The repo's concurrency contract ("every mutex-protected member is
+ * only touched with its mutex held") used to live in comments and be
+ * enforced after the fact by the TSan CI job. These macros turn it
+ * into a compile-time property: build with a Clang compiler and
+ * `-DDMPB_THREAD_SAFETY=ON` (which adds `-Wthread-safety
+ * -Werror=thread-safety`) and an unguarded access to a
+ * `DMPB_GUARDED_BY` field, or a call to a `DMPB_REQUIRES` function
+ * without the lock, is a build error. Under GCC -- which does not
+ * implement the analysis -- every macro expands to nothing, so the
+ * annotations cost nothing and change nothing.
+ *
+ * The analysis only understands types annotated as capabilities, so
+ * classes hold an AnnotatedMutex (a zero-overhead std::mutex wrapper)
+ * and take scoped MutexLock guards instead of raw
+ * std::lock_guard/std::unique_lock. Condition-variable waits go
+ * through MutexLock::native(); a wait re-acquires the mutex before
+ * returning, so the static "lock held" state stays truthful across
+ * it. Wait *predicates* that read guarded state are written as
+ * explicit `while (!pred) cv.wait(...)` loops in the holding
+ * function rather than as lambdas, because the analysis treats a
+ * lambda body as an unannotated function.
+ *
+ * Macro set (mirroring the Clang documentation's canonical names):
+ * DMPB_CAPABILITY, DMPB_SCOPED_CAPABILITY, DMPB_GUARDED_BY,
+ * DMPB_PT_GUARDED_BY, DMPB_REQUIRES, DMPB_ACQUIRE, DMPB_RELEASE,
+ * DMPB_TRY_ACQUIRE, DMPB_EXCLUDES, DMPB_ASSERT_CAPABILITY,
+ * DMPB_RETURN_CAPABILITY, DMPB_NO_THREAD_SAFETY_ANALYSIS.
+ */
+
+#ifndef DMPB_BASE_THREAD_ANNOTATIONS_HH
+#define DMPB_BASE_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__)
+#define DMPB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DMPB_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type whose instances are lockable capabilities. */
+#define DMPB_CAPABILITY(x) DMPB_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires a capability for its lifetime. */
+#define DMPB_SCOPED_CAPABILITY DMPB_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be read/written while holding @p x. */
+#define DMPB_GUARDED_BY(x) DMPB_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be dereferenced while holding @p x. */
+#define DMPB_PT_GUARDED_BY(x) DMPB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Callers must already hold the listed capabilities. */
+#define DMPB_REQUIRES(...) \
+    DMPB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define DMPB_ACQUIRE(...) \
+    DMPB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define DMPB_RELEASE(...) \
+    DMPB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p ret. */
+#define DMPB_TRY_ACQUIRE(...) \
+    DMPB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Callers must NOT hold the listed capabilities (deadlock guard). */
+#define DMPB_EXCLUDES(...) \
+    DMPB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime, by contract) that the capability is held. */
+#define DMPB_ASSERT_CAPABILITY(x) \
+    DMPB_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the capability @p x. */
+#define DMPB_RETURN_CAPABILITY(x) \
+    DMPB_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis for one function. Every use carries a
+ *  comment explaining which protocol replaces the mutex. */
+#define DMPB_NO_THREAD_SAFETY_ANALYSIS \
+    DMPB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dmpb {
+
+class MutexLock;
+
+/**
+ * A std::mutex the thread-safety analysis can see. Same size, same
+ * cost -- the wrapper only adds the capability annotations that let
+ * `DMPB_GUARDED_BY(mutex_)` declarations be checked.
+ */
+class DMPB_CAPABILITY("mutex") AnnotatedMutex
+{
+  public:
+    AnnotatedMutex() = default;
+    AnnotatedMutex(const AnnotatedMutex &) = delete;
+    AnnotatedMutex &operator=(const AnnotatedMutex &) = delete;
+
+    void lock() DMPB_ACQUIRE() { mutex_.lock(); }
+    void unlock() DMPB_RELEASE() { mutex_.unlock(); }
+    bool try_lock() DMPB_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  private:
+    friend class MutexLock;
+    std::mutex mutex_;
+};
+
+/**
+ * Scoped guard over an AnnotatedMutex; the annotated replacement for
+ * both std::lock_guard and std::unique_lock. Holds from construction
+ * to destruction; the relockable unlock()/lock() pair covers the
+ * "work outside the lock mid-scope" pattern, and native() exposes the
+ * underlying std::unique_lock for std::condition_variable waits.
+ */
+class DMPB_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(AnnotatedMutex &mutex) DMPB_ACQUIRE(mutex)
+        : lock_(mutex.mutex_)
+    {}
+
+    ~MutexLock() DMPB_RELEASE()
+    {
+        // lock_ unlocks on destruction iff currently held.
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Release mid-scope (destruction is then a no-op). */
+    void unlock() DMPB_RELEASE() { lock_.unlock(); }
+
+    /** Re-acquire after an unlock(). */
+    void lock() DMPB_ACQUIRE() { lock_.lock(); }
+
+    /**
+     * The underlying lock, for std::condition_variable::wait. A wait
+     * re-acquires before returning, so the capability is held again
+     * whenever the caller regains control.
+     */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace dmpb
+
+#endif // DMPB_BASE_THREAD_ANNOTATIONS_HH

@@ -1,6 +1,9 @@
 #include "base/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
 
 #include "base/logging.hh"
 
@@ -17,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     cv_task_.notify_all();
@@ -29,7 +32,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::unique_lock lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
     }
     cv_task_.notify_one();
@@ -38,8 +41,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::waitIdle()
 {
-    std::unique_lock lock(mutex_);
-    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!(queue_.empty() && active_ == 0))
+        cv_idle_.wait(lock.native());
 }
 
 void
@@ -50,15 +54,28 @@ ThreadPool::parallelFor(std::size_t n,
         return;
     const std::size_t chunks = std::min(n, workers_.size());
     const std::size_t per = (n + chunks - 1) / chunks;
+    // One exception slot per chunk: workers must never unwind through
+    // the pool (that would std::terminate), and rethrowing the
+    // lowest-index failure keeps the observable outcome independent
+    // of worker scheduling.
+    std::vector<std::exception_ptr> errors(chunks);
     for (std::size_t c = 0; c < chunks; ++c) {
         const std::size_t lo = c * per;
         const std::size_t hi = std::min(n, lo + per);
-        submit([lo, hi, &task] {
-            for (std::size_t i = lo; i < hi; ++i)
-                task(i);
+        submit([lo, hi, c, &task, &errors] {
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    task(i);
+            } catch (...) {
+                errors[c] = std::current_exception();
+            }
         });
     }
     waitIdle();
+    for (std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
 }
 
 void
@@ -67,9 +84,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_task_.wait(lock,
-                          [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!(stopping_ || !queue_.empty()))
+                cv_task_.wait(lock.native());
             if (queue_.empty()) {
                 // stopping_ must be set: drain finished.
                 return;
@@ -80,7 +97,7 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::unique_lock lock(mutex_);
+            MutexLock lock(mutex_);
             --active_;
             if (queue_.empty() && active_ == 0)
                 cv_idle_.notify_all();

@@ -15,10 +15,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/thread_annotations.hh"
 
 namespace dmpb {
 
@@ -35,11 +37,13 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a task for asynchronous execution. */
-    void submit(std::function<void()> task);
+    /** Enqueue a task for asynchronous execution. Tasks must not
+     *  throw: a worker has nowhere to deliver the exception (wrap
+     *  throwing bodies, as parallelFor and runShardedJobs do). */
+    void submit(std::function<void()> task) DMPB_EXCLUDES(mutex_);
 
     /** Block until the queue is empty and every worker is idle. */
-    void waitIdle();
+    void waitIdle() DMPB_EXCLUDES(mutex_);
 
     /** Number of worker threads. */
     std::size_t size() const { return workers_.size(); }
@@ -47,20 +51,24 @@ class ThreadPool
     /**
      * Run @p task(i) for i in [0, n) across the pool and wait.
      * Static block partitioning: worker-count parallel chunks.
+     * If tasks throw, the exception thrown for the lowest index is
+     * rethrown here after every chunk finished (same contract as
+     * runShardedJobs, so the outcome is scheduling-independent).
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &task);
+                     const std::function<void(std::size_t)> &task)
+        DMPB_EXCLUDES(mutex_);
 
   private:
-    void workerLoop();
+    void workerLoop() DMPB_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable cv_task_;
     std::condition_variable cv_idle_;
-    std::size_t active_ = 0;
-    bool stopping_ = false;
+    std::deque<std::function<void()>> queue_ DMPB_GUARDED_BY(mutex_);
+    std::size_t active_ DMPB_GUARDED_BY(mutex_) = 0;
+    bool stopping_ DMPB_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace dmpb

@@ -27,12 +27,12 @@
 #define DMPB_CORE_CACHE_LAYER_HH
 
 #include <condition_variable>
-#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/thread_annotations.hh"
 #include "core/auto_tuner.hh"
 #include "core/memory_cache.hh"
 #include "core/proxy_benchmark.hh"
@@ -52,30 +52,30 @@ class KeyedSingleFlight
 {
   public:
     bool
-    acquire(const std::string &key)
+    acquire(const std::string &key) DMPB_EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (inflight_.insert(key).second)
             return true;
-        cv_.wait(lock,
-                 [&]() { return inflight_.count(key) == 0; });
+        while (inflight_.count(key) != 0)
+            cv_.wait(lock.native());
         return false;
     }
 
     void
-    release(const std::string &key)
+    release(const std::string &key) DMPB_EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             inflight_.erase(key);
         }
         cv_.notify_all();
     }
 
   private:
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable cv_;
-    std::set<std::string> inflight_;
+    std::set<std::string> inflight_ DMPB_GUARDED_BY(mutex_);
 };
 
 /** Reference-measurement cache with an in-memory layer. Thread-safe;

@@ -23,10 +23,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "base/thread_annotations.hh"
 
 namespace dmpb {
 
@@ -53,9 +54,9 @@ class MemoryCache
     /** Copy the cached value for @p key into @p out and mark it
      *  most-recently-used; false (counting a miss) when absent. */
     bool
-    get(const std::string &key, Value &out)
+    get(const std::string &key, Value &out) DMPB_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = index_.find(key);
         if (it == index_.end()) {
             ++misses_;
@@ -70,11 +71,11 @@ class MemoryCache
     /** Insert (or refresh) @p key, evicting least-recently-used
      *  entries beyond the capacity cap. */
     void
-    put(const std::string &key, Value value)
+    put(const std::string &key, Value value) DMPB_EXCLUDES(mutex_)
     {
         if (capacity_ == 0)
             return;
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = index_.find(key);
         if (it != index_.end()) {
             it->second->second = std::move(value);
@@ -83,17 +84,13 @@ class MemoryCache
         }
         lru_.emplace_front(key, std::move(value));
         index_[key] = lru_.begin();
-        while (lru_.size() > capacity_) {
-            index_.erase(lru_.back().first);
-            lru_.pop_back();
-            ++evictions_;
-        }
+        evictOverflow();
     }
 
     MemoryCacheStats
-    stats() const
+    stats() const DMPB_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         MemoryCacheStats s;
         s.hits = hits_;
         s.misses = misses_;
@@ -104,9 +101,9 @@ class MemoryCache
     }
 
     std::size_t
-    size() const
+    size() const DMPB_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return lru_.size();
     }
 
@@ -115,14 +112,28 @@ class MemoryCache
   private:
     using Entry = std::pair<std::string, Value>;
 
+    /** Drop least-recently-used entries beyond the capacity cap. */
+    void
+    evictOverflow() DMPB_REQUIRES(mutex_)
+    {
+        while (lru_.size() > capacity_) {
+            index_.erase(lru_.back().first);
+            lru_.pop_back();
+            ++evictions_;
+        }
+    }
+
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_;  ///< front = most recently used
+    mutable AnnotatedMutex mutex_;
+    /** front = most recently used */
+    std::list<Entry> lru_ DMPB_GUARDED_BY(mutex_);
+    /** Keyed lookups only -- never iterated, so its nondeterministic
+     *  order can never leak into any observable result. */
     std::unordered_map<std::string, typename std::list<Entry>::iterator>
-        index_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+        index_ DMPB_GUARDED_BY(mutex_);
+    std::uint64_t hits_ DMPB_GUARDED_BY(mutex_) = 0;
+    std::uint64_t misses_ DMPB_GUARDED_BY(mutex_) = 0;
+    std::uint64_t evictions_ DMPB_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace dmpb

@@ -186,7 +186,7 @@ ProxyBenchmark::execute(const MachineConfig &machine,
                 traced_bytes, gc_intensity_);
             bool memoized = false;
             {
-                std::lock_guard<std::mutex> lock(trace_memo_->mutex);
+                MutexLock lock(trace_memo_->mutex);
                 auto it = trace_memo_->entries.find(key);
                 if (it != trace_memo_->entries.end()) {
                     out.prof = it->second.profile;
@@ -213,7 +213,7 @@ ProxyBenchmark::execute(const MachineConfig &machine,
                     heap.collect();
                 }
                 out.prof = ctx.profile();
-                std::lock_guard<std::mutex> lock(trace_memo_->mutex);
+                MutexLock lock(trace_memo_->mutex);
                 trace_memo_->entries.emplace(key,
                                              EdgeTrace{out.prof,
                                                        out.checksum});

@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/thread_annotations.hh"
 #include "motifs/motif.hh"
 #include "sim/access_batch.hh"
 #include "sim/metrics.hh"
@@ -150,8 +150,12 @@ class ProxyBenchmark
     };
     struct TraceMemo
     {
-        std::mutex mutex;
-        std::map<std::string, EdgeTrace> entries;
+        AnnotatedMutex mutex;
+        /** std::map, not unordered: iteration order never matters
+         *  today, but keyed ordering keeps it deterministic for
+         *  free if it ever does. */
+        std::map<std::string, EdgeTrace> entries
+            DMPB_GUARDED_BY(mutex);
     };
 
     std::string name_;

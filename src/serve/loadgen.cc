@@ -16,6 +16,7 @@
 
 #include "base/json.hh"
 #include "base/logging.hh"
+#include "base/thread_annotations.hh"
 #include "base/stats_util.hh"
 
 namespace dmpb {
@@ -104,12 +105,12 @@ struct SharedState
     std::vector<std::string> workloads;
     std::atomic<std::size_t> next{0};
 
-    std::mutex mutex;
-    std::vector<double> latencies_ms;
-    std::size_t served = 0;
-    std::size_t cold = 0;
-    std::size_t rejections = 0;
-    std::size_t errors = 0;
+    AnnotatedMutex mutex;
+    std::vector<double> latencies_ms DMPB_GUARDED_BY(mutex);
+    std::size_t served DMPB_GUARDED_BY(mutex) = 0;
+    std::size_t cold DMPB_GUARDED_BY(mutex) = 0;
+    std::size_t rejections DMPB_GUARDED_BY(mutex) = 0;
+    std::size_t errors DMPB_GUARDED_BY(mutex) = 0;
 };
 
 std::string
@@ -140,7 +141,7 @@ clientLoop(SharedState &state)
     const LoadGenOptions &opt = *state.options;
     ClientConnection conn;
     if (!conn.connect(opt.socket_path)) {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        MutexLock lock(state.mutex);
         ++state.errors;
         return;
     }
@@ -164,7 +165,7 @@ clientLoop(SharedState &state)
             auto t0 = std::chrono::steady_clock::now();
             std::string response;
             if (!conn.sendLine(line) || !conn.recvLine(response)) {
-                std::lock_guard<std::mutex> lock(state.mutex);
+                MutexLock lock(state.mutex);
                 ++state.errors;
                 return;
             }
@@ -176,13 +177,13 @@ clientLoop(SharedState &state)
             std::string parse_error;
             if (!JsonValue::parse(response, doc, &parse_error) ||
                 !doc.isObject()) {
-                std::lock_guard<std::mutex> lock(state.mutex);
+                MutexLock lock(state.mutex);
                 ++state.errors;
                 break;
             }
             const JsonValue *ok = doc.find("ok");
             if (ok != nullptr && ok->asBool()) {
-                std::lock_guard<std::mutex> lock(state.mutex);
+                MutexLock lock(state.mutex);
                 state.latencies_ms.push_back(ms);
                 ++state.served;
                 if (cold)
@@ -191,14 +192,14 @@ clientLoop(SharedState &state)
             }
             if (doc.find("rejected") != nullptr) {
                 {
-                    std::lock_guard<std::mutex> lock(state.mutex);
+                    MutexLock lock(state.mutex);
                     ++state.rejections;
                 }
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     1 + std::min<unsigned>(attempt, 50)));
                 continue;
             }
-            std::lock_guard<std::mutex> lock(state.mutex);
+            MutexLock lock(state.mutex);
             ++state.errors;
             break;
         }
@@ -242,6 +243,9 @@ runLoadGen(const LoadGenOptions &options)
                            std::chrono::steady_clock::now() - t0)
                            .count();
 
+    // Clients are joined; the lock is uncontended and keeps the
+    // guarded reads visible to the thread-safety analysis.
+    MutexLock lock(state.mutex);
     report.requests = state.served;
     report.cold = state.cold;
     report.rejections = state.rejections;

@@ -9,6 +9,7 @@
 #include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <system_error>
 
 #include "base/json.hh"
 #include "base/logging.hh"
@@ -29,6 +30,14 @@ void
 stopSignalHandler(int)
 {
     g_signal_stop = 1;
+}
+
+/** Thread-safe strerror: std::strerror shares one static buffer
+ *  across threads (clang-tidy concurrency-mt-unsafe). */
+std::string
+errnoString(int err)
+{
+    return std::error_code(err, std::system_category()).message();
 }
 
 double
@@ -61,9 +70,9 @@ struct Server::Connection
 
     /** Send one response line; false once the peer is gone. */
     bool
-    sendLine(const std::string &line)
+    sendLine(const std::string &line) DMPB_EXCLUDES(write_mutex)
     {
-        std::lock_guard<std::mutex> lock(write_mutex);
+        MutexLock lock(write_mutex);
         if (!open.load(std::memory_order_relaxed))
             return false;
         std::string framed = line + "\n";
@@ -91,7 +100,7 @@ struct Server::Connection
     }
 
     const int fd;
-    std::mutex write_mutex;
+    AnnotatedMutex write_mutex;
     std::atomic<bool> open{true};
     std::string inbuf;
 };
@@ -125,7 +134,7 @@ Server::serve()
 
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listen_fd_ < 0) {
-        dmpb_warn("serve: socket(): ", std::strerror(errno));
+        dmpb_warn("serve: socket(): ", errnoString(errno));
         return 1;
     }
     addr.sun_family = AF_UNIX;
@@ -136,7 +145,7 @@ Server::serve()
                sizeof(addr)) != 0 ||
         ::listen(listen_fd_, 64) != 0) {
         dmpb_warn("serve: cannot listen on ", options_.socket_path,
-                  ": ", std::strerror(errno));
+                  ": ", errnoString(errno));
         ::close(listen_fd_);
         listen_fd_ = -1;
         return 1;
@@ -177,7 +186,7 @@ Server::serve()
             if (ready < 0) {
                 if (errno == EINTR)
                     continue;
-                dmpb_warn("serve: poll(): ", std::strerror(errno));
+                dmpb_warn("serve: poll(): ", errnoString(errno));
                 requestStop();
                 break;
             }
@@ -187,18 +196,18 @@ Server::serve()
             if (fd < 0) {
                 if (errno != EINTR && errno != ECONNABORTED)
                     dmpb_warn("serve: accept(): ",
-                              std::strerror(errno));
+                              errnoString(errno));
                 continue;
             }
             auto conn = std::make_shared<Connection>(fd);
             {
-                std::lock_guard<std::mutex> lock(conns_mutex_);
+                MutexLock lock(conns_mutex_);
                 conns_.push_back(conn);
                 readers_.emplace_back(
                     [this, conn] { readerLoop(conn); });
             }
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                MutexLock lock(stats_mutex_);
                 ++stats_.connections;
             }
         }
@@ -226,7 +235,7 @@ Server::requestStop()
     {
         // Under the queue mutex so that no admission can interleave
         // between the flag flip and a worker's exit decision.
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(queue_mutex_);
         stopping_.store(true, std::memory_order_release);
     }
     queue_cv_.notify_all();
@@ -238,7 +247,7 @@ Server::drainAndJoin()
     // Workers are already joined; every admitted request has been
     // answered. Tell the shutdown requester so, then hang up.
     {
-        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        MutexLock lock(shutdown_mutex_);
         if (shutdown_requested_ && shutdown_conn_) {
             shutdown_conn_->sendLine(
                 buildShutdownResponse(shutdown_id_));
@@ -249,7 +258,7 @@ Server::drainAndJoin()
     std::vector<std::shared_ptr<Connection>> conns;
     std::vector<std::thread> readers;
     {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
+        MutexLock lock(conns_mutex_);
         conns.swap(conns_);
         readers.swap(readers_);
     }
@@ -296,7 +305,7 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     std::string error;
     if (!parseServeRequest(line, request, error)) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++stats_.errors;
         }
         conn->sendLine(buildErrorResponse(request.id, error));
@@ -318,7 +327,7 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
         return;
       case ServeCmd::Shutdown:
         {
-            std::lock_guard<std::mutex> lock(shutdown_mutex_);
+            MutexLock lock(shutdown_mutex_);
             if (!shutdown_requested_) {
                 shutdown_requested_ = true;
                 shutdown_conn_ = conn;
@@ -337,7 +346,7 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
     std::size_t depth = 0;
     const char *rejection = nullptr;
     {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(queue_mutex_);
         depth = queue_.size();
         if (stopping_.load(std::memory_order_relaxed)) {
             rejection = "shutting-down";
@@ -354,7 +363,7 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
     }
     if (rejection != nullptr) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++stats_.rejected;
         }
         conn->sendLine(
@@ -362,7 +371,7 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.admitted;
     }
     queue_cv_.notify_one();
@@ -371,11 +380,10 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
 bool
 Server::popJob(Job &out)
 {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    queue_cv_.wait(lock, [this] {
-        return !queue_.empty() ||
-               stopping_.load(std::memory_order_relaxed);
-    });
+    MutexLock lock(queue_mutex_);
+    while (queue_.empty() &&
+           !stopping_.load(std::memory_order_relaxed))
+        queue_cv_.wait(lock.native());
     if (queue_.empty())
         return false;
     out = queue_.top();
@@ -393,7 +401,7 @@ Server::workerLoop()
         {
             // Count before sending: a client holding the response
             // must never read a stats snapshot that predates it.
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++stats_.completed;
         }
         job.conn->sendLine(buildRunResponse(
@@ -407,11 +415,11 @@ Server::stats() const
 {
     ServeStats snapshot;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         snapshot = stats_;
     }
     {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(queue_mutex_);
         snapshot.queue_depth = queue_.size();
     }
     return snapshot;

@@ -30,12 +30,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/thread_annotations.hh"
 #include "runner/pipeline_service.hh"
 #include "serve/protocol.hh"
 
@@ -87,10 +87,11 @@ class Server
 
     /** Request a graceful stop (as the signal path does). Safe from
      *  any thread; serve() returns once the drain completes. */
-    void requestStop();
+    void requestStop() DMPB_EXCLUDES(queue_mutex_);
 
     /** Counter snapshot (thread-safe). */
-    ServeStats stats() const;
+    ServeStats stats() const
+        DMPB_EXCLUDES(stats_mutex_, queue_mutex_);
 
     const ServeOptions &options() const { return options_; }
     const PipelineService &service() const { return service_; }
@@ -123,10 +124,11 @@ class Server
     void handleLine(const std::shared_ptr<Connection> &conn,
                     const std::string &line);
     void handleRun(const std::shared_ptr<Connection> &conn,
-                   ServeRequest request);
-    void workerLoop();
-    bool popJob(Job &out);
-    void drainAndJoin();
+                   ServeRequest request)
+        DMPB_EXCLUDES(queue_mutex_, stats_mutex_);
+    void workerLoop() DMPB_EXCLUDES(queue_mutex_, stats_mutex_);
+    bool popJob(Job &out) DMPB_EXCLUDES(queue_mutex_);
+    void drainAndJoin() DMPB_EXCLUDES(shutdown_mutex_, conns_mutex_);
 
     std::string statsResponse(std::uint64_t id) const;
     std::string listResponse(std::uint64_t id) const;
@@ -136,28 +138,35 @@ class Server
 
     int listen_fd_ = -1;
 
-    /** Set once shutdown begins: no new admissions, queue drains. */
+    /** Set once shutdown begins: no new admissions, queue drains.
+     *  Atomic, not guarded: the accept loop polls it locklessly; the
+     *  release-store in requestStop() happens under queue_mutex_ so
+     *  workers cannot race an admission against their exit check. */
     std::atomic<bool> stopping_{false};
 
     /** Admission queue: priority desc, admission order within. */
-    mutable std::mutex queue_mutex_;
+    mutable AnnotatedMutex queue_mutex_;
     std::condition_variable queue_cv_;
-    std::priority_queue<Job, std::vector<Job>, JobOrder> queue_;
-    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Job, std::vector<Job>, JobOrder> queue_
+        DMPB_GUARDED_BY(queue_mutex_);
+    std::uint64_t next_seq_ DMPB_GUARDED_BY(queue_mutex_) = 0;
 
     /** Live connections + their reader threads. */
-    std::mutex conns_mutex_;
-    std::vector<std::shared_ptr<Connection>> conns_;
-    std::vector<std::thread> readers_;
+    AnnotatedMutex conns_mutex_;
+    std::vector<std::shared_ptr<Connection>> conns_
+        DMPB_GUARDED_BY(conns_mutex_);
+    std::vector<std::thread> readers_
+        DMPB_GUARDED_BY(conns_mutex_);
 
     /** The shutdown requester, answered post-drain. */
-    std::mutex shutdown_mutex_;
-    std::shared_ptr<Connection> shutdown_conn_;
-    std::uint64_t shutdown_id_ = 0;
-    bool shutdown_requested_ = false;
+    AnnotatedMutex shutdown_mutex_;
+    std::shared_ptr<Connection> shutdown_conn_
+        DMPB_GUARDED_BY(shutdown_mutex_);
+    std::uint64_t shutdown_id_ DMPB_GUARDED_BY(shutdown_mutex_) = 0;
+    bool shutdown_requested_ DMPB_GUARDED_BY(shutdown_mutex_) = false;
 
-    mutable std::mutex stats_mutex_;
-    ServeStats stats_;
+    mutable AnnotatedMutex stats_mutex_;
+    ServeStats stats_ DMPB_GUARDED_BY(stats_mutex_);
 };
 
 } // namespace dmpb

@@ -70,8 +70,9 @@ AsyncReplayer::~AsyncReplayer()
     if (synchronous_)
         return;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this]() { return !busy_; });
+        MutexLock lock(mutex_);
+        while (busy_)
+            cv_.wait(lock.native());
         stop_ = true;
     }
     cv_.notify_all();
@@ -86,8 +87,9 @@ AsyncReplayer::submit(AccessBatch &batch)
         batch.clear();
         return;
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this]() { return !busy_; });
+    MutexLock lock(mutex_);
+    while (busy_)
+        cv_.wait(lock.native());
     // The worker cleared the previous block, so the swap hands the
     // caller recycled storage of the same capacity.
     std::swap(inflight_, batch);
@@ -101,16 +103,18 @@ AsyncReplayer::drain()
 {
     if (synchronous_)
         return;
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this]() { return !busy_; });
+    MutexLock lock(mutex_);
+    while (busy_)
+        cv_.wait(lock.native());
 }
 
 void
 AsyncReplayer::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        cv_.wait(lock, [this]() { return busy_ || stop_; });
+        while (!(busy_ || stop_))
+            cv_.wait(lock.native());
         if (stop_)
             return;
         // Replay outside the lock: submit() only touches inflight_

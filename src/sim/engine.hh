@@ -23,12 +23,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/thread_annotations.hh"
 #include "sim/access_batch.hh"
 
 namespace dmpb {
@@ -113,22 +113,30 @@ class AsyncReplayer
      * same capacity in its place (the previous block's storage,
      * recycled). Blocks while the worker is still replaying.
      */
-    void submit(AccessBatch &batch);
+    void submit(AccessBatch &batch) DMPB_EXCLUDES(mutex_);
 
     /** Wait until the worker is idle (all submitted blocks applied).
      *  Model state is safe to read after this returns. */
-    void drain();
+    void drain() DMPB_EXCLUDES(mutex_);
 
   private:
-    void workerLoop();
+    void workerLoop() DMPB_EXCLUDES(mutex_);
 
     CacheHierarchy &caches_;
     BranchPredictor &predictor_;
+    /**
+     * Hand-off block. Not DMPB_GUARDED_BY(mutex_): ownership follows
+     * the busy_ protocol, not the lock -- the producer touches it
+     * only while !busy_ (holding the mutex for the swap), the worker
+     * only while busy_ (outside the lock, so replay overlaps
+     * emission). busy_ transitions under the mutex carry the
+     * happens-before edges.
+     */
     AccessBatch inflight_;
-    std::mutex mutex_;
+    AnnotatedMutex mutex_;
     std::condition_variable cv_;
-    bool busy_ = false;
-    bool stop_ = false;
+    bool busy_ DMPB_GUARDED_BY(mutex_) = false;
+    bool stop_ DMPB_GUARDED_BY(mutex_) = false;
     /** On single-CPU hosts a worker thread only adds switches;
      *  submit() replays inline instead (identical results). */
     bool synchronous_ = false;

@@ -1,0 +1,32 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a
+// DMPB_REQUIRES function without holding the required mutex.
+
+#include "base/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        bumpLocked();  // precondition mutex_ not satisfied
+    }
+
+  private:
+    void bumpLocked() DMPB_REQUIRES(mutex_) { ++count_; }
+
+    dmpb::AnnotatedMutex mutex_;
+    int count_ DMPB_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return 0;
+}

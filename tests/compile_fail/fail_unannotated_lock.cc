@@ -1,0 +1,37 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires the mutex
+// through an unannotated guard (std::lock_guard instead of
+// dmpb::MutexLock), which the analysis cannot see -- the guarded
+// access is then diagnosed exactly like a missing lock. This is the
+// probe that keeps "just use a raw std guard" from silently eroding
+// the annotation layer.
+
+#include <mutex>
+
+#include "base/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        std::lock_guard<dmpb::AnnotatedMutex> lock(mutex_);
+        ++count_;  // held at runtime, invisible statically
+    }
+
+  private:
+    dmpb::AnnotatedMutex mutex_;
+    int count_ DMPB_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return 0;
+}

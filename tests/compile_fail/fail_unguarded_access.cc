@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writes a
+// DMPB_GUARDED_BY field without holding its mutex.
+
+#include "base/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        ++count_;  // racy: mutex_ not held
+    }
+
+  private:
+    dmpb::AnnotatedMutex mutex_;
+    int count_ DMPB_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return 0;
+}

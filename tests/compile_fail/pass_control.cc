@@ -1,0 +1,42 @@
+// Pass control: the code shape shared by the fail_*.cc probes,
+// written correctly. Must compile under -Werror=thread-safety; if it
+// does not, the probe harness (include path, -std, flags) is broken
+// and the negative results next door prove nothing.
+
+#include "base/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    increment() DMPB_EXCLUDES(mutex_)
+    {
+        dmpb::MutexLock lock(mutex_);
+        bumpLocked();
+    }
+
+    int
+    value() DMPB_EXCLUDES(mutex_)
+    {
+        dmpb::MutexLock lock(mutex_);
+        return count_;
+    }
+
+  private:
+    void bumpLocked() DMPB_REQUIRES(mutex_) { ++count_; }
+
+    dmpb::AnnotatedMutex mutex_;
+    int count_ DMPB_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return c.value() == 1 ? 0 : 1;
+}

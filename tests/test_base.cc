@@ -203,6 +203,32 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
     SUCCEED();
 }
 
+// Regression (static-analysis sweep): a throwing parallelFor task
+// used to unwind through the worker thread and std::terminate the
+// process. The exception must instead propagate to the caller, and
+// deterministically so: the lowest-index failure wins, regardless of
+// worker scheduling (same contract as runShardedJobs).
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(64, [&](std::size_t i) {
+            ran.fetch_add(1);
+            if (i == 7 || i == 55)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "parallelFor swallowed the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7");
+    }
+    // Every chunk still ran to its failure point; the pool survives.
+    EXPECT_GT(ran.load(), 0);
+    std::atomic<int> after{0};
+    pool.parallelFor(16, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 16);
+}
+
 TEST(RunningStats, MeanAndVariance)
 {
     RunningStats st;

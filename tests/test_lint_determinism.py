@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_determinism.py (run under ctest).
+
+Fixtures are generated into a temp dir so the suite is hermetic: each
+rule has a snippet that must trip it, a near-miss that must not, and
+the allowlist tag / exit-code contracts are pinned.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(REPO, "tools", "lint_determinism.py")
+
+sys.path.insert(0, os.path.join(REPO, "tools"))
+import lint_determinism as lint  # noqa: E402
+
+
+def lint_source(src: str):
+    """Lint one in-memory C++ snippet; returns the Finding list."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "fixture.cc")
+        with open(path, "w") as f:
+            f.write(src)
+        return lint.lint_file(path)
+
+
+def rules_of(findings, include_allowed=False):
+    return sorted(f.rule for f in findings
+                  if include_allowed or not f.allowed)
+
+
+class RuleTests(unittest.TestCase):
+    def test_std_hash_trips(self):
+        fs = lint_source("std::size_t h = std::hash<int>{}(42);\n")
+        self.assertEqual(rules_of(fs), ["std-hash"])
+
+    def test_std_hash_in_comment_and_string_ignored(self):
+        fs = lint_source(
+            "// std::hash diverges between standard libraries\n"
+            "/* so does std::hash<string> */\n"
+            'const char *msg = "std::hash is banned";\n')
+        self.assertEqual(rules_of(fs), [])
+
+    def test_rand_and_random_device_trip(self):
+        fs = lint_source("int a = rand();\n"
+                         "std::random_device rd;\n"
+                         "srand(7);\n")
+        self.assertEqual(rules_of(fs),
+                         ["raw-rand", "raw-rand", "raw-rand"])
+
+    def test_rng_identifiers_do_not_trip(self):
+        # Words merely containing 'rand', and the repo's own Rng.
+        fs = lint_source("double operand = 1.0;\n"
+                         "Rng mgmt_rng(seed);\n"
+                         "int strand(int);\n")
+        self.assertEqual(rules_of(fs), [])
+
+    def test_wall_clock_trips(self):
+        fs = lint_source(
+            "auto t = std::chrono::system_clock::now();\n"
+            "auto u = std::chrono::high_resolution_clock::now();\n"
+            "std::time_t w = time(nullptr);\n"
+            "long c = clock();\n")
+        self.assertEqual(len(rules_of(fs)), 4)
+        self.assertEqual(set(rules_of(fs)), {"wall-clock"})
+
+    def test_steady_clock_allowed(self):
+        fs = lint_source(
+            "auto t0 = std::chrono::steady_clock::now();\n"
+            "double s = ctx.runtime(t0);\n")
+        self.assertEqual(rules_of(fs), [])
+
+    def test_qualified_time_call_does_not_trip_members(self):
+        # obj.time(nullptr) / ns::clock() are not the libc calls.
+        fs = lint_source("double t = sim.time(nullptr);\n"
+                         "auto c = Clock::clock();\n")
+        self.assertEqual(rules_of(fs), [])
+
+    def test_pointer_order_trips(self):
+        fs = lint_source(
+            "auto key = reinterpret_cast<std::uintptr_t>(ptr);\n"
+            "std::set<int *, std::less<int *>> ordered;\n")
+        self.assertEqual(rules_of(fs),
+                         ["pointer-order", "pointer-order"])
+
+    def test_unordered_iteration_trips(self):
+        fs = lint_source(
+            "std::unordered_map<std::string, int> counts_;\n"
+            "void dump() {\n"
+            "    for (const auto &kv : counts_)\n"
+            "        emit(kv);\n"
+            "    auto it = counts_.begin();\n"
+            "}\n")
+        self.assertEqual(rules_of(fs),
+                         ["unordered-iter", "unordered-iter"])
+
+    def test_unordered_keyed_lookup_allowed(self):
+        fs = lint_source(
+            "std::unordered_map<std::string, int> index_;\n"
+            "int find(const std::string &k) {\n"
+            "    auto it = index_.find(k);\n"
+            "    return it == index_.end() ? -1 : it->second;\n"
+            "}\n")
+        self.assertEqual(rules_of(fs), [])
+
+    def test_unordered_nested_template_decl_parsed(self):
+        fs = lint_source(
+            "std::unordered_map<std::string,\n"
+            "    std::pair<int, std::vector<int>>> deep_;\n"
+            "void walk() { for (auto &e : deep_) use(e); }\n")
+        self.assertEqual(rules_of(fs), ["unordered-iter"])
+
+    def test_ordered_map_iteration_allowed(self):
+        fs = lint_source(
+            "std::map<std::string, int> counts_;\n"
+            "void dump() { for (auto &kv : counts_) emit(kv); }\n")
+        self.assertEqual(rules_of(fs), [])
+
+
+class AllowlistTests(unittest.TestCase):
+    def test_tag_on_same_line(self):
+        fs = lint_source(
+            "int a = rand();  "
+            "// dmpb:lint-allow(raw-rand): fixture only\n")
+        self.assertEqual(rules_of(fs), [])
+        self.assertEqual(rules_of(fs, include_allowed=True),
+                         ["raw-rand"])
+
+    def test_tag_on_line_above(self):
+        fs = lint_source(
+            "// dmpb:lint-allow(std-hash): stdlib-compare test\n"
+            "auto h = std::hash<int>{}(1);\n")
+        self.assertEqual(rules_of(fs), [])
+
+    def test_tag_for_other_rule_does_not_suppress(self):
+        fs = lint_source(
+            "// dmpb:lint-allow(wall-clock): wrong rule\n"
+            "auto h = std::hash<int>{}(1);\n")
+        self.assertEqual(rules_of(fs), ["std-hash"])
+
+    def test_tag_with_multiple_rules(self):
+        fs = lint_source(
+            "// dmpb:lint-allow(std-hash, raw-rand): both\n"
+            "auto h = std::hash<int>{}(rand());\n")
+        self.assertEqual(rules_of(fs), [])
+        self.assertEqual(len(rules_of(fs, include_allowed=True)), 2)
+
+    def test_tag_two_lines_up_does_not_suppress(self):
+        fs = lint_source(
+            "// dmpb:lint-allow(raw-rand): too far away\n"
+            "int unrelated = 0;\n"
+            "int a = rand();\n")
+        self.assertEqual(rules_of(fs), ["raw-rand"])
+
+
+class CliTests(unittest.TestCase):
+    def run_tool(self, *args):
+        return subprocess.run(
+            [sys.executable, TOOL, *args],
+            capture_output=True, text=True)
+
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "ok.cc"), "w") as f:
+                f.write("int main() { return 0; }\n")
+            r = self.run_tool(tmp)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("0 violation(s)", r.stdout)
+
+    def test_violation_exits_one_and_reports_site(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "bad.cc"), "w") as f:
+                f.write("int x;\nint a = rand();\n")
+            r = self.run_tool(tmp)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("bad.cc:2: [raw-rand]", r.stdout)
+
+    def test_report_only_exits_zero_with_violations(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "bad.cc"), "w") as f:
+                f.write("int a = rand();\n")
+            r = self.run_tool("--report-only", tmp)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("1 violation(s)", r.stdout)
+
+    def test_allowlisted_site_counted_in_summary(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "tagged.cc"), "w") as f:
+                f.write("// dmpb:lint-allow(raw-rand): fixture\n"
+                        "int a = rand();\n")
+            r = self.run_tool(tmp)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("1 allowlisted site(s)", r.stdout)
+
+    def test_missing_path_exits_two(self):
+        r = self.run_tool("/nonexistent/dmpb-lint-path")
+        self.assertEqual(r.returncode, 2)
+
+    def test_non_cxx_files_ignored(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "notes.md"), "w") as f:
+                f.write("rand() and std::hash everywhere\n")
+            r = self.run_tool(tmp)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("0 file(s)", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Determinism lint: ban the nondeterminism sources this repo has
+been bitten by.
+
+The whole value of the proxy-benchmark pipeline is that a (workload,
+scale, cluster, seed) cell maps to one bit-exact metric vector across
+threads, shards, processes and standard libraries
+(tests/test_golden_profiles.cc pins it). Every rule below corresponds
+to a way that invariant has actually broken, or nearly broken, in
+this codebase:
+
+  std-hash       std::hash is implementation-defined; libstdc++ and
+                 libc++ disagree (PR 4 replaced it with fnv1a64 after
+                 tensorlite image seeds diverged across stdlibs).
+  raw-rand       rand()/srand() share hidden global state across
+                 threads; std::random_device is nondeterministic by
+                 design. All randomness must flow from base/rng.hh,
+                 seeded by the pipeline.
+  wall-clock     system_clock/high_resolution_clock, time(nullptr)
+                 and clock() leak wall time into results. Timing
+                 *measurement* uses steady_clock, which stays legal.
+  pointer-order  casting pointers to integers (uintptr_t) or ordering
+                 by pointer value changes run to run under ASLR
+                 (PR 1 replaced real trace addresses with virtual
+                 ranges for exactly this reason).
+  unordered-iter iterating an unordered container feeds its
+                 bucket-order -- a function of libstdc++ version and
+                 insertion history -- into whatever consumes the
+                 loop. Keyed lookups are fine; iteration is not.
+
+A site that is genuinely safe carries, on its own line or the line
+above, a justification tag:
+
+    // dmpb:lint-allow(<rule>): <why this cannot leak into results>
+
+Allowlisted sites are counted and reported so silent growth is
+visible in CI logs.
+
+Usage:
+    lint_determinism.py [--report-only] [--quiet] PATH...
+
+PATH arguments are files or directories (searched recursively for
+.cc/.cpp/.hh/.hpp/.h). Exit codes: 0 clean (or --report-only),
+1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".hh", ".hpp", ".h")
+
+ALLOW_TAG = re.compile(r"dmpb:lint-allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# rule name -> (compiled regex over comment/string-stripped code, message)
+RULES = {
+    "std-hash": (
+        re.compile(r"\bstd\s*::\s*hash\b"),
+        "std::hash is implementation-defined; use fnv1a64/mix64 "
+        "from base/names.hh / base/rng.hh",
+    ),
+    "raw-rand": (
+        re.compile(
+            r"(?<![\w:])(?:std\s*::\s*)?(?:rand|srand)\s*\("
+            r"|\b(?:std\s*::\s*)?random_device\b"
+        ),
+        "rand()/srand()/std::random_device are nondeterministic or "
+        "share global state; use base/rng.hh seeded by the pipeline",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"\bsystem_clock\b|\bhigh_resolution_clock\b"
+            r"|(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+            r"|(?<![\w:.>])clock\s*\(\s*\)"
+        ),
+        "wall-clock time must not reach results or seeds; "
+        "steady_clock (timing only) is the allowed clock",
+    ),
+    "pointer-order": (
+        re.compile(
+            r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\s*>"
+            r"|\bstd\s*::\s*less\s*<\s*[^<>]*\*\s*>"
+        ),
+        "pointer values are ASLR-dependent; order/hash by index or "
+        "id, or use TraceContext virtual ranges",
+    ),
+}
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<"
+)
+RANGE_FOR = r"for\s*\([^;()]*?:\s*(?:this\s*->\s*)?{name}\s*\)"
+# begin() only: every iteration needs one, while end() alone is the
+# find()-comparison idiom and harmless.
+EXPLICIT_ITER = r"\b{name}\s*\.\s*c?r?begin\s*\(\s*\)"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure so reported line numbers match the source."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def balanced_template_end(code: str, open_idx: int) -> int:
+    """Index just past the '>' matching the '<' at open_idx, or -1."""
+    depth = 0
+    for j in range(open_idx, len(code)):
+        c = code[j]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return -1
+
+
+def unordered_container_names(code: str) -> set[str]:
+    """Identifiers declared (member or local) as unordered
+    containers in this translation unit."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL.finditer(code):
+        end = balanced_template_end(code, m.end() - 1)
+        if end < 0:
+            continue
+        decl = re.match(r"\s*&?\s*(\w+)\s*[;={(,)]", code[end:])
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+    allowed: bool
+
+
+def allowed_rules_for_line(raw_lines: list[str], line_no: int) -> set[str]:
+    """Rules allowlisted for 1-based line_no: a tag on the line
+    itself or on the line directly above."""
+    rules: set[str] = set()
+    for idx in (line_no - 1, line_no - 2):
+        if 0 <= idx < len(raw_lines):
+            m = ALLOW_TAG.search(raw_lines[idx])
+            if m:
+                rules.update(
+                    r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+
+    findings: list[Finding] = []
+
+    def add(rule: str, message: str, offset: int) -> None:
+        line_no = code.count("\n", 0, offset) + 1
+        allowed = rule in allowed_rules_for_line(raw_lines, line_no)
+        findings.append(Finding(path, line_no, rule, message, allowed))
+
+    for rule, (pattern, message) in RULES.items():
+        for m in pattern.finditer(code):
+            add(rule, message, m.start())
+
+    for name in sorted(unordered_container_names(code)):
+        for pat in (RANGE_FOR, EXPLICIT_ITER):
+            for m in re.finditer(pat.format(name=re.escape(name)),
+                                 code):
+                add(
+                    "unordered-iter",
+                    f"iteration over unordered container '{name}' "
+                    "leaks bucket order; use a sorted snapshot or an "
+                    "ordered container",
+                    m.start(),
+                )
+
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_determinism.py",
+        description="ban nondeterminism sources in C++ sources")
+    parser.add_argument("paths", nargs="+", metavar="PATH")
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print findings but always exit 0 (bench/tests sweep)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-finding lines; keep the summary")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        return 0 if e.code == 0 else 2
+
+    try:
+        files = collect_files(args.paths)
+    except FileNotFoundError as e:
+        print(f"lint_determinism: no such path: {e.args[0]}",
+              file=sys.stderr)
+        return 2
+
+    violations = 0
+    allowed = 0
+    for path in files:
+        for f in lint_file(path):
+            if f.allowed:
+                allowed += 1
+                continue
+            violations += 1
+            if not args.quiet:
+                print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+    mode = " (report-only)" if args.report_only else ""
+    print(
+        f"lint_determinism: {len(files)} file(s), "
+        f"{violations} violation(s), {allowed} allowlisted "
+        f"site(s){mode}")
+    if args.report_only:
+        return 0
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
