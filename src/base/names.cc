@@ -36,4 +36,17 @@ sanitizeFileStem(const std::string &name)
     return out;
 }
 
+std::uint64_t
+mixSeed(std::uint64_t seed, std::string_view salt)
+{
+    std::uint64_t z = seed;
+    for (char c : salt)
+        z = (z ^ static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(c))) * 0x100000001b3ULL;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace dmpb

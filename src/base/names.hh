@@ -45,16 +45,32 @@ std::string sanitizeFileStem(const std::string &name);
  * must hash through here to keep the repo's bit-determinism guarantee
  * across toolchains.
  */
+/** @{ FNV-1a 64-bit basis/prime, exposed for incremental hashing
+ *  (digests that fold in binary words rather than one string). */
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+/** @} */
+
 constexpr std::uint64_t
 fnv1a64(std::string_view s)
 {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::uint64_t h = kFnvOffset;
     for (char c : s) {
         h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
+        h *= kFnvPrime;
     }
     return h;
 }
+
+/**
+ * Deterministic per-name seed derivation: folds @p salt into @p seed
+ * (FNV-style) and finalises with splitmix64, so one suite-level seed
+ * yields decorrelated per-workload seeds while staying reproducible
+ * across platforms. Every subsystem that derives seeds from names
+ * (suite runner, pipeline service, co-location orchestration) must go
+ * through here so identical (seed, name) pairs agree everywhere.
+ */
+std::uint64_t mixSeed(std::uint64_t seed, std::string_view salt);
 
 } // namespace dmpb
 

@@ -23,20 +23,6 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** splitmix64 finaliser: decorrelates the master seed per workload. */
-std::uint64_t
-mixSeed(std::uint64_t seed, const std::string &salt)
-{
-    std::uint64_t z = seed;
-    for (char c : salt)
-        z = (z ^ static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(c))) * 0x100000001b3ULL;
-    z += 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
 /** Thrown when a pipeline stage finds its deadline expired. */
 struct DeadlineExpired : std::runtime_error
 {
@@ -46,39 +32,6 @@ struct DeadlineExpired : std::runtime_error
 };
 
 } // namespace
-
-const char *
-runStatusName(RunStatus s)
-{
-    switch (s) {
-      case RunStatus::Ok: return "ok";
-      case RunStatus::Failed: return "failed";
-      case RunStatus::TimedOut: return "timeout";
-    }
-    return "unknown";
-}
-
-CachePolicy
-parseCachePolicy(const std::string &name)
-{
-    std::string canon = canonName(name);
-    if (canon == "use")
-        return CachePolicy::Use;
-    if (canon == "bypass")
-        return CachePolicy::Bypass;
-    throw std::invalid_argument("unknown cache policy '" + name +
-                                "' (valid: use, bypass)");
-}
-
-const char *
-cachePolicyName(CachePolicy p)
-{
-    switch (p) {
-      case CachePolicy::Use: return "use";
-      case CachePolicy::Bypass: return "bypass";
-    }
-    return "unknown";
-}
 
 PipelineService::PipelineService(ServiceConfig config)
     : config_(std::move(config)),
@@ -135,6 +88,27 @@ PipelineService::execute(const Workload &workload,
                          const PipelineRequest &request) const
 {
     return run(workload, config_.tuner, request);
+}
+
+ColocationOutcome
+PipelineService::executeColocation(const ColocationRequest &request) const
+{
+    try {
+        return runColocation(request.spec, config_.cluster,
+                             config_.cache, request.cache_policy);
+    } catch (const std::exception &e) {
+        // Selection errors throw out of runColocation (the CLI wants
+        // them as usage errors); the service contract is never-throws,
+        // so they become Failed outcomes here, like execute()'s
+        // unknown-workload path.
+        ColocationOutcome out;
+        out.status = RunStatus::Failed;
+        out.error = e.what();
+        out.policy = request.spec.policy;
+        out.scale = request.spec.scale;
+        out.seed = request.spec.seed;
+        return out;
+    }
 }
 
 WorkloadOutcome

@@ -31,36 +31,13 @@
 #include "core/auto_tuner.hh"
 #include "core/cache_config.hh"
 #include "core/cache_layer.hh"
+#include "core/colocation.hh"
+#include "core/run_status.hh"
 #include "stack/cluster.hh"
 #include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 namespace dmpb {
-
-/** How one workload's pipeline ended. */
-enum class RunStatus : std::uint8_t
-{
-    Ok = 0,      ///< pipeline completed (qualified or not)
-    Failed,      ///< an exception escaped the pipeline
-    TimedOut,    ///< the per-request deadline expired
-};
-
-/** Printable status ("ok", "failed", "timeout"). */
-const char *runStatusName(RunStatus s);
-
-/** Per-request cache policy. */
-enum class CachePolicy : std::uint8_t
-{
-    Use = 0,   ///< read and write every enabled cache level
-    Bypass,    ///< compute fresh; read and write no cache level
-};
-
-/** Parse "use" / "bypass" (canonName-insensitive).
- *  @throws std::invalid_argument naming the valid values. */
-CachePolicy parseCachePolicy(const std::string &name);
-
-/** Printable policy name ("use", "bypass"). */
-const char *cachePolicyName(CachePolicy p);
 
 /**
  * Everything that varies per pipeline request. The workload/scale/
@@ -115,6 +92,15 @@ struct WorkloadOutcome
 /** The pipeline result type: one outcome per request. */
 using PipelineResult = WorkloadOutcome;
 
+/** Everything that varies per co-location request (core/colocation
+ *  carries the scenario; the cache policy rides alongside like a
+ *  pipeline request's). */
+struct ColocationRequest
+{
+    ColocationSpec spec;
+    CachePolicy cache_policy = CachePolicy::Use;
+};
+
 /** Long-lived service state shared by every request. */
 struct ServiceConfig
 {
@@ -156,6 +142,16 @@ class PipelineService
      */
     WorkloadOutcome execute(const Workload &workload,
                             const PipelineRequest &request) const;
+
+    /**
+     * Run one co-located scenario (core/colocation.hh) on the service
+     * cluster, against the service reference cache. Like execute(),
+     * this never throws: selection errors (unknown workload or
+     * policy, fewer than two tenants) land in the outcome as Failed.
+     * Thread-safe under the same contract as execute().
+     */
+    ColocationOutcome
+    executeColocation(const ColocationRequest &request) const;
 
     /** In-memory layer counters (zeros when caching is off). */
     MemoryCacheStats referenceCacheStats() const;

@@ -88,6 +88,79 @@ writeOutcomeJson(const WorkloadOutcome &o)
 }
 
 std::string
+writeColocationJson(const ColocationOutcome &o)
+{
+    JsonWriter json;
+    json.openObject();
+    json.field("mode", "colocate");
+    json.field("status", runStatusName(o.status));
+    json.field("error", o.error);
+    json.field("policy", o.policy);
+    json.field("scale", scaleName(o.scale));
+    json.field("seed", o.seed);
+    json.field("from_cache", o.from_cache);
+    json.field("elapsed_s", o.elapsed_s);
+    if (o.status == RunStatus::Ok) {
+        json.field("stp", o.stp);
+        json.field("antt", o.antt);
+        json.field("unfairness", o.unfairness);
+        json.field("checksum", hex64(o.checksum));
+        json.openArray("tenants");
+        for (const TenantOutcome &t : o.tenants) {
+            json.openObject();
+            json.field("name", t.name);
+            json.field("short_name", t.short_name);
+            json.field("slowdown", t.slowdown);
+            json.openObject("isolated");
+            json.field("runtime_s", t.isolated_runtime_s);
+            emitMetrics(json, t.isolated_metrics);
+            json.closeObject();
+            json.openObject("colocated");
+            json.field("runtime_s", t.colocated_runtime_s);
+            emitMetrics(json, t.colocated_metrics);
+            json.closeObject();
+            json.closeObject();
+        }
+        json.closeArray();
+    }
+    json.closeObject();
+    return json.str();
+}
+
+std::string
+renderColocationTable(const ColocationOutcome &o)
+{
+    std::ostringstream os;
+    if (o.status != RunStatus::Ok) {
+        os << "co-location " << runStatusName(o.status) << ": "
+           << o.error << "\n";
+        return os.str();
+    }
+    TextTable table;
+    table.header({"Tenant", "Iso (s)", "Colo (s)", "Slowdown",
+                  "L3 hit iso", "L3 hit colo"});
+    for (const TenantOutcome &t : o.tenants) {
+        table.row({t.short_name,
+                   fmt("%.3f", t.isolated_runtime_s),
+                   fmt("%.3f", t.colocated_runtime_s),
+                   fmt("%.3fx", t.slowdown),
+                   fmt("%.1f%%",
+                       100.0 * t.isolated_metrics[Metric::L3Hit]),
+                   fmt("%.1f%%",
+                       100.0 * t.colocated_metrics[Metric::L3Hit])});
+    }
+    os << table.render();
+    os << "\nco-location: " << o.tenants.size() << " tenant(s), policy "
+       << o.policy << ", scale " << scaleName(o.scale) << ", seed "
+       << o.seed << (o.from_cache ? ", cached" : "") << "\n"
+       << "STP " << fmt("%.3f", o.stp) << ", ANTT "
+       << fmt("%.3f", o.antt) << ", unfairness "
+       << fmt("%.3f", o.unfairness) << ", checksum "
+       << hex64(o.checksum) << "\n";
+    return os.str();
+}
+
+std::string
 renderTable(const SuiteResult &result)
 {
     TextTable table;

@@ -29,6 +29,29 @@ std::string writeOutcomeJson(const WorkloadOutcome &outcome);
 std::string renderTable(const SuiteResult &result);
 
 /**
+ * Serialize one co-located scenario outcome as a standalone JSON
+ * document (served verbatim by the daemon's "colocate" command and
+ * written by the CLI's --colocate mode):
+ *
+ * { "mode": "colocate", "status", "error", "policy", "scale",
+ *   "seed", "from_cache", "stp", "antt", "unfairness",
+ *   "checksum": "0x...", "elapsed_s",
+ *   "tenants": [
+ *     { "name", "short_name", "slowdown",
+ *       "isolated":  {"runtime_s", "metrics": {...}},
+ *       "colocated": {"runtime_s", "metrics": {...}} }, ... ] }
+ *
+ * Only bit-restorable fields are emitted (elapsed_s aside), so a
+ * cache-warm rerun produces the same bytes modulo elapsed_s.
+ */
+std::string writeColocationJson(const ColocationOutcome &outcome);
+
+/** Render a co-located scenario as an aligned ASCII table: one row
+ *  per tenant plus an aggregate summary line (policy, STP, ANTT,
+ *  unfairness, checksum). */
+std::string renderColocationTable(const ColocationOutcome &outcome);
+
+/**
  * Render the full result as a JSON document:
  *
  * {

@@ -10,6 +10,9 @@
  *   --loadgen   closed-loop load generator replaying a mixed
  *               warm/cold request stream against a --serve daemon
  *               (serve/loadgen).
+ *   --colocate  co-located multi-tenant scenario: K proxy workloads
+ *               sharing one simulated LLC under an --llc-policy
+ *               way-partitioning policy (core/colocation).
  */
 
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include "runner/suite.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
+#include "sim/partition_policy.hh"
 
 namespace {
 
@@ -103,7 +107,8 @@ Usage: dmpb [options]
   --quick             Alias for --scale quick; used by the CI smoke
                       step
   --list              Print registered workload names (one per line,
-                      registry order) and exit
+                      registry order), the scenario-matrix scales and
+                      the LLC partition policies, then exit
   --help              This text
 
 Serve mode (benchmark-as-a-service daemon):
@@ -118,6 +123,25 @@ Serve mode (benchmark-as-a-service daemon):
   --serve-workers N   Concurrent pipeline workers (default 1)
   --serve-queue N     Admission-queue capacity; further run requests
                       are rejected with "overloaded" (default 64)
+
+Co-location mode (shared-LLC multi-tenant simulation):
+
+  --colocate a,b[,..] Run the named proxy workloads (>= 2, short
+                      names as in --workloads; duplicates allowed)
+                      co-scheduled on one simulated node: every
+                      tenant's trace replays round-robin through ONE
+                      shared L3 under the selected partition policy.
+                      Reports per-tenant isolated vs co-located
+                      runtime/metrics plus STP, ANTT and unfairness.
+                      --scale (default quick here), --seed, cache and
+                      --sim-* flags apply; results are bit-identical
+                      for every --sim-shards/--jobs value
+  --llc-policy NAME   Way-partitioning policy for the shared L3:
+                      none (default; all tenants compete for all
+                      ways), static-equal (disjoint equal way split),
+                      or critical-phase-aware (periodically shifts
+                      ways toward tenants whose miss rate is high or
+                      rising). Only valid with --colocate
 
 Loadgen mode (drive a running --serve daemon):
 
@@ -206,6 +230,10 @@ main(int argc, char **argv)
     LoadGenOptions loadgen;
     bool loadgen_mode = false;
     bool loadgen_json = false;
+
+    ColocationSpec colo;
+    bool colocate_mode = false;
+    bool llc_policy_given = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -304,6 +332,12 @@ main(int argc, char **argv)
             if (!parseU64(value("--serve-queue"), n) || n == 0)
                 usageError("--serve-queue needs a positive integer");
             serve.max_queue = static_cast<std::size_t>(n);
+        } else if (arg == "--colocate") {
+            colo.workloads = splitCsv(value("--colocate"));
+            colocate_mode = true;
+        } else if (arg == "--llc-policy") {
+            colo.policy = value("--llc-policy");
+            llc_policy_given = true;
         } else if (arg == "--loadgen") {
             loadgen.socket_path = value("--loadgen");
             loadgen_mode = true;
@@ -332,6 +366,11 @@ main(int argc, char **argv)
 
     if (serve_mode && loadgen_mode)
         usageError("--serve and --loadgen are mutually exclusive");
+    if (colocate_mode && (serve_mode || loadgen_mode))
+        usageError("--colocate is mutually exclusive with --serve and "
+                   "--loadgen");
+    if (llc_policy_given && !colocate_mode)
+        usageError("--llc-policy is only valid with --colocate");
 
     options.cache = resolveCacheConfig(no_cache, cache_dir,
                                        ref_cache_dir,
@@ -342,7 +381,51 @@ main(int argc, char **argv)
     if (list_only) {
         for (const auto &e : WorkloadRegistry::instance().entries())
             std::cout << e.name << "\n";
+        std::cout << "scales: " << scaleName(Scale::Tiny) << " "
+                  << scaleName(Scale::Quick) << " "
+                  << scaleName(Scale::Paper) << "\n";
+        std::cout << "llc policies:";
+        for (const std::string &p : partitionPolicyNames())
+            std::cout << " " << p;
+        std::cout << "\n";
         return 0;
+    }
+
+    if (colocate_mode) {
+        // Validate the selection up front so typos exit with usage
+        // help; execution errors still come back as a Failed outcome.
+        if (colo.workloads.size() < 2)
+            usageError("--colocate needs at least two workloads");
+        try {
+            makePartitionPolicy(colo.policy);
+        } catch (const std::invalid_argument &e) {
+            usageError(e.what());
+        }
+        // Co-location replays every tenant's full trace three times
+        // (capture, isolated baseline, shared-LLC run); default to the
+        // quick cell unless the user asked for a specific scale.
+        colo.scale = scale_given ? scale : Scale::Quick;
+        colo.seed = options.seed;
+
+        ServiceConfig service_config;
+        service_config.cluster = options.cluster;
+        service_config.tuner = options.tuner;
+        service_config.sim = options.sim;
+        service_config.cache = options.cache;
+        PipelineService service(std::move(service_config));
+
+        ColocationRequest request;
+        request.spec = colo;
+        ColocationOutcome outcome = service.executeColocation(request);
+        if (output == "-") {
+            std::cout << writeColocationJson(outcome) << "\n";
+        } else {
+            std::cout << renderColocationTable(outcome);
+            if (writeReportFile(output,
+                                writeColocationJson(outcome) + "\n"))
+                std::cout << "JSON report: " << output << "\n";
+        }
+        return outcome.status == RunStatus::Ok ? 0 : 1;
     }
 
     if (loadgen_mode) {

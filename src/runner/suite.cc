@@ -20,21 +20,6 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** splitmix64 finaliser: decorrelates the checksum mix per workload
- *  (same mixing the service applies to seeds). */
-std::uint64_t
-mixSeed(std::uint64_t seed, const std::string &salt)
-{
-    std::uint64_t z = seed;
-    for (char c : salt)
-        z = (z ^ static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(c))) * 0x100000001b3ULL;
-    z += 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
 } // namespace
 
 std::uint64_t

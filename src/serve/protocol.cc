@@ -86,6 +86,76 @@ parseRunFields(const JsonValue &doc, ServeRequest &out,
     return true;
 }
 
+bool
+parseColocateFields(const JsonValue &doc, ServeRequest &out,
+                    std::string &error)
+{
+    const JsonValue *workloads = doc.find("workloads");
+    if (workloads == nullptr || !workloads->isArray()) {
+        error = "colocate request needs a 'workloads' array";
+        return false;
+    }
+    for (const JsonValue &w : workloads->items()) {
+        if (!w.isString() || w.asString().empty()) {
+            error = "'workloads' must be an array of workload names";
+            return false;
+        }
+        out.colocation.spec.workloads.push_back(w.asString());
+    }
+    if (out.colocation.spec.workloads.size() < 2) {
+        error = "colocate request needs at least two workloads";
+        return false;
+    }
+    if (const JsonValue *policy = doc.find("policy")) {
+        if (!policy->isString()) {
+            error = "'policy' must be a string";
+            return false;
+        }
+        out.colocation.spec.policy = policy->asString();
+    }
+    if (const JsonValue *scale = doc.find("scale")) {
+        if (!scale->isString()) {
+            error = "'scale' must be a string";
+            return false;
+        }
+        try {
+            out.colocation.spec.scale = parseScale(scale->asString());
+        } catch (const std::invalid_argument &e) {
+            error = e.what();
+            return false;
+        }
+    }
+    if (const JsonValue *cache = doc.find("cache")) {
+        if (!cache->isString()) {
+            error = "'cache' must be a string";
+            return false;
+        }
+        try {
+            out.colocation.cache_policy =
+                parseCachePolicy(cache->asString());
+        } catch (const std::invalid_argument &e) {
+            error = e.what();
+            return false;
+        }
+    }
+    if (const JsonValue *seed = doc.find("seed")) {
+        if (!seed->isNumber()) {
+            error = "'seed' must be a number";
+            return false;
+        }
+        out.colocation.spec.seed = seed->asU64();
+    }
+    if (const JsonValue *priority = doc.find("priority")) {
+        if (!priority->isNumber()) {
+            error = "'priority' must be a number";
+            return false;
+        }
+        out.priority =
+            static_cast<std::int64_t>(priority->asNumber());
+    }
+    return true;
+}
+
 } // namespace
 
 bool
@@ -118,6 +188,10 @@ parseServeRequest(const std::string &line, ServeRequest &out,
         out.cmd = ServeCmd::Run;
         return parseRunFields(doc, out, error);
     }
+    if (cmd == "colocate") {
+        out.cmd = ServeCmd::Colocate;
+        return parseColocateFields(doc, out, error);
+    }
     if (cmd == "stats") {
         out.cmd = ServeCmd::Stats;
         return true;
@@ -135,7 +209,7 @@ parseServeRequest(const std::string &line, ServeRequest &out,
         return true;
     }
     error = "unknown cmd '" + cmd +
-            "' (valid: run, stats, list, ping, shutdown)";
+            "' (valid: run, colocate, stats, list, ping, shutdown)";
     return false;
 }
 

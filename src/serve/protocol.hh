@@ -18,15 +18,24 @@
  *       (default use); priority: higher runs sooner (default 0);
  *       optional preset overrides: input_bytes, vertices, steps,
  *       batch, sparsity.
+ *   {"cmd":"colocate","workloads":["grep","kmeans"],
+ *    "policy":"static-equal","scale":"quick","seed":99,
+ *    "cache":"use","priority":0,"id":6}
+ *       co-located multi-tenant scenario (core/colocation): >= 2
+ *       workload names sharing one simulated LLC under the named
+ *       way-partitioning policy (default "none"). Queued and
+ *       prioritised exactly like a run request.
  *   {"cmd":"stats","id":2}     counters + cache layer stats
- *   {"cmd":"list","id":3}      registered workload names
+ *   {"cmd":"list","id":3}      registered workload names, scales and
+ *                              LLC partition policies
  *   {"cmd":"ping","id":4}      liveness probe
  *   {"cmd":"shutdown","id":5}  graceful drain, response after drain
  *
  * Responses:
  *
  *   {"id":1,"ok":true,"queue_s":x,"result":{...}}   run completed;
- *       result is exactly runner/report writeOutcomeJson
+ *       result is exactly runner/report writeOutcomeJson (or
+ *       writeColocationJson for a colocate request)
  *   {"id":1,"ok":false,"rejected":"overloaded","queue_depth":N}
  *       back-pressure: the bounded admission queue was full
  *   {"id":1,"ok":false,"rejected":"shutting-down"}
@@ -54,6 +63,7 @@ namespace dmpb {
 enum class ServeCmd : std::uint8_t
 {
     Run = 0,
+    Colocate,
     Stats,
     List,
     Ping,
@@ -71,6 +81,8 @@ struct ServeRequest
     std::int64_t priority = 0;
     /** The pipeline request (cmd == Run only). */
     PipelineRequest pipeline;
+    /** The co-location request (cmd == Colocate only). */
+    ColocationRequest colocation;
 };
 
 /**

@@ -15,6 +15,7 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "runner/report.hh"
+#include "sim/partition_policy.hh"
 #include "workloads/registry.hh"
 
 namespace dmpb {
@@ -314,6 +315,9 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
 
     switch (request.cmd) {
       case ServeCmd::Run:
+      case ServeCmd::Colocate:
+        // Both kinds share the admission queue, priorities and the
+        // worker pool; the worker dispatches on cmd.
         handleRun(conn, std::move(request));
         return;
       case ServeCmd::Stats:
@@ -397,15 +401,22 @@ Server::workerLoop()
     Job job;
     while (popJob(job)) {
         double queue_s = secondsSince(job.enqueued);
-        WorkloadOutcome outcome = service_.execute(job.request.pipeline);
+        std::string result_json;
+        if (job.request.cmd == ServeCmd::Colocate) {
+            result_json = writeColocationJson(
+                service_.executeColocation(job.request.colocation));
+        } else {
+            result_json =
+                writeOutcomeJson(service_.execute(job.request.pipeline));
+        }
         {
             // Count before sending: a client holding the response
             // must never read a stats snapshot that predates it.
             MutexLock lock(stats_mutex_);
             ++stats_.completed;
         }
-        job.conn->sendLine(buildRunResponse(
-            job.request.id, queue_s, writeOutcomeJson(outcome)));
+        job.conn->sendLine(buildRunResponse(job.request.id, queue_s,
+                                            result_json));
         job.conn.reset();
     }
 }
@@ -470,6 +481,15 @@ Server::listResponse(std::uint64_t id) const
     json.field("ok", true);
     json.openArray("workloads");
     for (const std::string &name : WorkloadRegistry::instance().names())
+        json.element(name);
+    json.closeArray();
+    json.openArray("scales");
+    json.element(scaleName(Scale::Tiny));
+    json.element(scaleName(Scale::Quick));
+    json.element(scaleName(Scale::Paper));
+    json.closeArray();
+    json.openArray("policies");
+    for (const std::string &name : partitionPolicyNames())
         json.element(name);
     json.closeArray();
     json.closeObject();

@@ -156,6 +156,26 @@ class AccessBatch
         sites_.clear();
     }
 
+    /**
+     * Rebase every memory event's address by @p offset, wrapping
+     * within the 61-bit address space (branch events carry no address
+     * and are untouched). The co-location capture uses this to give
+     * each tenant a disjoint simulated address space, so co-scheduled
+     * streams contend in a shared cache instead of aliasing.
+     */
+    void
+    rebase(std::uint64_t offset)
+    {
+        for (std::size_t i = 0; i < n_; ++i) {
+            const std::uint64_t ev = ev_[i];
+            const auto op = static_cast<SimOp>(ev >> kOpShift);
+            if (op == SimOp::BranchTaken ||
+                op == SimOp::BranchNotTaken)
+                continue;
+            ev_[i] = (ev & ~kAddrMask) | ((ev + offset) & kAddrMask);
+        }
+    }
+
     /** @{ Raw access for the replay loop. */
     static constexpr unsigned kOpShift = 61;
     static constexpr std::uint64_t kAddrMask =

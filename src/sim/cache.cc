@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/names.hh"
 #include "sim/engine.hh"
 
 namespace dmpb {
@@ -24,8 +25,17 @@ sliceL3(CacheParams l3, std::uint32_t sharers)
     std::uint64_t way_line = static_cast<std::uint64_t>(l3.associativity) *
                              l3.line_bytes;
     std::uint64_t sets = l3.size_bytes / sharers / way_line;
-    if (sets == 0)
+    if (sets == 0) {
+        // Oversubscription: more sharers than whole-way set slices.
+        // A one-set slice is the smallest exact geometry we can hand
+        // out; warn, because a sharer count this large is usually a
+        // configuration bug upstream, not a deliberate choice.
+        dmpb_warn(l3.name, ": ", sharers,
+                  " sharers oversubscribe the ", l3.size_bytes,
+                  "-byte cache; clamping the per-sharer slice to one ",
+                  way_line, "-byte set");
         sets = 1;
+    }
     // Rounding down to whole ways keeps the slice geometry exact, so
     // the CacheModel constructor's divisibility check always holds.
     l3.size_bytes = sets * way_line;
@@ -62,7 +72,7 @@ CacheStats::scale(double factor)
     writebacks = std::min(scaled(writebacks), misses);
 }
 
-CacheModel::CacheModel(const CacheParams &params)
+CacheModel::CacheModel(const CacheParams &params, std::uint32_t tenants)
     : params_(params)
 {
     dmpb_assert(params.line_bytes > 0 &&
@@ -70,6 +80,8 @@ CacheModel::CacheModel(const CacheParams &params)
                 "cache line size must be a power of two");
     dmpb_assert(params.associativity > 0,
                 params.name, ": associativity must be positive");
+    dmpb_assert(tenants >= 1,
+                params.name, ": cache needs at least one tenant");
     const std::uint64_t way_bytes =
         static_cast<std::uint64_t>(params.associativity) *
         params.line_bytes;
@@ -89,6 +101,12 @@ CacheModel::CacheModel(const CacheParams &params)
     dirty_.assign(ways, 0);
     num_sets_ = sets;
     assoc_ = params.associativity;
+    // Way masks are 64-bit; wider caches exist only as single-tenant
+    // models whose all-ways representation saturates (the mask is then
+    // only ever compared against full_mask_, never shifted past it).
+    full_mask_ = assoc_ >= 64 ? ~0ULL : (1ULL << assoc_) - 1;
+    tstats_.assign(tenants, CacheStats{});
+    way_masks_.assign(tenants, full_mask_);
     // Power-of-two set counts take a mask/shift fast path; others
     // (e.g. the 12288-set Westmere L3) are indexed by modulo, standing
     // in for the hash-based indexing real LLCs use.
@@ -108,13 +126,82 @@ CacheModel::flush()
     mru_line_[0] = mru_line_[1] = kNoLine;
 }
 
+CacheStats
+CacheModel::totalStats() const
+{
+    CacheStats total;
+    for (const CacheStats &st : tstats_)
+        total.merge(st);
+    return total;
+}
+
+void
+CacheModel::setWayMask(std::uint32_t tenant, std::uint64_t mask)
+{
+    dmpb_assert(tenant < tstats_.size(),
+                params_.name, ": tenant ", tenant, " out of range (",
+                tstats_.size(), " tenants)");
+    dmpb_assert(assoc_ <= 64,
+                params_.name,
+                ": way masks require associativity <= 64");
+    dmpb_assert(mask != 0,
+                params_.name, ": tenant ", tenant,
+                " way mask must allow at least one way");
+    dmpb_assert((mask & ~full_mask_) == 0,
+                params_.name, ": tenant ", tenant, " way mask 0x",
+                mask, " exceeds the ", assoc_, "-way associativity");
+    way_masks_[tenant] = mask;
+}
+
+std::uint64_t
+CacheModel::stateHashForTest() const
+{
+    // Order-sensitive digest over every piece of replacement state.
+    // Counters are deliberately excluded: tests combine this with
+    // stats()/tenantStats() so the two assertions stay independent.
+    std::uint64_t h = kFnvOffset;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= kFnvPrime;
+        }
+    };
+    for (std::uint64_t t : tags_)
+        mix(t);
+    for (std::uint64_t a : lru_)
+        mix(a);
+    for (std::uint8_t d : dirty_)
+        mix(d);
+    mix(tick_);
+    mix(mru_line_[0]);
+    mix(mru_line_[1]);
+    mix(mru_way_[0]);
+    mix(mru_way_[1]);
+    return h;
+}
+
 CacheHierarchy::CacheHierarchy(const Params &params,
                                std::uint32_t l3_sharers)
     : l1i_(params.l1i),
       l1d_(params.l1d),
       l2_(params.l2),
-      l3_(sliceL3(params.l3, l3_sharers))
+      l3_own_(std::make_unique<CacheModel>(sliceL3(params.l3,
+                                                   l3_sharers))),
+      l3_(l3_own_.get())
 {
+}
+
+CacheHierarchy::CacheHierarchy(const Params &params, SharedL3 &shared_l3,
+                               std::uint32_t tenant)
+    : l1i_(params.l1i),
+      l1d_(params.l1d),
+      l2_(params.l2),
+      l3_(&shared_l3.model()),
+      l3_tenant_(tenant)
+{
+    dmpb_assert(tenant < shared_l3.tenants(),
+                "shared-L3 tenant ", tenant, " out of range (",
+                shared_l3.tenants(), " tenants)");
 }
 
 void
@@ -130,7 +217,7 @@ CacheHierarchy::flush()
     l1i_.flush();
     l1d_.flush();
     l2_.flush();
-    l3_.flush();
+    l3_->flush();
 }
 
 } // namespace dmpb

@@ -15,13 +15,26 @@
  * and power-of-two set counts take a mask/shift fast path instead of
  * modulo/divide. access() is defined inline so both the scalar path
  * and the batched replay loop (sim/engine.hh) inline it.
+ *
+ * Multi-tenant sharing (the co-location mode): a CacheModel can be
+ * constructed for K tenants, each with its own CacheStats and an
+ * Intel-CAT-style way-allocation mask. Masks restrict where a
+ * tenant's misses may *allocate*; hits are served from any way, which
+ * is exactly CAT's semantics -- a line another tenant installed is
+ * still readable. The single-tenant configuration (the default, and
+ * the only one the isolated pipelines use) keeps the mask at
+ * all-ways, which the victim scan recognises and takes the original
+ * unmasked branch-free path -- the private-slice behaviour is
+ * bit-identical by construction, tags, ages and MRU hints included.
  */
 
 #ifndef DMPB_SIM_CACHE_HH
 #define DMPB_SIM_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dmpb {
@@ -51,7 +64,10 @@ struct CacheParams
 /**
  * The private LLC slice one of @p sharers contexts sees
  * (capacity / sharers, rounded down to whole ways so the resulting
- * geometry stays exact; never fewer than one set).
+ * geometry stays exact; never fewer than one set). Oversubscription --
+ * more sharers than the capacity has whole-way set slices -- clamps to
+ * a one-set slice and logs a warning, since a degenerate slice usually
+ * means the caller's sharer count is a configuration bug.
  */
 CacheParams sliceL3(CacheParams l3, std::uint32_t sharers);
 
@@ -84,23 +100,44 @@ struct CacheStats
  * below 2^63) and age 0; the global age clock starts at 1, so the
  * branch-free minimum-age victim scan prefers empty ways over any
  * valid line.
+ *
+ * With @p tenants > 1 the model is shared: every access carries a
+ * tenant index selecting the CacheStats it accounts into and the way
+ * mask its misses may allocate into. A writeback is attributed to the
+ * *evicting* tenant (the one whose allocation displaced the dirty
+ * line), matching how CMT-style monitoring attributes victim traffic.
  */
 class CacheModel
 {
   public:
-    explicit CacheModel(const CacheParams &params);
+    /**
+     * @param params  Level geometry.
+     * @param tenants Contexts sharing this cache (>= 1). Each starts
+     *                with the all-ways allocation mask.
+     */
+    explicit CacheModel(const CacheParams &params,
+                        std::uint32_t tenants = 1);
+
+    /** Access one cache line as tenant 0 (the single-tenant path). */
+    bool
+    access(std::uint64_t addr, bool write)
+    {
+        return access(addr, write, 0);
+    }
 
     /**
      * Access one cache line.
      *
-     * @param addr  Byte address (any address within the line).
-     * @param write True for stores (sets the dirty bit).
+     * @param addr   Byte address (any address within the line).
+     * @param write  True for stores (sets the dirty bit).
+     * @param tenant Accounting/allocation identity (< tenants()).
      * @return true on hit.
      */
     bool
-    access(std::uint64_t addr, bool write)
+    access(std::uint64_t addr, bool write, std::uint32_t tenant)
     {
-        ++stats_.accesses;
+        CacheStats &st = tstats_[tenant];
+        ++st.accesses;
         const std::uint64_t line = addr >> line_shift_;
         // Two-entry MRU hint: the two most recently accessed lines
         // are resident unless an eviction in between took one (the
@@ -109,6 +146,8 @@ class CacheModel
         // one line and the load/load interleave of two streams (e.g.
         // activations x weights) skip the tag scan entirely, with
         // counters and LRU state identical to the full path below.
+        // Hint hits are plain hits, so they stay mask-blind even in
+        // shared mode (CAT allows hits in any way).
         if (line == mru_line_[0]) {
             lru_[mru_way_[0]] = ++tick_;
             dirty_[mru_way_[0]] |= write;
@@ -147,19 +186,38 @@ class CacheModel
             }
         }
 
-        ++stats_.misses;
+        ++st.misses;
         std::uint64_t *age = &lru_[set * assoc];
         std::uint8_t *dirty = &dirty_[set * assoc];
-        // Branch-free minimum-age victim scan (empty ways age 0).
+        const std::uint64_t mask = way_masks_[tenant];
         std::uint32_t victim = 0;
-        std::uint64_t best = age[0];
-        for (std::uint32_t w = 1; w < assoc; ++w) {
-            const bool better = age[w] < best;
-            victim = better ? w : victim;
-            best = better ? age[w] : best;
+        if (mask == full_mask_) {
+            // Branch-free minimum-age victim scan (empty ways age 0).
+            // The all-ways mask -- always the case for single-tenant
+            // models -- keeps the original scan, untouched.
+            std::uint64_t best = age[0];
+            for (std::uint32_t w = 1; w < assoc; ++w) {
+                const bool better = age[w] < best;
+                victim = better ? w : victim;
+                best = better ? age[w] : best;
+            }
+        } else {
+            // Masked variant, still branch-free: a disallowed way
+            // scans as kBarredAge (older than any real stamp can
+            // get), so the minimum scan can only select a permitted
+            // way. setWayMask() rejects empty masks, so at least one
+            // way always beats the kBarredAge sentinel.
+            std::uint64_t best = kBarredAge;
+            for (std::uint32_t w = 0; w < assoc; ++w) {
+                const std::uint64_t a =
+                    ((mask >> w) & 1) ? age[w] : kBarredAge;
+                const bool better = a < best;
+                victim = better ? w : victim;
+                best = better ? a : best;
+            }
         }
         if (age[victim] != 0 && dirty[victim])
-            ++stats_.writebacks;
+            ++st.writebacks;
         tags[victim] = tag;
         age[victim] = ++tick_;
         dirty[victim] = write;
@@ -181,8 +239,55 @@ class CacheModel
     void flush();
 
     const CacheParams &params() const { return params_; }
-    const CacheStats &stats() const { return stats_; }
-    CacheStats &stats() { return stats_; }
+
+    /** Tenant 0's counters -- the only ones a single-tenant model
+     *  has, so existing callers read exactly what they always did. */
+    const CacheStats &stats() const { return tstats_[0]; }
+    CacheStats &stats() { return tstats_[0]; }
+
+    /** @{ Multi-tenant accounting and way partitioning. */
+    std::uint32_t
+    tenants() const
+    {
+        return static_cast<std::uint32_t>(tstats_.size());
+    }
+
+    const CacheStats &
+    tenantStats(std::uint32_t tenant) const
+    {
+        return tstats_[tenant];
+    }
+
+    /** Sum of all tenants' counters. */
+    CacheStats totalStats() const;
+
+    /**
+     * Restrict @p tenant's future allocations to the ways set in
+     * @p mask (bit w = way w of every set). The mask must be
+     * non-empty and within the associativity; it does not evict lines
+     * the tenant already holds outside it (again CAT semantics --
+     * re-partitioning is gradual, stale lines age out).
+     */
+    void setWayMask(std::uint32_t tenant, std::uint64_t mask);
+
+    std::uint64_t
+    wayMask(std::uint32_t tenant) const
+    {
+        return way_masks_[tenant];
+    }
+
+    /** The all-ways mask of this geometry. */
+    std::uint64_t fullMask() const { return full_mask_; }
+    /** @} */
+
+    /**
+     * Testing hook: an order-sensitive fnv64 digest of the complete
+     * replacement state -- tags, ages, dirty bits, MRU hints and the
+     * LRU clock. Two models whose digests agree have byte-identical
+     * future behaviour, so equivalence tests can assert *state*
+     * identity, not just counter identity.
+     */
+    std::uint64_t stateHashForTest() const;
 
     /**
      * Testing hook: force the generic modulo/divide indexing path
@@ -200,9 +305,17 @@ class CacheModel
     static constexpr std::uint64_t kInvalidTag = ~0ULL;
     /** Impossible line number (addresses stay far below 2^63). */
     static constexpr std::uint64_t kNoLine = ~0ULL;
+    /** Scan sentinel for ways outside the tenant's mask: older than
+     *  any reachable age stamp, never selected while a permitted way
+     *  exists. */
+    static constexpr std::uint64_t kBarredAge = ~0ULL;
 
     CacheParams params_;
-    CacheStats stats_;
+    /** Per-tenant counters; size >= 1 (index 0 = the classic path). */
+    std::vector<CacheStats> tstats_;
+    /** Per-tenant way-allocation masks (all-ways by default). */
+    std::vector<std::uint64_t> way_masks_;
+    std::uint64_t full_mask_;
     /** @{ Way state, set-major structure-of-arrays. */
     std::vector<std::uint64_t> tags_;   ///< kInvalidTag = empty way
     std::vector<std::uint64_t> lru_;    ///< age stamp; 0 = empty way
@@ -220,11 +333,62 @@ class CacheModel
 };
 
 /**
+ * One L3 shared by K tenants -- the co-location replacement for the
+ * private-slice approximation. K CacheHierarchy instances reference
+ * one SharedL3, each with its own tenant index, so their traffic
+ * contends for the same sets and ways while per-tenant counters and
+ * allocation masks stay separate.
+ *
+ * Thread confinement, not locking: the deterministic round-robin
+ * interleaver (sim/colocation) replays every tenant's stream on ONE
+ * thread, so the shared model needs no mutex and adds zero cost to
+ * the per-access path. Hierarchies referencing a SharedL3 must not be
+ * driven from concurrent threads; the clang thread-safety build keeps
+ * this cheap to uphold because there is simply no cross-thread API.
+ */
+class SharedL3
+{
+  public:
+    SharedL3(const CacheParams &l3, std::uint32_t tenants)
+        : model_(l3, tenants)
+    {
+    }
+
+    CacheModel &model() { return model_; }
+    const CacheModel &model() const { return model_; }
+
+    std::uint32_t tenants() const { return model_.tenants(); }
+
+    void
+    setWayMask(std::uint32_t tenant, std::uint64_t mask)
+    {
+        model_.setWayMask(tenant, mask);
+    }
+
+    const CacheStats &
+    tenantStats(std::uint32_t tenant) const
+    {
+        return model_.tenantStats(tenant);
+    }
+
+  private:
+    CacheModel model_;
+};
+
+/**
  * An L1I + L1D + unified L2 + unified L3 hierarchy for one hardware
- * context. L3 sharing between cores is approximated by giving each
- * context a private slice of the L3 (capacity / sharers); this keeps
- * the per-access path lock-free, which matters because every traced
- * memory reference passes through here.
+ * context. Two L3 arrangements exist:
+ *
+ *  - private slice (default): L3 sharing between cores is
+ *    approximated by giving each context a private slice of the L3
+ *    (capacity / sharers); this keeps the per-access path lock-free,
+ *    which matters because every traced memory reference passes
+ *    through here.
+ *
+ *  - shared (co-location): the hierarchy references a caller-owned
+ *    SharedL3 under its tenant index; L1/L2 stay private. The caller
+ *    must keep the SharedL3 alive for the hierarchy's lifetime and
+ *    replay contending hierarchies from a single thread.
  */
 class CacheHierarchy
 {
@@ -244,6 +408,13 @@ class CacheHierarchy
      */
     CacheHierarchy(const Params &params, std::uint32_t l3_sharers = 1);
 
+    /**
+     * Shared-LLC variant: private L1/L2 from @p params, L3 traffic
+     * routed into @p shared_l3 as @p tenant.
+     */
+    CacheHierarchy(const Params &params, SharedL3 &shared_l3,
+                   std::uint32_t tenant);
+
     /** Data access walking L1D -> L2 -> L3. */
     void
     dataAccess(std::uint64_t addr, bool write)
@@ -252,7 +423,7 @@ class CacheHierarchy
             return;
         if (l2_.access(addr, write))
             return;
-        l3_.access(addr, write);
+        l3_->access(addr, write, l3_tenant_);
     }
 
     /** Instruction-fetch access walking L1I -> L2 -> L3. */
@@ -263,7 +434,7 @@ class CacheHierarchy
             return;
         if (l2_.access(addr, false))
             return;
-        l3_.access(addr, false);
+        l3_->access(addr, false, l3_tenant_);
     }
 
     /**
@@ -277,15 +448,32 @@ class CacheHierarchy
     const CacheModel &l1i() const { return l1i_; }
     const CacheModel &l1d() const { return l1d_; }
     const CacheModel &l2() const { return l2_; }
-    const CacheModel &l3() const { return l3_; }
+    const CacheModel &l3() const { return *l3_; }
 
+    /** This context's L3 counters: tenant-scoped under a SharedL3,
+     *  the whole private slice otherwise (identical reads). */
+    const CacheStats &l3Stats() const
+    {
+        return l3_->tenantStats(l3_tenant_);
+    }
+
+    /** Tenant index of this context's L3 traffic (0 when private). */
+    std::uint32_t l3Tenant() const { return l3_tenant_; }
+
+    /** Drop all cached contents. In shared mode this flushes the
+     *  SharedL3 too (every tenant's lines): resetting one tenant of a
+     *  contended cache is not a meaningful operation. */
     void flush();
 
   private:
     CacheModel l1i_;
     CacheModel l1d_;
     CacheModel l2_;
-    CacheModel l3_;
+    /** Owned in private-slice mode; empty when sharing. */
+    std::unique_ptr<CacheModel> l3_own_;
+    /** The L3 this hierarchy drives (own slice or the shared one). */
+    CacheModel *l3_;
+    std::uint32_t l3_tenant_ = 0;
 };
 
 } // namespace dmpb

@@ -1,0 +1,138 @@
+#include "sim/colocation.hh"
+
+#include <memory>
+
+#include "base/logging.hh"
+#include "sim/engine.hh"
+
+namespace dmpb {
+
+std::uint64_t
+TenantStream::events() const
+{
+    std::uint64_t total = 0;
+    for (const AccessBatch &b : blocks)
+        total += b.size();
+    return total;
+}
+
+namespace {
+
+/** Replay position of one tenant: current block plus intra-block
+ *  cursor. */
+struct StreamCursor
+{
+    std::size_t block = 0;
+    BatchCursor at;
+
+    bool
+    done(const TenantStream &stream) const
+    {
+        return block >= stream.blocks.size();
+    }
+};
+
+/**
+ * Replay up to @p budget events of @p stream, spanning block
+ * boundaries. Returns the number of events consumed (< budget only
+ * when the stream ran dry).
+ */
+std::size_t
+replayTurn(const TenantStream &stream, StreamCursor &cur,
+           std::size_t budget, CacheHierarchy &caches,
+           BranchPredictor &predictor)
+{
+    std::size_t consumed = 0;
+    while (consumed < budget && !cur.done(stream)) {
+        const AccessBatch &block = stream.blocks[cur.block];
+        consumed += replayRange(block, cur.at, budget - consumed,
+                                caches, predictor);
+        if (cur.at.done(block)) {
+            ++cur.block;
+            cur.at = BatchCursor{};
+        }
+    }
+    return consumed;
+}
+
+} // namespace
+
+InterleaveResult
+interleaveReplay(const MachineConfig &machine,
+                 const std::vector<TenantStream> &streams,
+                 PartitionPolicy &policy, const InterleaveConfig &cfg)
+{
+    const std::uint32_t tenants =
+        static_cast<std::uint32_t>(streams.size());
+    dmpb_assert(tenants >= 1, "co-located replay needs tenants");
+    const std::size_t quantum = cfg.quantum == 0 ? 1 : cfg.quantum;
+    const std::size_t phase_quanta =
+        cfg.phase_quanta == 0 ? 1 : cfg.phase_quanta;
+    const std::uint32_t ways = machine.caches.l3.associativity;
+
+    // One shared LLC, K private L1/L2 hierarchies routed into it.
+    // Everything below runs on the calling thread -- the SharedL3 is
+    // thread-confined by construction, no locking anywhere.
+    SharedL3 shared(machine.caches.l3, tenants);
+    std::vector<std::unique_ptr<CacheHierarchy>> hiers;
+    std::vector<std::unique_ptr<GsharePredictor>> preds;
+    hiers.reserve(tenants);
+    preds.reserve(tenants);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        hiers.push_back(std::make_unique<CacheHierarchy>(
+            machine.caches, shared, t));
+        preds.push_back(std::make_unique<GsharePredictor>(
+            machine.predictor.table_bits,
+            machine.predictor.history_bits));
+    }
+
+    std::vector<std::uint64_t> masks = policy.initialMasks(tenants, ways);
+    dmpb_assert(masks.size() == tenants,
+                policy.name(), ": initialMasks returned ",
+                masks.size(), " masks for ", tenants, " tenants");
+    for (std::uint32_t t = 0; t < tenants; ++t)
+        shared.setWayMask(t, masks[t]);
+
+    InterleaveResult result;
+    result.tenants.resize(tenants);
+
+    std::vector<StreamCursor> cursors(tenants);
+    std::size_t active = 0;
+    for (std::uint32_t t = 0; t < tenants; ++t)
+        active += cursors[t].done(streams[t]) ? 0 : 1;
+
+    std::uint64_t rounds = 0;
+    while (active > 0) {
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            StreamCursor &cur = cursors[t];
+            if (cur.done(streams[t]))
+                continue;
+            replayTurn(streams[t], cur, quantum, *hiers[t], *preds[t]);
+            if (cur.done(streams[t]))
+                --active;
+        }
+        ++rounds;
+        if (active > 0 && rounds % phase_quanta == 0) {
+            std::vector<CacheStats> cumulative(tenants);
+            for (std::uint32_t t = 0; t < tenants; ++t)
+                cumulative[t] = shared.tenantStats(t);
+            if (policy.rebalance(cumulative, ways, masks)) {
+                for (std::uint32_t t = 0; t < tenants; ++t)
+                    shared.setWayMask(t, masks[t]);
+                ++result.rebalances;
+            }
+        }
+    }
+
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        TenantReplayStats &st = result.tenants[t];
+        st.l1i = hiers[t]->l1i().stats();
+        st.l1d = hiers[t]->l1d().stats();
+        st.l2 = hiers[t]->l2().stats();
+        st.l3 = shared.tenantStats(t);
+        st.branch = preds[t]->stats();
+    }
+    return result;
+}
+
+} // namespace dmpb

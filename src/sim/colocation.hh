@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic co-located replay: K tenants' captured event streams
+ * through one shared LLC under a way-partitioning policy.
+ *
+ * The isolated pipelines replay each workload's trace through private
+ * models; co-location instead replays K *captured* streams (see
+ * TraceContext::setCaptureSink) through K private L1/L2 hierarchies
+ * that all route L3 traffic into one SharedL3. Interleaving is
+ * strict round-robin in fixed quantum-sized turns on a single thread,
+ * so the contention pattern -- and therefore every statistic -- is a
+ * pure function of (streams, policy, quantum), independent of shard
+ * or worker counts like every other engine knob in the repo.
+ *
+ * Phase boundaries for the policy layer are defined in replayed work,
+ * not wall-clock: every InterleaveConfig::phase_quanta full rounds the
+ * policy sees each tenant's cumulative L3 counters and may re-mask.
+ */
+
+#ifndef DMPB_SIM_COLOCATION_HH
+#define DMPB_SIM_COLOCATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/access_batch.hh"
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/partition_policy.hh"
+
+namespace dmpb {
+
+/** One tenant's captured event stream, in program order. */
+struct TenantStream
+{
+    std::string name;
+    /** Captured blocks; block boundaries carry no meaning (the
+     *  interleaver's cursor spans them), only the concatenated event
+     *  order does. */
+    std::vector<AccessBatch> blocks;
+
+    /** Total events across all blocks. */
+    std::uint64_t events() const;
+};
+
+/** Knobs of the round-robin interleaver. Both are part of the
+ *  simulated-contention definition (and of co-location cache keys),
+ *  unlike engine knobs: a different quantum is a different scenario,
+ *  not a different execution strategy. */
+struct InterleaveConfig
+{
+    /** Events one tenant replays per turn. */
+    std::size_t quantum = 4096;
+    /** Full round-robin rounds between policy rebalance() calls. */
+    std::size_t phase_quanta = 64;
+};
+
+/** Per-tenant model statistics after a co-located replay. */
+struct TenantReplayStats
+{
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats l3;      ///< this tenant's share of the shared LLC
+    BranchStats branch;
+};
+
+/** Outcome of interleaveReplay(). */
+struct InterleaveResult
+{
+    std::vector<TenantReplayStats> tenants;  ///< stream order
+    /** Policy rebalances that actually changed at least one mask. */
+    std::uint64_t rebalances = 0;
+};
+
+/**
+ * Replay @p streams through private L1/L2 and one shared L3 of
+ * @p machine under @p policy, single-threaded and bit-deterministic.
+ *
+ * Tenants take turns in stream order, InterleaveConfig::quantum
+ * events per turn; exhausted tenants drop out of the rotation and the
+ * rest keep contending until every stream is drained (so a short
+ * tenant's tail pressure disappears exactly when its work does).
+ */
+InterleaveResult
+interleaveReplay(const MachineConfig &machine,
+                 const std::vector<TenantStream> &streams,
+                 PartitionPolicy &policy,
+                 const InterleaveConfig &cfg = {});
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_COLOCATION_HH

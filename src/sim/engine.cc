@@ -51,6 +51,45 @@ replayBatch(const AccessBatch &batch, CacheHierarchy &caches,
     }
 }
 
+std::size_t
+replayRange(const AccessBatch &batch, BatchCursor &cursor,
+            std::size_t max_events, CacheHierarchy &caches,
+            BranchPredictor &predictor)
+{
+    const std::size_t n = batch.size();
+    if (cursor.event >= n || max_events == 0)
+        return 0;
+    const std::size_t end = std::min(n, cursor.event + max_events);
+    const std::uint64_t *ev = batch.events();
+    const std::uint64_t *site = batch.sites() + cursor.site;
+
+    for (std::size_t i = cursor.event; i < end; ++i) {
+        const std::uint64_t e = ev[i];
+        const std::uint64_t addr = e & AccessBatch::kAddrMask;
+        switch (static_cast<SimOp>(e >> AccessBatch::kOpShift)) {
+          case SimOp::Load:
+            caches.dataAccess(addr, false);
+            break;
+          case SimOp::Store:
+            caches.dataAccess(addr, true);
+            break;
+          case SimOp::Ifetch:
+            caches.instrAccess(addr);
+            break;
+          case SimOp::BranchTaken:
+            predictor.record(*site++, true);
+            break;
+          case SimOp::BranchNotTaken:
+            predictor.record(*site++, false);
+            break;
+        }
+    }
+    const std::size_t consumed = end - cursor.event;
+    cursor.site = static_cast<std::size_t>(site - batch.sites());
+    cursor.event = end;
+    return consumed;
+}
+
 AsyncReplayer::AsyncReplayer(CacheHierarchy &caches,
                              BranchPredictor &predictor,
                              std::size_t batch_capacity)

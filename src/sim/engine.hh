@@ -62,6 +62,41 @@ void replayBatch(const AccessBatch &batch, CacheHierarchy &caches,
                  BranchPredictor &predictor);
 
 /**
+ * Resumable position inside one AccessBatch: the next event word and
+ * the next branch-site queue slot. Value-initialised it points at the
+ * start of a batch; replayRange() advances both in lock step, so one
+ * cursor can walk a batch in arbitrary-sized slices.
+ */
+struct BatchCursor
+{
+    std::size_t event = 0;
+    std::size_t site = 0;
+
+    bool
+    done(const AccessBatch &batch) const
+    {
+        return event >= batch.size();
+    }
+};
+
+/**
+ * Replay at most @p max_events events of @p batch starting at
+ * @p cursor, advancing the cursor past what was consumed.
+ *
+ * The sliced replay is bit-identical to replayBatch() over the same
+ * batch regardless of how the events are grouped into slices -- this
+ * is what lets the co-location interleaver hand out quantum-sized
+ * turns without the quantum size leaking into any statistic beyond
+ * the interleaving order itself.
+ *
+ * @return Number of events consumed (0 iff the cursor was at the end
+ *         or max_events was 0).
+ */
+std::size_t replayRange(const AccessBatch &batch, BatchCursor &cursor,
+                        std::size_t max_events, CacheHierarchy &caches,
+                        BranchPredictor &predictor);
+
+/**
  * Run @p jobs to completion, at most @p shards at a time.
  *
  * Jobs must be mutually independent (each writes only its own result

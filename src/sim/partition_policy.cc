@@ -1,0 +1,220 @@
+#include "sim/partition_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/names.hh"
+
+namespace dmpb {
+
+namespace {
+
+std::uint64_t
+allWays(std::uint32_t ways)
+{
+    return ways >= 64 ? ~0ULL : (1ULL << ways) - 1;
+}
+
+/** Mask of @p count contiguous ways starting at way @p first. */
+std::uint64_t
+contiguousMask(std::uint32_t first, std::uint32_t count)
+{
+    return allWays(count) << first;
+}
+
+/**
+ * The equal split both static-equal and CPA's starting point use:
+ * contiguous disjoint blocks of ways / K (remainder to the first
+ * tenants). With more tenants than ways there is no disjoint
+ * assignment; tenant i then gets the single way i % ways (overlapping
+ * on purpose -- every tenant still has somewhere to allocate).
+ */
+std::vector<std::uint64_t>
+equalSplit(std::uint32_t tenants, std::uint32_t ways)
+{
+    std::vector<std::uint64_t> masks(tenants);
+    if (tenants > ways) {
+        for (std::uint32_t t = 0; t < tenants; ++t)
+            masks[t] = 1ULL << (t % ways);
+        return masks;
+    }
+    const std::uint32_t base = ways / tenants;
+    const std::uint32_t rem = ways % tenants;
+    std::uint32_t first = 0;
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        const std::uint32_t count = base + (t < rem ? 1 : 0);
+        masks[t] = contiguousMask(first, count);
+        first += count;
+    }
+    return masks;
+}
+
+class NonePolicy final : public PartitionPolicy
+{
+  public:
+    const char *name() const override { return "none"; }
+
+    std::vector<std::uint64_t>
+    initialMasks(std::uint32_t tenants, std::uint32_t ways) override
+    {
+        return std::vector<std::uint64_t>(tenants, allWays(ways));
+    }
+
+    bool
+    rebalance(const std::vector<CacheStats> &, std::uint32_t,
+              std::vector<std::uint64_t> &) override
+    {
+        return false;
+    }
+};
+
+class StaticEqualPolicy final : public PartitionPolicy
+{
+  public:
+    const char *name() const override { return "static-equal"; }
+
+    std::vector<std::uint64_t>
+    initialMasks(std::uint32_t tenants, std::uint32_t ways) override
+    {
+        return equalSplit(tenants, ways);
+    }
+
+    bool
+    rebalance(const std::vector<CacheStats> &, std::uint32_t,
+              std::vector<std::uint64_t> &) override
+    {
+        return false;
+    }
+};
+
+/**
+ * Critical-phase-aware re-partitioning, after the CPA framework: a
+ * tenant entering a critical phase -- high or rising L3 miss rate --
+ * is granted ways at the expense of tenants whose demand is flat or
+ * falling. Each phase boundary scores every tenant as
+ *
+ *     score = 0.25 + miss_rate + max(0, miss_rate_delta)
+ *
+ * (the constant keeps idle tenants from starving and damps
+ * oscillation), then re-divides the ways proportionally to the scores
+ * with a one-way floor per tenant, largest-remainder rounding, ties
+ * to the lower tenant index. All arithmetic is in fixed tenant order,
+ * so the resulting masks are bit-reproducible.
+ */
+class CriticalPhaseAwarePolicy final : public PartitionPolicy
+{
+  public:
+    const char *name() const override { return "critical-phase-aware"; }
+
+    std::vector<std::uint64_t>
+    initialMasks(std::uint32_t tenants, std::uint32_t ways) override
+    {
+        prev_.assign(tenants, CacheStats{});
+        prev_rate_.assign(tenants, 0.0);
+        return equalSplit(tenants, ways);
+    }
+
+    bool
+    rebalance(const std::vector<CacheStats> &cumulative,
+              std::uint32_t ways,
+              std::vector<std::uint64_t> &masks) override
+    {
+        const std::uint32_t tenants =
+            static_cast<std::uint32_t>(cumulative.size());
+        // With no way to hand every tenant a private floor there is
+        // nothing sensible to re-balance; keep the overlapped split.
+        if (tenants > ways || tenants == 0)
+            return false;
+        dmpb_assert(prev_.size() == tenants && masks.size() == tenants,
+                    "CPA rebalance called before initialMasks");
+
+        // Interval miss rates (cumulative minus the last snapshot)
+        // and their deltas against the previous interval.
+        std::vector<double> score(tenants);
+        double total = 0.0;
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            const std::uint64_t acc =
+                cumulative[t].accesses - prev_[t].accesses;
+            const std::uint64_t mis =
+                cumulative[t].misses - prev_[t].misses;
+            const double rate =
+                static_cast<double>(mis) /
+                static_cast<double>(std::max<std::uint64_t>(1, acc));
+            const double delta = rate - prev_rate_[t];
+            score[t] = 0.25 + rate + std::max(0.0, delta);
+            total += score[t];
+            prev_[t] = cumulative[t];
+            prev_rate_[t] = rate;
+        }
+
+        // Proportional shares of the ways beyond the one-way floor,
+        // largest-remainder rounding (ties to the lower index).
+        const std::uint32_t extra = ways - tenants;
+        std::vector<std::uint32_t> grant(tenants, 1);
+        std::vector<double> frac(tenants);
+        std::uint32_t given = 0;
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            const double ideal = extra * score[t] / total;
+            const double whole = std::floor(ideal);
+            grant[t] += static_cast<std::uint32_t>(whole);
+            given += static_cast<std::uint32_t>(whole);
+            frac[t] = ideal - whole;
+        }
+        std::vector<std::uint32_t> order(tenants);
+        for (std::uint32_t t = 0; t < tenants; ++t)
+            order[t] = t;
+        std::sort(order.begin(), order.end(),
+                  [&frac](std::uint32_t a, std::uint32_t b) {
+                      if (frac[a] != frac[b])
+                          return frac[a] > frac[b];
+                      return a < b;
+                  });
+        for (std::uint32_t i = 0; given < extra; ++i, ++given)
+            ++grant[order[i]];
+
+        bool changed = false;
+        std::uint32_t first = 0;
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            const std::uint64_t mask = contiguousMask(first, grant[t]);
+            first += grant[t];
+            if (mask != masks[t]) {
+                masks[t] = mask;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+  private:
+    std::vector<CacheStats> prev_;   ///< cumulative snapshot
+    std::vector<double> prev_rate_;  ///< last interval's miss rates
+};
+
+} // namespace
+
+const std::vector<std::string> &
+partitionPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "none", "static-equal", "critical-phase-aware"};
+    return names;
+}
+
+std::unique_ptr<PartitionPolicy>
+makePartitionPolicy(const std::string &name)
+{
+    const std::string canon = canonName(name);
+    if (canon == "none")
+        return std::make_unique<NonePolicy>();
+    if (canon == "staticequal")
+        return std::make_unique<StaticEqualPolicy>();
+    if (canon == "criticalphaseaware" || canon == "cpa")
+        return std::make_unique<CriticalPhaseAwarePolicy>();
+    throw std::invalid_argument(
+        "unknown LLC partition policy '" + name +
+        "' (see --list for available policies)");
+}
+
+} // namespace dmpb

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Pluggable LLC way-partitioning policies for co-located tenants.
+ *
+ * A policy decides which ways of the shared L3 each tenant may
+ * allocate into (Intel-CAT-style masks, see CacheModel::setWayMask):
+ * an initial assignment before replay starts, and an optional
+ * re-assignment at phase boundaries driven by the tenants' cumulative
+ * miss counters. Policies are pure functions of their inputs -- no
+ * clocks, no randomness -- so a co-located run is bit-reproducible
+ * for any policy, which the scenario-matrix CI smoke asserts across
+ * shard counts.
+ *
+ * Three policies ship (selected by name, see makePartitionPolicy):
+ *
+ *  - "none": free-for-all; every tenant keeps the all-ways mask and
+ *    the shared L3 behaves like an unpartitioned cache.
+ *  - "static-equal": the ways are split evenly (ways / K, remainder
+ *    to the first tenants) into contiguous disjoint blocks, fixed for
+ *    the whole run.
+ *  - "critical-phase-aware": starts from the equal split and
+ *    re-balances at every phase boundary, growing the allocations of
+ *    tenants whose miss rate is high or rising at the expense of
+ *    tenants that are coasting -- a single-node rendition of the CPA
+ *    framework's critical-phase detection via miss-rate deltas.
+ */
+
+#ifndef DMPB_SIM_PARTITION_POLICY_HH
+#define DMPB_SIM_PARTITION_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+
+namespace dmpb {
+
+/** Interface of one way-partitioning policy (stateful across phases). */
+class PartitionPolicy
+{
+  public:
+    virtual ~PartitionPolicy() = default;
+
+    /** Canonical policy name (as accepted by makePartitionPolicy). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Way masks to install before any access is replayed.
+     *
+     * @param tenants Number of co-located tenants (>= 1).
+     * @param ways    Shared-L3 associativity (<= 64).
+     * @return One non-empty mask per tenant.
+     */
+    virtual std::vector<std::uint64_t>
+    initialMasks(std::uint32_t tenants, std::uint32_t ways) = 0;
+
+    /**
+     * Phase-boundary hook. @p cumulative holds each tenant's L3
+     * counters since the start of the run (not per-interval -- the
+     * policy keeps its own previous snapshot if it wants deltas);
+     * @p masks holds the currently installed masks and is updated in
+     * place.
+     *
+     * @return true if any mask changed (the caller then re-installs).
+     */
+    virtual bool rebalance(const std::vector<CacheStats> &cumulative,
+                           std::uint32_t ways,
+                           std::vector<std::uint64_t> &masks) = 0;
+};
+
+/** The selectable policy names, in presentation order. */
+const std::vector<std::string> &partitionPolicyNames();
+
+/**
+ * Construct a policy by (canonicalised) name; "cpa" is accepted as an
+ * alias for "critical-phase-aware".
+ *
+ * @throws std::invalid_argument for unknown names (the message points
+ *         at --list, matching workload selection).
+ */
+std::unique_ptr<PartitionPolicy>
+makePartitionPolicy(const std::string &name);
+
+} // namespace dmpb
+
+#endif // DMPB_SIM_PARTITION_POLICY_HH

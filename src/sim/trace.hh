@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/logging.hh"
 #include "sim/access_batch.hh"
 #include "sim/branch.hh"
 #include "sim/cache.hh"
@@ -260,6 +261,14 @@ class TraceContext
     void
     flushBatch() const
     {
+        if (capture_sink_) {
+            if (!batch_.empty()) {
+                capture_sink_->push_back(std::move(batch_));
+                batch_.clear();
+                batch_.reserve(batch_capacity_);
+            }
+            return;
+        }
         if (replayer_) {
             if (!batch_.empty())
                 replayer_->submit(batch_);
@@ -268,6 +277,26 @@ class TraceContext
             caches_->replay(batch_, *predictor_);
             batch_.clear();
         }
+    }
+
+    /**
+     * Capture mode: divert every filled batch (and the final partial
+     * one at flushBatch()/profile() time) into @p sink instead of
+     * replaying it -- the cache and branch models stay cold. The
+     * co-location orchestrator records each tenant's event stream
+     * this way, then replays the captured blocks through a *shared*
+     * LLC under the interleaver; profile() still reports the
+     * trace-level counters (ops, disk, net) that don't depend on
+     * replay. Requires batched emission (batch_capacity > 1). Pass
+     * nullptr to detach.
+     */
+    void
+    setCaptureSink(std::vector<AccessBatch> *sink)
+    {
+        dmpb_assert(sink == nullptr || batch_capacity_ > 1,
+                    "capture requires batched emission "
+                    "(batch_capacity > 1)");
+        capture_sink_ = sink;
     }
 
   private:
@@ -280,6 +309,12 @@ class TraceContext
     void
     onBatchFull()
     {
+        if (capture_sink_) {
+            capture_sink_->push_back(std::move(batch_));
+            batch_.clear();
+            batch_.reserve(batch_capacity_);
+            return;
+        }
         if (!replayer_) {
             replayer_ = std::make_unique<AsyncReplayer>(
                 *caches_, *predictor_, batch_capacity_);
@@ -463,6 +498,9 @@ class TraceContext
     /** Lazily started once the first block fills; declared after the
      *  models so it joins its worker before they are destroyed. */
     mutable std::unique_ptr<AsyncReplayer> replayer_;
+    /** Capture mode (setCaptureSink): filled blocks go here instead
+     *  of into the models. Not owned. */
+    std::vector<AccessBatch> *capture_sink_ = nullptr;
 };
 
 /**

@@ -154,6 +154,25 @@ TEST_F(RunnerTest, UnknownWorkloadSelectionThrows)
     }
 }
 
+TEST_F(RunnerTest, UnknownLlcPolicySelectionThrows)
+{
+    // The --colocate selection path mirrors workload selection: an
+    // unknown --llc-policy is a usage error pointing at --list.
+    ColocationSpec spec;
+    spec.workloads = {"grep", "kmeans"};
+    spec.policy = "no-such-policy";
+    try {
+        runColocation(spec, paperCluster5(), CacheConfig{},
+                      CachePolicy::Use);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("no-such-policy"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--list"),
+                  std::string::npos);
+    }
+}
+
 TEST_F(RunnerTest, ParallelExecutionIsDeterministicUnderFixedSeed)
 {
     auto runSuite = [](std::size_t jobs) {
