@@ -14,6 +14,7 @@
 #include "core/proxy_benchmark.hh"
 #include "core/proxy_factory.hh"
 #include "core/reference_cache.hh"
+#include "sim/compressed_trace.hh"
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 #include "stack/managed_heap.hh"
@@ -74,6 +75,27 @@ struct TenantWork
 };
 
 /**
+ * Capture sink that rebases each filled block into the tenant's
+ * private address slot and folds it into the delta-compressed stream.
+ * Rebase-then-compress per block is equivalent to compressing first
+ * and rebasing later (rebase is per-event, the codec is stateful but
+ * exact), so compression changes nothing but the footprint.
+ */
+struct CompressingCaptureSink final : BatchSink
+{
+    CompressedTrace *trace = nullptr;
+    std::uint64_t rebase_offset = 0;
+
+    void
+    consume(AccessBatch &block) override
+    {
+        if (rebase_offset != 0)
+            block.rebase(rebase_offset);
+        trace->append(block);
+    }
+};
+
+/**
  * Trace one tenant's proxy DAG into a captured event stream.
  *
  * Mirrors ProxyBenchmark::execute's per-edge parameterisation (seed
@@ -87,7 +109,8 @@ struct TenantWork
  */
 void
 captureTenant(TenantWork &work, const ProxyBenchmark &proxy,
-              const MachineConfig &machine, Scale scale)
+              const MachineConfig &machine, Scale scale,
+              std::uint64_t rebase_offset)
 {
     const MotifParams &base = proxy.baseParams();
     const std::uint32_t tasks =
@@ -97,8 +120,11 @@ captureTenant(TenantWork &work, const ProxyBenchmark &proxy,
         64 * 1024,
         std::min<std::uint64_t>(base.data_size / tasks, trace_cap));
 
+    CompressingCaptureSink sink;
+    sink.trace = &work.stream.trace;
+    sink.rebase_offset = rebase_offset;
     TraceContext ctx(machine, 1, 1, kCaptureBlockEvents);
-    ctx.setCaptureSink(&work.stream.blocks);
+    ctx.setCaptureSink(&sink);
     ctx.setCodeFootprint(48 * 1024);
 
     const std::vector<ProxyEdge> &edges = proxy.edges();
@@ -131,18 +157,24 @@ captureTenant(TenantWork &work, const ProxyBenchmark &proxy,
     // Flushes the final partial block into the sink and snapshots the
     // trace-level counters (the model stats inside are all zero).
     work.captured = ctx.profile();
+    work.stream.trace.shrinkToFit();
 }
 
 /** Replay one captured stream through a private full-LLC hierarchy --
  *  the isolated baseline. */
 TenantReplayStats
-replayIsolated(const TenantStream &stream, const MachineConfig &machine)
+replayIsolated(const TenantStream &stream, const MachineConfig &machine,
+               ReplayMode mode)
 {
     CacheHierarchy caches(machine.caches, 1);
     GsharePredictor predictor(machine.predictor.table_bits,
                               machine.predictor.history_bits);
-    for (const AccessBatch &block : stream.blocks)
-        replayBatch(block, caches, predictor);
+    // Decode in capture-block-sized chunks; chunk boundaries bound
+    // run coalescing exactly like the original block boundaries did.
+    CompressedTrace::Cursor cursor(stream.trace);
+    AccessBatch scratch;
+    while (cursor.decode(scratch, kCaptureBlockEvents) > 0)
+        replayBatch(scratch, caches, predictor, mode);
     TenantReplayStats st;
     st.l1i = caches.l1i().stats();
     st.l1d = caches.l1d().stats();
@@ -360,12 +392,12 @@ runColocation(const ColocationSpec &spec, const ClusterConfig &cluster,
                         decomposeWorkload(*workloads[i]);
                     proxy.baseParams().seed =
                         mixSeed(spec.seed, w.short_name);
-                    captureTenant(w, proxy, machine, spec.scale);
-                    // Disjoint address space per tenant; the
+                    // Disjoint address space per tenant (the sink
+                    // rebases each block before compressing); the
                     // isolated baseline replays the same rebased
                     // stream, so the comparison stays like-for-like.
-                    for (AccessBatch &block : w.stream.blocks)
-                        block.rebase(i * kTenantAddrStride);
+                    captureTenant(w, proxy, machine, spec.scale,
+                                  i * kTenantAddrStride);
                 });
             }
             runShardedJobs(cluster.sim.shards, std::move(jobs),
@@ -379,12 +411,23 @@ runColocation(const ColocationSpec &spec, const ClusterConfig &cluster,
             jobs.reserve(tenants);
             for (std::size_t i = 0; i < tenants; ++i) {
                 jobs.push_back([&, i]() {
-                    work[i].isolated =
-                        replayIsolated(work[i].stream, machine);
+                    work[i].isolated = replayIsolated(
+                        work[i].stream, machine, cluster.sim.replay);
                 });
             }
             runShardedJobs(cluster.sim.shards, std::move(jobs),
                            nullptr, "isolated baseline replay");
+        }
+
+        // Capture-footprint stats snapshot, before the streams move
+        // into the interleaver. Reporting only -- the outcome
+        // checksum deliberately excludes these.
+        for (std::size_t i = 0; i < tenants; ++i) {
+            const CompressedTrace &trace = work[i].stream.trace;
+            TenantOutcome &t = out.tenants[i];
+            t.captured_events = trace.events();
+            t.compressed_bytes = trace.compressedBytes();
+            t.compression_ratio = trace.compressionRatio();
         }
 
         // Stage 3: the co-located replay through one SharedL3 --
@@ -395,7 +438,8 @@ runColocation(const ColocationSpec &spec, const ClusterConfig &cluster,
         for (TenantWork &w : work)
             streams.push_back(std::move(w.stream));
         InterleaveResult inter = interleaveReplay(
-            machine, streams, *policy, spec.interleave);
+            machine, streams, *policy, spec.interleave,
+            cluster.sim.replay);
 
         // Stage 4: per-tenant runtimes/metrics and the aggregates.
         std::vector<WorkloadResult> iso_results(tenants);

@@ -78,6 +78,13 @@ struct TenantOutcome
     MetricVector colocated_metrics;
     /** T_colo / T_iso (>= ~1 under contention). */
     double slowdown = 0.0;
+    /** @{ Capture-stream footprint (reporting only: NOT part of the
+     *  outcome checksum, and zero when the outcome was restored from
+     *  the reference cache -- cached entries predate the stream). */
+    std::uint64_t captured_events = 0;
+    std::uint64_t compressed_bytes = 0;
+    double compression_ratio = 0.0;
+    /** @} */
 };
 
 /** Outcome of one co-located scenario. */

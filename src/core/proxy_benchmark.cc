@@ -127,6 +127,35 @@ edgeTraceKey(const Motif &motif, const MotifParams &p,
 
 } // namespace
 
+ReplicaPool &
+ProxyBenchmark::poolFor(const MachineConfig &machine,
+                        std::uint32_t l3_sharers) const
+{
+    // Key = everything a pooled TraceContext is constructed from.
+    // Core timing and disk parameters are absent on purpose: they
+    // shape profiles into seconds, never the trace or the models.
+    std::ostringstream key;
+    for (const CacheParams *c :
+         {&machine.caches.l1i, &machine.caches.l1d, &machine.caches.l2,
+          &machine.caches.l3}) {
+        key << c->size_bytes << ':' << c->associativity << ':'
+            << c->line_bytes << '|';
+    }
+    key << machine.predictor.table_bits << ':'
+        << machine.predictor.history_bits << '|' << l3_sharers << '|'
+        << sim_.batch_capacity << '|'
+        << static_cast<int>(sim_.replay);
+    MutexLock lock(pool_registry_->mutex);
+    std::unique_ptr<ReplicaPool> &slot =
+        pool_registry_->pools[key.str()];
+    if (slot == nullptr) {
+        slot = std::make_unique<ReplicaPool>(machine, l3_sharers, 1,
+                                             sim_.batch_capacity,
+                                             sim_.replay);
+    }
+    return *slot;
+}
+
 ProxyResult
 ProxyBenchmark::execute(const MachineConfig &machine,
                         std::uint64_t trace_cap) const
@@ -155,11 +184,12 @@ ProxyBenchmark::execute(const MachineConfig &machine,
     // they run sharded across the ThreadPool and merge in edge order
     // below, bit-identical for any simConfig().shards value.
     std::vector<EdgeOutcome> outcomes(edges_.size());
+    ReplicaPool &pool = poolFor(machine, sharers);
     std::vector<std::function<void()>> jobs;
     jobs.reserve(edges_.size());
     for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
-        jobs.push_back([this, &machine, &outcomes, ei, tasks, sharers,
-                        waves, working_set]() {
+        jobs.push_back([this, &machine, &outcomes, &pool, ei, tasks,
+                        sharers, waves, working_set]() {
             const ProxyEdge &edge = edges_[ei];
             EdgeOutcome &out = outcomes[ei];
             // Logical bytes this motif contributes, per task.
@@ -198,9 +228,10 @@ ProxyBenchmark::execute(const MachineConfig &machine,
                 // Light-weight stack: small resident kernel code (the
                 // paper's POSIX-thread implementations), plus the
                 // unified memory-management module at gc_intensity
-                // ops/byte.
-                TraceContext ctx(machine, sharers, 1,
-                                 sim_.batch_capacity);
+                // ops/byte. The context is a pooled replica --
+                // bit-equivalent to a fresh construction.
+                ReplicaPool::Lease lease = pool.acquire();
+                TraceContext &ctx = lease.ctx();
                 ctx.setCodeFootprint(48 * 1024);
                 out.checksum = edge.motif->run(ctx, p);
                 if (gc_intensity_ > 0.0) {

@@ -27,6 +27,7 @@
 #include "motifs/motif.hh"
 #include "sim/access_batch.hh"
 #include "sim/metrics.hh"
+#include "sim/replica_pool.hh"
 
 namespace dmpb {
 
@@ -158,6 +159,30 @@ class ProxyBenchmark
             DMPB_GUARDED_BY(mutex);
     };
 
+    /**
+     * Replica pools, one per distinct simulated-context configuration
+     * (cache/predictor geometry, LLC sharers, batch capacity, replay
+     * mode -- everything a pooled TraceContext is built from). Edge
+     * jobs lease contexts instead of constructing them, so the tuner's
+     * thousands of evaluations reuse a handful of model-array sets and
+     * replay workers. Shared by clones, like the trace memo; a pooled
+     * context is bit-equivalent to a fresh one (TraceContext::reset
+     * contract), so pooling is invisible in every simulated number.
+     */
+    struct PoolRegistry
+    {
+        AnnotatedMutex mutex;
+        /** Keyed std::map: deterministic iteration for free. */
+        std::map<std::string, std::unique_ptr<ReplicaPool>> pools
+            DMPB_GUARDED_BY(mutex);
+    };
+
+    /** The pool for @p machine's geometry under the current engine
+     *  config, created on first use. The reference stays valid for
+     *  the registry's lifetime (pools are never evicted). */
+    ReplicaPool &poolFor(const MachineConfig &machine,
+                         std::uint32_t l3_sharers) const;
+
     std::string name_;
     MotifParams base_;
     std::vector<ProxyEdge> edges_;
@@ -165,6 +190,8 @@ class ProxyBenchmark
     SimConfig sim_;
     std::shared_ptr<TraceMemo> trace_memo_ =
         std::make_shared<TraceMemo>();
+    std::shared_ptr<PoolRegistry> pool_registry_ =
+        std::make_shared<PoolRegistry>();
 };
 
 } // namespace dmpb

@@ -111,6 +111,9 @@ writeColocationJson(const ColocationOutcome &o)
             json.field("name", t.name);
             json.field("short_name", t.short_name);
             json.field("slowdown", t.slowdown);
+            json.field("captured_events", t.captured_events);
+            json.field("compressed_bytes", t.compressed_bytes);
+            json.field("compression_ratio", t.compression_ratio);
             json.openObject("isolated");
             json.field("runtime_s", t.isolated_runtime_s);
             emitMetrics(json, t.isolated_metrics);
@@ -138,8 +141,11 @@ renderColocationTable(const ColocationOutcome &o)
     }
     TextTable table;
     table.header({"Tenant", "Iso (s)", "Colo (s)", "Slowdown",
-                  "L3 hit iso", "L3 hit colo"});
+                  "L3 hit iso", "L3 hit colo", "Events", "Stream"});
     for (const TenantOutcome &t : o.tenants) {
+        // Capture-stream stats are absent ("-") when the outcome was
+        // restored from the reference cache: nothing was captured.
+        const bool captured = t.captured_events > 0;
         table.row({t.short_name,
                    fmt("%.3f", t.isolated_runtime_s),
                    fmt("%.3f", t.colocated_runtime_s),
@@ -147,7 +153,13 @@ renderColocationTable(const ColocationOutcome &o)
                    fmt("%.1f%%",
                        100.0 * t.isolated_metrics[Metric::L3Hit]),
                    fmt("%.1f%%",
-                       100.0 * t.colocated_metrics[Metric::L3Hit])});
+                       100.0 * t.colocated_metrics[Metric::L3Hit]),
+                   captured ? fmt("%llu",
+                                  static_cast<unsigned long long>(
+                                      t.captured_events))
+                            : std::string("-"),
+                   captured ? fmt("%.1fx", t.compression_ratio)
+                            : std::string("-")});
     }
     os << table.render();
     os << "\nco-location: " << o.tenants.size() << " tenant(s), policy "

@@ -71,6 +71,12 @@ Usage: dmpb [options]
                       32768 on multi-CPU hosts, 1 = the unbatched
                       scalar path on single-CPU hosts; results are
                       identical either way)
+  --sim-replay MODE   Replay kernel for batched model replays:
+                      'vector' (default; SIMD-friendly decode pass
+                      plus exact same-line run coalescing) or
+                      'scalar' (the reference event-at-a-time loop).
+                      Another pure wall-clock knob: every statistic
+                      is bit-identical in both modes
   --tuner-jobs N      Worker threads per pipeline for the auto-tuner's
                       batched proxy evaluations (impact-analysis
                       samples and speculative feedback candidates run
@@ -284,6 +290,14 @@ main(int argc, char **argv)
             if (!parseU64(value("--sim-batch"), n) || n == 0)
                 usageError("--sim-batch needs a positive integer");
             options.sim.batch_capacity = static_cast<std::size_t>(n);
+        } else if (arg == "--sim-replay") {
+            std::string mode = value("--sim-replay");
+            if (mode == "vector")
+                options.sim.replay = ReplayMode::Vectorized;
+            else if (mode == "scalar")
+                options.sim.replay = ReplayMode::Scalar;
+            else
+                usageError("--sim-replay needs 'vector' or 'scalar'");
         } else if (arg == "--tuner-jobs") {
             std::uint64_t n = 0;
             if (!parseU64(value("--tuner-jobs"), n) || n == 0)

@@ -37,6 +37,26 @@ enum class SimOp : std::uint8_t
 constexpr std::size_t kDefaultSimBatchCapacity = 32 * 1024;
 
 /**
+ * Which replay kernel drains batches through the models.
+ *
+ * Both kernels apply the identical event sequence to the identical
+ * model state machine; the choice is a pure wall-clock knob and is
+ * invisible in every statistic (and excluded from every cache key).
+ */
+enum class ReplayMode : std::uint8_t
+{
+    /**
+     * Chunked decode pass into SoA scratch (op/addr/line, plus the
+     * pow2 set/tag fast path) feeding the stateful update loop, with
+     * same-line run coalescing where it is provably bit-identical
+     * (see replayBatch() in sim/engine.hh). The default.
+     */
+    Vectorized = 0,
+    /** Event-at-a-time switch loop: the equivalence baseline. */
+    Scalar,
+};
+
+/**
  * Host-adapted default batch capacity: kDefaultSimBatchCapacity when
  * the machine has CPUs to overlap replay with emission, 1 (the inline
  * scalar path) on single-CPU hosts where buffering events is pure
@@ -71,6 +91,14 @@ struct SimConfig
      * for tests and as the equivalence baseline).
      */
     std::size_t batch_capacity = 0;
+
+    /**
+     * Replay kernel selection (--sim-replay). Vectorized is the
+     * production path; Scalar is kept as the equivalence baseline the
+     * tests and the ablation bench compare against. Like every other
+     * engine knob it never changes a simulated number.
+     */
+    ReplayMode replay = ReplayMode::Vectorized;
 
     /**
      * Optional deadline poll the execution engines hand to
@@ -147,6 +175,8 @@ class AccessBatch
     std::size_t size() const { return n_; }
     bool empty() const { return n_ == 0; }
     bool full() const { return n_ >= capacity_; }
+    /** Capacity set by the last reserve() (0 if never reserved). */
+    std::size_t capacity() const { return capacity_; }
 
     /** Drop all events (keeps the allocations for reuse). */
     void
@@ -189,6 +219,24 @@ class AccessBatch
     std::vector<std::uint64_t> sites_;  ///< branch sites, in order
     std::size_t capacity_ = 0;
     std::size_t n_ = 0;
+};
+
+/**
+ * Consumer of filled event blocks (TraceContext capture mode).
+ *
+ * Instead of replaying into its own models, a capturing TraceContext
+ * hands every full block (and the final partial one) to its sink. The
+ * sink may mutate the block in place (rebase, compress) but must not
+ * keep references to its storage: the caller clears and refills the
+ * same block after consume() returns.
+ */
+class BatchSink
+{
+  public:
+    virtual ~BatchSink() = default;
+
+    /** Consume one block's events, in program order. */
+    virtual void consume(AccessBatch &block) = 0;
 };
 
 } // namespace dmpb

@@ -11,6 +11,7 @@
 #ifndef DMPB_SIM_BRANCH_HH
 #define DMPB_SIM_BRANCH_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -60,6 +61,13 @@ class BranchPredictor
      */
     virtual bool record(std::uint64_t site, bool taken) = 0;
 
+    /**
+     * Return to the exact state of a freshly constructed predictor
+     * (tables, history, statistics) -- the replica-pooling
+     * counterpart of CacheModel::reset().
+     */
+    virtual void reset() = 0;
+
     const BranchStats &stats() const { return stats_; }
     BranchStats &stats() { return stats_; }
 
@@ -81,6 +89,14 @@ class BimodalPredictor : public BranchPredictor
         bool correct = detail::counterPredictUpdate(ctr, taken) == taken;
         stats_.mispredicts += static_cast<std::uint64_t>(!correct);
         return correct;
+    }
+
+    void
+    reset() override
+    {
+        std::fill(table_.begin(), table_.end(),
+                  static_cast<std::uint8_t>(1));
+        stats_ = BranchStats{};
     }
 
   private:
@@ -109,6 +125,15 @@ class GsharePredictor : public BranchPredictor
         stats_.mispredicts += static_cast<std::uint64_t>(!correct);
         history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
         return correct;
+    }
+
+    void
+    reset() override
+    {
+        std::fill(table_.begin(), table_.end(),
+                  static_cast<std::uint8_t>(1));
+        history_ = 0;
+        stats_ = BranchStats{};
     }
 
   private:

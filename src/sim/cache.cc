@@ -126,6 +126,19 @@ CacheModel::flush()
     mru_line_[0] = mru_line_[1] = kNoLine;
 }
 
+void
+CacheModel::reset()
+{
+    flush();
+    std::fill(tstats_.begin(), tstats_.end(), CacheStats{});
+    std::fill(way_masks_.begin(), way_masks_.end(), full_mask_);
+    // flush() leaves the LRU clock and the MRU way indices alone (a
+    // flushed cache keeps aging); fresh-construction equivalence
+    // needs them back at their initial values too.
+    tick_ = 0;
+    mru_way_[0] = mru_way_[1] = 0;
+}
+
 CacheStats
 CacheModel::totalStats() const
 {
@@ -206,9 +219,9 @@ CacheHierarchy::CacheHierarchy(const Params &params, SharedL3 &shared_l3,
 
 void
 CacheHierarchy::replay(const AccessBatch &batch,
-                       BranchPredictor &predictor)
+                       BranchPredictor &predictor, ReplayMode mode)
 {
-    replayBatch(batch, *this, predictor);
+    replayBatch(batch, *this, predictor, mode);
 }
 
 void
@@ -218,6 +231,35 @@ CacheHierarchy::flush()
     l1d_.flush();
     l2_.flush();
     l3_->flush();
+}
+
+void
+CacheHierarchy::reset()
+{
+    dmpb_assert(l3_own_ != nullptr,
+                "reset() is for private-slice hierarchies; one tenant "
+                "of a shared L3 cannot be meaningfully reset");
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    l3_own_->reset();
+}
+
+std::uint64_t
+CacheHierarchy::stateHashForTest() const
+{
+    std::uint64_t h = kFnvOffset;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= kFnvPrime;
+        }
+    };
+    mix(l1i_.stateHashForTest());
+    mix(l1d_.stateHashForTest());
+    mix(l2_.stateHashForTest());
+    mix(l3_->stateHashForTest());
+    return h;
 }
 
 } // namespace dmpb

@@ -37,9 +37,10 @@
 #include <utility>
 #include <vector>
 
+#include "sim/access_batch.hh"
+
 namespace dmpb {
 
-class AccessBatch;
 class BranchPredictor;
 
 /** Geometry and bookkeeping parameters of one cache level. */
@@ -169,6 +170,79 @@ class CacheModel
             set = line % num_sets_;
             tag = line / num_sets_;
         }
+        return lookupLine(line, set, tag, write, st, tenant);
+    }
+
+    /**
+     * access() with the line/set/tag decomposition already done by
+     * the caller -- the vectorized replay kernel's decode pass
+     * precomputes these into SoA scratch arrays (pow2 geometries
+     * only; see pow2Sets()). The arguments must satisfy
+     * line = addr >> lineShift(), set = line & setMask(),
+     * tag = line >> setShift(); under that contract this is
+     * bit-identical to access() in state and statistics.
+     */
+    bool
+    accessDecoded(std::uint64_t line, std::uint64_t set,
+                  std::uint64_t tag, bool write,
+                  std::uint32_t tenant = 0)
+    {
+        CacheStats &st = tstats_[tenant];
+        ++st.accesses;
+        if (line == mru_line_[0]) {
+            lru_[mru_way_[0]] = ++tick_;
+            dirty_[mru_way_[0]] |= write;
+            return true;
+        }
+        if (line == mru_line_[1]) {
+            lru_[mru_way_[1]] = ++tick_;
+            dirty_[mru_way_[1]] |= write;
+            std::swap(mru_line_[0], mru_line_[1]);
+            std::swap(mru_way_[0], mru_way_[1]);
+            return true;
+        }
+        return lookupLine(line, set, tag, write, st, tenant);
+    }
+
+    /**
+     * Fold @p n consecutive MRU-slot-0 hint hits into one call.
+     *
+     * Precondition: the immediately preceding access touched the line
+     * now hinted in slot 0 (every access() leaves its line there) and
+     * each of the @p n folded accesses targets that same line. Each
+     * such access would take the slot-0 hint path above -- bump the
+     * age clock, restamp the hinted way, OR the dirty bit -- so the
+     * fold below is bit-identical in counters AND replacement state
+     * (stateHashForTest() agrees): the way's age stamp only keeps its
+     * final value, and the dirty bit ORs the run's stores at once.
+     * The replay kernel uses this to coalesce same-line runs; hint
+     * hits never consult way masks, so shared-mode behaviour is
+     * untouched.
+     *
+     * @param any_write True if any of the @p n accesses is a store.
+     */
+    void
+    mruHintRun(std::uint64_t n, bool any_write,
+               std::uint32_t tenant = 0)
+    {
+        CacheStats &st = tstats_[tenant];
+        st.accesses += n;
+        tick_ += n;
+        lru_[mru_way_[0]] = tick_;
+        dirty_[mru_way_[0]] |= any_write;
+    }
+
+  private:
+    /**
+     * Shared tail of access()/accessDecoded(): the tag scan and, on a
+     * miss, the victim scan + fill. @p st is the tenant's counters
+     * (accesses already bumped by the caller).
+     */
+    bool
+    lookupLine(std::uint64_t line, std::uint64_t set,
+               std::uint64_t tag, bool write, CacheStats &st,
+               std::uint32_t tenant)
+    {
         const std::uint32_t assoc = assoc_;
         std::uint64_t *tags = &tags_[set * assoc];
 
@@ -235,10 +309,28 @@ class CacheModel
         return false;
     }
 
+  public:
     /** Drop all contents (not the statistics). */
     void flush();
 
+    /**
+     * Return to the exact state of a freshly constructed model:
+     * contents, statistics (every tenant), way masks, the LRU clock
+     * and the MRU hint slots. A reset model is stateHashForTest()-
+     * identical to a new CacheModel of the same geometry -- the
+     * contract replica pooling (sim/replica_pool.hh) relies on.
+     */
+    void reset();
+
     const CacheParams &params() const { return params_; }
+
+    /** @{ Address-decomposition constants for external decode passes
+     *  (the vectorized replay kernel). */
+    std::uint32_t lineShift() const { return line_shift_; }
+    bool pow2Sets() const { return pow2_sets_; }
+    std::uint64_t setMask() const { return set_mask_; }
+    std::uint32_t setShift() const { return set_shift_; }
+    /** @} */
 
     /** Tenant 0's counters -- the only ones a single-tenant model
      *  has, so existing callers read exactly what they always did. */
@@ -426,6 +518,35 @@ class CacheHierarchy
         l3_->access(addr, write, l3_tenant_);
     }
 
+    /**
+     * dataAccess() with the L1D line/set/tag decomposition already
+     * done (the replay kernel's decode pass precomputes it; L2/L3
+     * decode from @p addr as usual on the rare L1D miss).
+     */
+    void
+    dataAccessDecoded(std::uint64_t addr, std::uint64_t line,
+                      std::uint64_t set, std::uint64_t tag,
+                      bool write)
+    {
+        if (l1d_.accessDecoded(line, set, tag, write))
+            return;
+        if (l2_.access(addr, write))
+            return;
+        l3_->access(addr, write, l3_tenant_);
+    }
+
+    /**
+     * Fold @p n L1D MRU-hint hits of the line the preceding data
+     * access touched (see CacheModel::mruHintRun). Hint hits never
+     * reach L2/L3, so only the private L1D is involved -- shared-L3
+     * and way-mask behaviour cannot be affected.
+     */
+    void
+    l1dHintRun(std::uint64_t n, bool any_write)
+    {
+        l1d_.mruHintRun(n, any_write);
+    }
+
     /** Instruction-fetch access walking L1I -> L2 -> L3. */
     void
     instrAccess(std::uint64_t addr)
@@ -441,9 +562,11 @@ class CacheHierarchy
      * Batched replay: drain @p batch through this hierarchy (and
      * branch events through @p predictor) in strict program order.
      * Produces statistics bit-identical to issuing the same events
-     * through dataAccess()/instrAccess()/record() one at a time.
+     * through dataAccess()/instrAccess()/record() one at a time,
+     * for either replay kernel.
      */
-    void replay(const AccessBatch &batch, BranchPredictor &predictor);
+    void replay(const AccessBatch &batch, BranchPredictor &predictor,
+                ReplayMode mode = ReplayMode::Vectorized);
 
     const CacheModel &l1i() const { return l1i_; }
     const CacheModel &l1d() const { return l1d_; }
@@ -464,6 +587,18 @@ class CacheHierarchy
      *  SharedL3 too (every tenant's lines): resetting one tenant of a
      *  contended cache is not a meaningful operation. */
     void flush();
+
+    /**
+     * Return every level to its freshly constructed state (contents,
+     * statistics, clocks, masks; see CacheModel::reset). Private-
+     * slice hierarchies only -- one tenant of a shared L3 cannot be
+     * meaningfully reset.
+     */
+    void reset();
+
+    /** Testing hook: combined state digest of all four levels (the
+     *  L3 slice or the whole shared L3). */
+    std::uint64_t stateHashForTest() const;
 
   private:
     CacheModel l1i_;

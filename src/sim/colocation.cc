@@ -7,52 +7,41 @@
 
 namespace dmpb {
 
-std::uint64_t
-TenantStream::events() const
-{
-    std::uint64_t total = 0;
-    for (const AccessBatch &b : blocks)
-        total += b.size();
-    return total;
-}
-
 namespace {
 
-/** Replay position of one tenant: current block plus intra-block
- *  cursor. */
+/**
+ * Replay position of one tenant: a streaming decoder over the
+ * compressed trace plus a scratch batch the current turn's events
+ * are decoded into. One scratch per tenant, quantum-sized, reused
+ * every turn -- decode+replay never allocates in steady state.
+ */
 struct StreamCursor
 {
-    std::size_t block = 0;
-    BatchCursor at;
+    explicit StreamCursor(const CompressedTrace &trace)
+        : cur(trace)
+    {}
 
-    bool
-    done(const TenantStream &stream) const
-    {
-        return block >= stream.blocks.size();
-    }
+    CompressedTrace::Cursor cur;
+    AccessBatch scratch;
+
+    bool done() const { return cur.done(); }
 };
 
 /**
- * Replay up to @p budget events of @p stream, spanning block
- * boundaries. Returns the number of events consumed (< budget only
- * when the stream ran dry).
+ * Replay up to @p budget events of the tenant's stream. Returns the
+ * number of events consumed (< budget only when the stream ran dry).
+ * Each turn is an independent replayBatch() call, so vectorized-mode
+ * run coalescing can never fold across a turn boundary.
  */
 std::size_t
-replayTurn(const TenantStream &stream, StreamCursor &cur,
-           std::size_t budget, CacheHierarchy &caches,
-           BranchPredictor &predictor)
+replayTurn(StreamCursor &cur, std::size_t budget,
+           CacheHierarchy &caches, BranchPredictor &predictor,
+           ReplayMode mode)
 {
-    std::size_t consumed = 0;
-    while (consumed < budget && !cur.done(stream)) {
-        const AccessBatch &block = stream.blocks[cur.block];
-        consumed += replayRange(block, cur.at, budget - consumed,
-                                caches, predictor);
-        if (cur.at.done(block)) {
-            ++cur.block;
-            cur.at = BatchCursor{};
-        }
-    }
-    return consumed;
+    const std::size_t decoded = cur.cur.decode(cur.scratch, budget);
+    if (decoded > 0)
+        replayBatch(cur.scratch, caches, predictor, mode);
+    return decoded;
 }
 
 } // namespace
@@ -60,7 +49,8 @@ replayTurn(const TenantStream &stream, StreamCursor &cur,
 InterleaveResult
 interleaveReplay(const MachineConfig &machine,
                  const std::vector<TenantStream> &streams,
-                 PartitionPolicy &policy, const InterleaveConfig &cfg)
+                 PartitionPolicy &policy, const InterleaveConfig &cfg,
+                 ReplayMode mode)
 {
     const std::uint32_t tenants =
         static_cast<std::uint32_t>(streams.size());
@@ -96,19 +86,22 @@ interleaveReplay(const MachineConfig &machine,
     InterleaveResult result;
     result.tenants.resize(tenants);
 
-    std::vector<StreamCursor> cursors(tenants);
+    std::vector<StreamCursor> cursors;
+    cursors.reserve(tenants);
     std::size_t active = 0;
-    for (std::uint32_t t = 0; t < tenants; ++t)
-        active += cursors[t].done(streams[t]) ? 0 : 1;
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        cursors.emplace_back(streams[t].trace);
+        active += cursors[t].done() ? 0 : 1;
+    }
 
     std::uint64_t rounds = 0;
     while (active > 0) {
         for (std::uint32_t t = 0; t < tenants; ++t) {
             StreamCursor &cur = cursors[t];
-            if (cur.done(streams[t]))
+            if (cur.done())
                 continue;
-            replayTurn(streams[t], cur, quantum, *hiers[t], *preds[t]);
-            if (cur.done(streams[t]))
+            replayTurn(cur, quantum, *hiers[t], *preds[t], mode);
+            if (cur.done())
                 --active;
         }
         ++rounds;

@@ -27,6 +27,7 @@
 #include "sim/access_batch.hh"
 #include "sim/branch.hh"
 #include "sim/cache.hh"
+#include "sim/compressed_trace.hh"
 #include "sim/machine.hh"
 #include "sim/partition_policy.hh"
 
@@ -36,13 +37,18 @@ namespace dmpb {
 struct TenantStream
 {
     std::string name;
-    /** Captured blocks; block boundaries carry no meaning (the
-     *  interleaver's cursor spans them), only the concatenated event
-     *  order does. */
-    std::vector<AccessBatch> blocks;
+    /**
+     * The captured events, delta-compressed (~4-8x smaller than the
+     * raw 8-byte-per-event blocks this used to hold). The capture
+     * sink appends blocks as they fill; block boundaries vanish in
+     * the byte stream, only the concatenated event order matters.
+     * The interleaver decodes quantum-sized turns back into a
+     * scratch AccessBatch on the fly.
+     */
+    CompressedTrace trace;
 
-    /** Total events across all blocks. */
-    std::uint64_t events() const;
+    /** Total captured events. */
+    std::uint64_t events() const { return trace.events(); }
 };
 
 /** Knobs of the round-robin interleaver. Both are part of the
@@ -83,12 +89,17 @@ struct InterleaveResult
  * events per turn; exhausted tenants drop out of the rotation and the
  * rest keep contending until every stream is drained (so a short
  * tenant's tail pressure disappears exactly when its work does).
+ *
+ * @p mode selects the replay kernel per turn; like every engine knob
+ * it is invisible in the statistics (turn boundaries bound coalescing
+ * runs either way, and runs are pure L1-hint folds).
  */
 InterleaveResult
 interleaveReplay(const MachineConfig &machine,
                  const std::vector<TenantStream> &streams,
                  PartitionPolicy &policy,
-                 const InterleaveConfig &cfg = {});
+                 const InterleaveConfig &cfg = {},
+                 ReplayMode mode = ReplayMode::Vectorized);
 
 } // namespace dmpb
 

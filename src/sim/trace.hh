@@ -58,11 +58,16 @@ class TraceContext
      *                    models see the same event sequence, so all
      *                    statistics are bit-identical across
      *                    capacities.
+     * @param replay_mode Replay kernel for batched flushes (see
+     *                    ReplayMode); another pure wall-clock knob,
+     *                    invisible in every statistic.
      */
     explicit TraceContext(const MachineConfig &machine,
                           std::uint32_t l3_sharers = 1,
                           std::uint64_t sample_period = 1,
-                          std::size_t batch_capacity = 0);
+                          std::size_t batch_capacity = 0,
+                          ReplayMode replay_mode =
+                              ReplayMode::Vectorized);
 
     /** Set the static code footprint (bytes) for i-fetch modelling. */
     void setCodeFootprint(std::uint64_t bytes);
@@ -82,7 +87,7 @@ class TraceContext
     replica() const
     {
         TraceContext ctx(machine_, l3_sharers_, sample_period_,
-                         batch_capacity_);
+                         batch_capacity_, replay_mode_);
         ctx.setCodeFootprint(code_footprint_);
         return ctx;
     }
@@ -247,10 +252,27 @@ class TraceContext
      */
     KernelProfile profile() const;
 
-    /** Clear counters and flush all modelled structures. */
+    /**
+     * Return to the exact state of a freshly constructed context:
+     * counters, program-counter model, virtual-address arena, code
+     * footprint, and the models (reset in place, not reallocated --
+     * and the AsyncReplayer worker stays alive). A reset context
+     * produces bit-identical traces and profiles to a new
+     * TraceContext of the same construction parameters; ReplicaPool
+     * (sim/replica_pool.hh) is built on this contract.
+     */
     void reset();
 
     const MachineConfig &machine() const { return machine_; }
+
+    /** @{ Testing hooks: model state inspection (call flushBatch()
+     *  first for a stable snapshot). */
+    const CacheHierarchy &cachesForTest() const { return *caches_; }
+    const BranchPredictor &predictorForTest() const
+    {
+        return *predictor_;
+    }
+    /** @} */
 
     /**
      * Apply all buffered events to the models and wait for any
@@ -263,9 +285,8 @@ class TraceContext
     {
         if (capture_sink_) {
             if (!batch_.empty()) {
-                capture_sink_->push_back(std::move(batch_));
+                capture_sink_->consume(batch_);
                 batch_.clear();
-                batch_.reserve(batch_capacity_);
             }
             return;
         }
@@ -274,7 +295,7 @@ class TraceContext
                 replayer_->submit(batch_);
             replayer_->drain();
         } else if (!batch_.empty()) {
-            caches_->replay(batch_, *predictor_);
+            caches_->replay(batch_, *predictor_, replay_mode_);
             batch_.clear();
         }
     }
@@ -287,11 +308,14 @@ class TraceContext
      * this way, then replays the captured blocks through a *shared*
      * LLC under the interleaver; profile() still reports the
      * trace-level counters (ops, disk, net) that don't depend on
-     * replay. Requires batched emission (batch_capacity > 1). Pass
-     * nullptr to detach.
+     * replay. The sink may transform the block in place (the
+     * co-location capture rebases and delta-compresses online); the
+     * block storage is recycled afterwards, so capture no longer
+     * allocates per block. Requires batched emission
+     * (batch_capacity > 1). Pass nullptr to detach.
      */
     void
-    setCaptureSink(std::vector<AccessBatch> *sink)
+    setCaptureSink(BatchSink *sink)
     {
         dmpb_assert(sink == nullptr || batch_capacity_ > 1,
                     "capture requires batched emission "
@@ -310,14 +334,14 @@ class TraceContext
     onBatchFull()
     {
         if (capture_sink_) {
-            capture_sink_->push_back(std::move(batch_));
+            capture_sink_->consume(batch_);
             batch_.clear();
-            batch_.reserve(batch_capacity_);
             return;
         }
         if (!replayer_) {
             replayer_ = std::make_unique<AsyncReplayer>(
-                *caches_, *predictor_, batch_capacity_);
+                *caches_, *predictor_, batch_capacity_,
+                replay_mode_);
         }
         replayer_->submit(batch_);
     }
@@ -495,12 +519,13 @@ class TraceContext
     /** Pending events; mutable so the const profile() can flush. */
     mutable AccessBatch batch_;
     std::size_t batch_capacity_;
+    ReplayMode replay_mode_;
     /** Lazily started once the first block fills; declared after the
      *  models so it joins its worker before they are destroyed. */
     mutable std::unique_ptr<AsyncReplayer> replayer_;
     /** Capture mode (setCaptureSink): filled blocks go here instead
      *  of into the models. Not owned. */
-    std::vector<AccessBatch> *capture_sink_ = nullptr;
+    BatchSink *capture_sink_ = nullptr;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include "base/names.hh"
 #include "base/rng.hh"
 #include "sim/engine.hh"
+#include "sim/replica_pool.hh"
 
 namespace dmpb {
 
@@ -254,23 +255,37 @@ Network::forward(TraceContext &ctx, const ImageBatch &input,
         for (std::size_t b = 0; b < node.branches.size(); ++b) {
             jobs.push_back([&ctx, &node, &runs, &act, &opts, s, li,
                             b]() {
-                // replica() only reads construction parameters, which
-                // no other shard mutates; safe from worker threads.
-                TraceContext bctx = ctx.replica();
-                std::uint64_t seed = branchSeed(opts.weight_seed, li, b);
-                Rng bwrng(seed);
-                Rng bdrop(seed ^ 0xd00dULL);
-                TracedBuffer<float> bact(bctx, act.raw());
-                Shape4 bs = s;
-                for (const LayerSpec &spec : node.branches[b].layers) {
-                    TracedBuffer<float> out(bctx, 0);
-                    Shape4 os = applyLayer(bctx, spec, bact, bs, out,
-                                           bwrng, bdrop);
-                    bact.raw().swap(out.raw());
-                    bs = os;
+                auto run_branch = [&](TraceContext &bctx) {
+                    std::uint64_t seed =
+                        branchSeed(opts.weight_seed, li, b);
+                    Rng bwrng(seed);
+                    Rng bdrop(seed ^ 0xd00dULL);
+                    TracedBuffer<float> bact(bctx, act.raw());
+                    Shape4 bs = s;
+                    for (const LayerSpec &spec :
+                         node.branches[b].layers) {
+                        TracedBuffer<float> out(bctx, 0);
+                        Shape4 os = applyLayer(bctx, spec, bact, bs,
+                                               out, bwrng, bdrop);
+                        bact.raw().swap(out.raw());
+                        bs = os;
+                    }
+                    runs[b] = BranchRun{std::move(bact.raw()), bs,
+                                        bctx.profile()};
+                };
+                if (opts.pool != nullptr) {
+                    // Pooled replica; carries the parent's code
+                    // footprint exactly like replica() would.
+                    ReplicaPool::Lease lease = opts.pool->acquire();
+                    lease.ctx().setCodeFootprint(ctx.codeFootprint());
+                    run_branch(lease.ctx());
+                } else {
+                    // replica() only reads construction parameters,
+                    // which no other shard mutates; safe from worker
+                    // threads.
+                    TraceContext bctx = ctx.replica();
+                    run_branch(bctx);
                 }
-                runs[b] = BranchRun{std::move(bact.raw()), bs,
-                                    bctx.profile()};
             });
         }
         runShardedJobs(opts.shards, std::move(jobs), opts.should_stop,
@@ -555,21 +570,28 @@ TensorEngine::run(const TrainJob &job) const
         sample_batch, std::max<std::size_t>(1, sim.shards));
     std::size_t branch_shards =
         std::max<std::size_t>(1, sim.shards / image_fan);
+    // One pool serves both nesting levels: image contexts and their
+    // inception-branch replicas share construction parameters, so a
+    // finished branch context is immediately reusable by the next
+    // image (or branch) job.
+    ReplicaPool pool(cluster_.node, cores, 1, sim.batch_capacity,
+                     sim.replay);
     std::vector<KernelProfile> image_profiles(sample_batch);
     std::vector<std::function<void()>> image_jobs;
     image_jobs.reserve(sample_batch);
     for (std::uint32_t i = 0; i < sample_batch; ++i) {
-        image_jobs.push_back([this, &job, &image_profiles, &sim,
-                              branch_shards, sim_dim, cores, i]() {
+        image_jobs.push_back([&job, &image_profiles, &sim, &pool,
+                              branch_shards, sim_dim, i]() {
             ImageGenerator gen(trainSampleSeed(job.name, i));
             ImageBatch batch = gen.generate(1, job.channels, sim_dim,
                                             sim_dim, job.num_classes);
-            TraceContext ctx(cluster_.node, cores, 1,
-                             sim.batch_capacity);
+            ReplicaPool::Lease lease = pool.acquire();
+            TraceContext &ctx = lease.ctx();
             ctx.setCodeFootprint(job.code_footprint);
             ForwardOptions fwd;
             fwd.shards = branch_shards;
             fwd.should_stop = sim.should_stop;
+            fwd.pool = &pool;
             job.net->forward(ctx, batch, fwd);
             image_profiles[i] = ctx.profile();
         });

@@ -30,6 +30,8 @@
 
 namespace dmpb {
 
+class ReplicaPool;
+
 /** One layer of a network. */
 struct LayerSpec
 {
@@ -92,6 +94,14 @@ struct ForwardOptions
     std::size_t shards = 1;
     /** Optional deadline poll (see SimConfig::should_stop). */
     std::function<bool()> should_stop;
+    /**
+     * Optional replica pool branch contexts are leased from instead
+     * of being constructed per branch. Must be configured with the
+     * executing context's construction parameters; a pooled context
+     * is bit-equivalent to a fresh replica (TraceContext::reset
+     * contract), so this -- like shards -- never changes a statistic.
+     */
+    ReplicaPool *pool = nullptr;
 };
 
 /** A feed-forward network: sequential nodes, some of which are

@@ -395,9 +395,8 @@ makeStream(const std::string &name, std::uint64_t seed,
     batch.reserve(block_events);
     auto flush = [&]() {
         if (!batch.empty()) {
-            s.blocks.push_back(std::move(batch));
-            batch = AccessBatch();
-            batch.reserve(block_events);
+            s.trace.append(batch);
+            batch.clear();
         }
     };
     for (std::size_t i = 0; i < events; ++i) {

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Equivalence tests for the vectorized replay kernel, its run
+ * coalescing, the AsyncReplayer recycle contract and the ReplicaPool
+ * reset contract. Every vectorized-vs-scalar comparison asserts
+ * *state* identity (stateHashForTest), not just counters: two models
+ * with equal digests have byte-identical future behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/engine.hh"
+#include "sim/replica_pool.hh"
+#include "sim/trace.hh"
+#include "stack/cluster.hh"
+
+namespace dmpb {
+namespace {
+
+CacheHierarchy::Params
+smallHierarchy()
+{
+    return {{"L1I", 8 * 1024, 4, 64},
+            {"L1D", 8 * 1024, 4, 64},
+            {"L2", 64 * 1024, 8, 64},
+            {"L3", 512 * 1024, 8, 64}};
+}
+
+/** Pair of model sets fed identical streams through the two kernels. */
+struct ModelPair
+{
+    CacheHierarchy scalar;
+    CacheHierarchy vectorized;
+    GsharePredictor scalar_pred{10, 8};
+    GsharePredictor vector_pred{10, 8};
+
+    ModelPair() : scalar(smallHierarchy()), vectorized(smallHierarchy())
+    {}
+
+    void
+    expectSameState() const
+    {
+        EXPECT_EQ(scalar.stateHashForTest(),
+                  vectorized.stateHashForTest());
+        const auto eq = [](const CacheStats &a, const CacheStats &b) {
+            EXPECT_EQ(a.accesses, b.accesses);
+            EXPECT_EQ(a.misses, b.misses);
+            EXPECT_EQ(a.writebacks, b.writebacks);
+        };
+        eq(scalar.l1i().stats(), vectorized.l1i().stats());
+        eq(scalar.l1d().stats(), vectorized.l1d().stats());
+        eq(scalar.l2().stats(), vectorized.l2().stats());
+        eq(scalar.l3Stats(), vectorized.l3Stats());
+        EXPECT_EQ(scalar_pred.stats().branches,
+                  vector_pred.stats().branches);
+        EXPECT_EQ(scalar_pred.stats().mispredicts,
+                  vector_pred.stats().mispredicts);
+    }
+};
+
+/**
+ * Random event stream biased toward same-line runs (repeat the last
+ * data address with high probability) so coalescing actually fires,
+ * with stores mixed in to exercise dirty-bit folding.
+ */
+AccessBatch
+runHeavyBatch(std::uint64_t seed, std::size_t events)
+{
+    AccessBatch b;
+    b.reserve(events);
+    Rng rng(seed);
+    std::uint64_t addr = 0x200000000000ULL;
+    for (std::size_t i = 0; i < events; ++i) {
+        const std::uint64_t r = rng.next();
+        switch (r % 16) {
+          case 0:
+            addr = 0x200000000000ULL + ((r >> 16) % 32768) * 64;
+            b.pushData(addr, false);
+            break;
+          case 1:
+            b.pushIfetch(0x1000 + (r % 2048));
+            break;
+          case 2:
+            b.pushBranch(r | 1, (r & 2) != 0);
+            break;
+          case 3:
+            addr += 64;  // next line: breaks the run
+            b.pushData(addr, (r & 4) != 0);
+            break;
+          default:
+            // Same line again -- the coalescible case, sometimes a
+            // store (dirty-bit mid-run) and sometimes a different
+            // offset within the line.
+            b.pushData(addr + (r % 64), (r & 8) != 0);
+            break;
+        }
+    }
+    return b;
+}
+
+TEST(ReplayKernel, VectorizedMatchesScalarOnRandomStreams)
+{
+    for (std::uint64_t seed : {5ULL, 17ULL, 1234ULL}) {
+        ModelPair m;
+        for (int block = 0; block < 4; ++block) {
+            AccessBatch b =
+                runHeavyBatch(seed + 1000 * block, 8192);
+            replayBatch(b, m.scalar, m.scalar_pred,
+                        ReplayMode::Scalar);
+            replayBatch(b, m.vectorized, m.vector_pred,
+                        ReplayMode::Vectorized);
+            m.expectSameState();
+        }
+    }
+}
+
+TEST(ReplayKernel, DirtyBitMidRunSurvivesToWriteback)
+{
+    // A store buried in the middle of a coalesced same-line run must
+    // set the dirty bit, so the line's eventual eviction is a
+    // writeback -- in both kernels, with identical state.
+    ModelPair m;
+    AccessBatch b;
+    // Walk size: 4 MiB of distinct lines -- far beyond the 512 KiB
+    // L3 -- guarantees line_a is evicted from every level.
+    const std::uint64_t walk_lines = 4ULL * 1024 * 1024 / 64;
+    b.reserve(16 + walk_lines);
+    // Run of 9 accesses on one line, single store mid-run.
+    const std::uint64_t line_a = 0x200000000000ULL;
+    for (int i = 0; i < 4; ++i)
+        b.pushData(line_a + i, false);
+    b.pushData(line_a + 32, true);  // the mid-run store
+    for (int i = 0; i < 4; ++i)
+        b.pushData(line_a + 40 + i, false);
+    for (std::uint64_t n = 1; n <= walk_lines; ++n)
+        b.pushData(line_a + 64 * n, false);
+    replayBatch(b, m.scalar, m.scalar_pred, ReplayMode::Scalar);
+    replayBatch(b, m.vectorized, m.vector_pred,
+                ReplayMode::Vectorized);
+    m.expectSameState();
+    // The dirty line produced at least one writeback somewhere.
+    EXPECT_GE(m.vectorized.l1d().stats().writebacks +
+                  m.vectorized.l2().stats().writebacks +
+                  m.vectorized.l3Stats().writebacks,
+              1u);
+}
+
+TEST(ReplayKernel, SlicedReplayRangeMatchesWholeBatchReplay)
+{
+    // Runs must not coalesce across replayRange() slices; slicing at
+    // any granularity -- including mid-run -- must reproduce the
+    // whole-batch replay bit for bit, in both kernels.
+    AccessBatch b = runHeavyBatch(77, 10007);
+    for (std::size_t slice : {std::size_t{1}, std::size_t{3},
+                              std::size_t{250}, std::size_t{4096}}) {
+        ModelPair m;
+        replayBatch(b, m.scalar, m.scalar_pred, ReplayMode::Scalar);
+        BatchCursor cur;
+        while (replayRange(b, cur, slice, m.vectorized, m.vector_pred,
+                           ReplayMode::Vectorized) > 0) {
+        }
+        EXPECT_TRUE(cur.done(b));
+        m.expectSameState();
+    }
+}
+
+TEST(ReplayKernel, WayMaskedSharedL3SeesIdenticalContention)
+{
+    // Two tenants with asymmetric way masks contending for one
+    // SharedL3: the coalesced kernel must reproduce the scalar
+    // kernel's shared-cache state exactly (hint-run folds never touch
+    // the L3, masked or not).
+    CacheHierarchy::Params geo = smallHierarchy();
+    auto run = [&](ReplayMode mode) {
+        auto shared = std::make_unique<SharedL3>(geo.l3, 2);
+        shared->setWayMask(0, 0x03);  // 2 of 8 ways
+        shared->setWayMask(1, 0xfc);  // the other 6
+        CacheHierarchy h0(geo, *shared, 0);
+        CacheHierarchy h1(geo, *shared, 1);
+        GsharePredictor p0(10, 8);
+        GsharePredictor p1(10, 8);
+        AccessBatch b0 = runHeavyBatch(101, 4096);
+        AccessBatch b1 = runHeavyBatch(202, 4096);
+        // Interleave turns, like the co-location interleaver.
+        BatchCursor c0;
+        BatchCursor c1;
+        while (!c0.done(b0) || !c1.done(b1)) {
+            replayRange(b0, c0, 257, h0, p0, mode);
+            replayRange(b1, c1, 257, h1, p1, mode);
+        }
+        struct Digest
+        {
+            std::uint64_t h0;
+            std::uint64_t h1;
+            CacheStats t0;
+            CacheStats t1;
+        };
+        return Digest{h0.stateHashForTest(), h1.stateHashForTest(),
+                      shared->tenantStats(0), shared->tenantStats(1)};
+    };
+    auto scalar = run(ReplayMode::Scalar);
+    auto vectorized = run(ReplayMode::Vectorized);
+    EXPECT_EQ(scalar.h0, vectorized.h0);
+    EXPECT_EQ(scalar.h1, vectorized.h1);
+    EXPECT_EQ(scalar.t0.accesses, vectorized.t0.accesses);
+    EXPECT_EQ(scalar.t0.misses, vectorized.t0.misses);
+    EXPECT_EQ(scalar.t0.writebacks, vectorized.t0.writebacks);
+    EXPECT_EQ(scalar.t1.accesses, vectorized.t1.accesses);
+    EXPECT_EQ(scalar.t1.misses, vectorized.t1.misses);
+    EXPECT_EQ(scalar.t1.writebacks, vectorized.t1.writebacks);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncReplayer recycle contract
+
+TEST(AsyncReplayer, RecyclesTheSameTwoBlocks)
+{
+    constexpr std::size_t kCap = 512;
+    CacheHierarchy caches(smallHierarchy());
+    GsharePredictor pred(10, 8);
+    AsyncReplayer replayer(caches, pred, kCap);
+    AccessBatch batch;
+    batch.reserve(kCap);
+    // Steady state is strict double buffering: across many submit
+    // cycles only two distinct event-storage blocks may ever appear,
+    // and every swapped-back block arrives with the full capacity --
+    // a reallocation anywhere would break both properties.
+    std::set<const std::uint64_t *> storages;
+    for (int cycle = 0; cycle < 32; ++cycle) {
+        while (!batch.full())
+            batch.pushData(0x200000000000ULL + 64 * cycle, false);
+        replayer.submit(batch);
+        EXPECT_TRUE(batch.empty());
+        EXPECT_EQ(batch.capacity(), kCap);
+        storages.insert(batch.events());
+    }
+    replayer.drain();
+    EXPECT_LE(storages.size(), 2u);
+    EXPECT_EQ(caches.l1d().stats().accesses, 32u * kCap);
+}
+
+TEST(AsyncReplayerDeathTest, RejectsCapacityMismatch)
+{
+    CacheHierarchy caches(smallHierarchy());
+    GsharePredictor pred(10, 8);
+    AsyncReplayer replayer(caches, pred, 512);
+    AccessBatch wrong;
+    wrong.reserve(256);  // violates the recycle contract
+    wrong.pushData(0x1000, false);
+    EXPECT_DEATH(replayer.submit(wrong), "capacity");
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaPool reset contract
+
+/** Drive a context through work that dirties every mutable subsystem:
+ *  models, op counts, I/O counters, footprint, the address arena. */
+void
+dirtyContext(TraceContext &ctx)
+{
+    ctx.setCodeFootprint(128 * 1024);
+    std::uint64_t va = ctx.virtualAlloc(64 * 1024);
+    for (std::uint64_t off = 0; off < 64 * 1024; off += 64) {
+        ctx.emitLoadAddr(va + off, 8);
+        ctx.emitStoreAddr(va + off, 8);
+    }
+    ctx.addDiskRead(1 << 20);
+    ctx.addNetTraffic(1 << 16);
+}
+
+TEST(ReplicaPool, PooledContextIsBitEquivalentToFresh)
+{
+    const MachineConfig &machine = paperCluster5().node;
+    ReplicaPool pool(machine, 2, 1, 1024);
+
+    KernelProfile pooled_profile;
+    {
+        ReplicaPool::Lease lease = pool.acquire();
+        dirtyContext(lease.ctx());
+        // Lease destruction resets and returns the context.
+    }
+    EXPECT_EQ(pool.createdForTest(), 1u);
+    EXPECT_EQ(pool.idleForTest(), 1u);
+
+    TraceContext fresh(machine, 2, 1, 1024);
+    {
+        ReplicaPool::Lease lease = pool.acquire();
+        // Same context object, reused.
+        EXPECT_EQ(pool.createdForTest(), 1u);
+        // Reset state is hash-identical to fresh construction...
+        EXPECT_EQ(lease.ctx().cachesForTest().stateHashForTest(),
+                  fresh.cachesForTest().stateHashForTest());
+        EXPECT_EQ(lease.ctx().codeFootprint(), fresh.codeFootprint());
+        // ...and running the same work in both produces identical
+        // profiles (address arena, LCG, predictor all restarted).
+        dirtyContext(lease.ctx());
+        pooled_profile = lease.ctx().profile();
+    }
+    dirtyContext(fresh);
+    KernelProfile fresh_profile = fresh.profile();
+    EXPECT_EQ(pooled_profile.l1d.accesses, fresh_profile.l1d.accesses);
+    EXPECT_EQ(pooled_profile.l1d.misses, fresh_profile.l1d.misses);
+    EXPECT_EQ(pooled_profile.l2.misses, fresh_profile.l2.misses);
+    EXPECT_EQ(pooled_profile.l3.misses, fresh_profile.l3.misses);
+    EXPECT_EQ(pooled_profile.branch.branches,
+              fresh_profile.branch.branches);
+    EXPECT_EQ(pooled_profile.disk_read_bytes,
+              fresh_profile.disk_read_bytes);
+    EXPECT_EQ(pooled_profile.net_bytes, fresh_profile.net_bytes);
+}
+
+TEST(ReplicaPool, SequentialLeasesReuseOneContext)
+{
+    ReplicaPool pool(paperCluster5().node, 1, 1, 256);
+    for (int i = 0; i < 8; ++i) {
+        ReplicaPool::Lease lease = pool.acquire();
+        lease.ctx().emitOps(OpClass::IntAlu, 10);
+    }
+    EXPECT_EQ(pool.createdForTest(), 1u);
+    EXPECT_EQ(pool.idleForTest(), 1u);
+}
+
+} // namespace
+} // namespace dmpb
