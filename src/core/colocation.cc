@@ -207,7 +207,8 @@ deriveResult(const std::string &name, const KernelProfile &profile,
     WorkloadResult r;
     r.name = name;
     r.profile = profile;
-    r.runtime_s = machine.core.seconds(profile);
+    r.runtime_s = machine.core.seconds(profile) +
+                  machine.accel.seconds(profile);
     r.metrics = computeMetrics(profile, machine.core, r.runtime_s, 1.0);
     return r;
 }

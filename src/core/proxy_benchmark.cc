@@ -32,6 +32,24 @@ aiBytesPerRun(const MotifParams &p)
     return iters * batch * per_sample;
 }
 
+/**
+ * Cache/pool key component of a node's accelerator: the array shape
+ * and SRAM banks change the emitted trace (tiling), so CPU and
+ * accelerator traces -- and differently shaped arrays -- must never
+ * share memo entries or pooled contexts.
+ */
+std::string
+accelKeyPart(const AcceleratorParams &a)
+{
+    if (!a.present)
+        return "sa:none";
+    return "sa:" + std::to_string(a.rows) + ":" +
+           std::to_string(a.cols) + ":" +
+           std::to_string(a.input_sram_bytes) + ":" +
+           std::to_string(a.weight_sram_bytes) + ":" +
+           std::to_string(a.output_sram_bytes);
+}
+
 } // namespace
 
 ProxyBenchmark::ProxyBenchmark(std::string name, MotifParams base)
@@ -115,6 +133,7 @@ edgeTraceKey(const Motif &motif, const MotifParams &p,
     }
     key << '|' << machine.predictor.table_bits << ':'
         << machine.predictor.history_bits;
+    key << '|' << accelKeyPart(machine.accel);
     key << '|' << p.seed << '|' << p.data_size << '|' << p.chunk_size
         << '|' << p.num_tasks << '|' << p.batch_size << '|'
         << p.total_size << '|' << p.height << '|' << p.width << '|'
@@ -142,7 +161,8 @@ ProxyBenchmark::poolFor(const MachineConfig &machine,
             << c->line_bytes << '|';
     }
     key << machine.predictor.table_bits << ':'
-        << machine.predictor.history_bits << '|' << l3_sharers << '|'
+        << machine.predictor.history_bits << '|'
+        << accelKeyPart(machine.accel) << '|' << l3_sharers << '|'
         << sim_.batch_capacity << '|'
         << static_cast<int>(sim_.replay);
     MutexLock lock(pool_registry_->mutex);
@@ -286,6 +306,10 @@ ProxyBenchmark::execute(const MachineConfig &machine,
             out.prof.scale(static_cast<double>(tasks));
             out.prof.disk_read_bytes += edge_read;
             out.prof.disk_write_bytes += edge_write;
+            // The node's systolic array is a shared serial resource:
+            // all tasks' tile passes queue on it, so the all-tasks
+            // array time adds onto the edge, not one wave's worth.
+            out.edge_cpu += machine.accel.seconds(out.prof);
         });
     }
     runShardedJobs(sim_.shards, std::move(jobs));

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "motifs/kernel_util.hh"
+#include "stack/systolic.hh"
 
 namespace dmpb {
 namespace kernels {
@@ -35,6 +36,10 @@ conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
        std::uint32_t filters, std::uint32_t kernel, std::uint32_t stride,
        std::uint32_t pad, DataLayout layout)
 {
+    if (ctx.machine().accel.present) {
+        return systolic::conv2d(ctx, in, ishape, weights, bias, out,
+                                filters, kernel, stride, pad, layout);
+    }
     Shape4 oshape{ishape.n, filters,
                   convOutDim(ishape.h, kernel, stride, pad),
                   convOutDim(ishape.w, kernel, stride, pad)};
@@ -189,6 +194,11 @@ fullyConnected(TraceContext &ctx, const TracedBuffer<float> &in,
                const TracedBuffer<float> &bias, TracedBuffer<float> &out,
                std::size_t out_dim)
 {
+    if (ctx.machine().accel.present) {
+        systolic::fullyConnected(ctx, in, batch, in_dim, weights, bias,
+                                 out, out_dim);
+        return;
+    }
     dmpb_assert(in.size() >= batch * in_dim, "fc input too small");
     dmpb_assert(weights.size() >= out_dim * in_dim,
                 "fc weights too small");

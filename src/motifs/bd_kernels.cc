@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "motifs/kernel_util.hh"
+#include "stack/systolic.hh"
 
 namespace dmpb {
 namespace kernels {
@@ -602,6 +603,10 @@ matMul(TraceContext &ctx, const TracedBuffer<float> &a,
 {
     dmpb_assert(a.size() >= m * k && b.size() >= k * n &&
                 c.size() >= m * n, "matmul shape mismatch");
+    if (ctx.machine().accel.present) {
+        systolic::matMul(ctx, a, b, c, m, k, n);
+        return;
+    }
     for (std::size_t i = 0; i < m * n; ++i)
         c.raw()[i] = 0.0f;
     // i-k-j loop order: streaming access over B and C rows.

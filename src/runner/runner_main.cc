@@ -27,6 +27,7 @@
 
 #include "base/logging.hh"
 #include "core/proxy_cache.hh"
+#include "runner/cli_parse.hh"
 #include "runner/report.hh"
 #include "runner/suite.hh"
 #include "serve/loadgen.hh"
@@ -108,7 +109,10 @@ Usage: dmpb [options]
                       every lookup to disk). Mostly relevant under
                       --serve, where it is what keeps a hot scenario
                       cell from re-reading its cache file per request
-  --cluster NAME      paper5 (default), paper3, or haswell3
+  --cluster NAME      paper5 (default), paper3, haswell3, or accel3
+                      (paper3 hosts plus a 16x16 weight-stationary
+                      systolic array per node; conv2d/matMul run on
+                      the array, see README "Accelerator backend")
   --threshold X       Tuner deviation gate (default 0.15)
   --quick             Alias for --scale quick; used by the CI smoke
                       step
@@ -167,26 +171,37 @@ loadgen ran cleanly), 1 on a failed or timed-out workload, 2 on a
 usage error.
 )";
 
-bool
-parseU64(const char *s, std::uint64_t &out)
+[[noreturn]] void usageError(const std::string &msg);
+
+/** Strict u64 flag value (runner/cli_parse); usage error on garbage. */
+std::uint64_t
+u64Flag(const char *flag, const char *value)
 {
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0')
-        return false;
-    out = v;
-    return true;
+    try {
+        return dmpb::cli::parseU64Flag(flag, value);
+    } catch (const std::invalid_argument &e) {
+        usageError(e.what());
+    }
 }
 
-bool
-parseDouble(const char *s, double &out)
+std::uint64_t
+positiveU64Flag(const char *flag, const char *value)
 {
-    char *end = nullptr;
-    double v = std::strtod(s, &end);
-    if (end == s || *end != '\0')
-        return false;
-    out = v;
-    return true;
+    std::uint64_t n = u64Flag(flag, value);
+    if (n == 0)
+        usageError(std::string(flag) + " needs a positive integer");
+    return n;
+}
+
+/** Strict finite-double flag value; usage error on garbage/inf/nan. */
+double
+doubleFlag(const char *flag, const char *value)
+{
+    try {
+        return dmpb::cli::parseDoubleFlag(flag, value);
+    } catch (const std::invalid_argument &e) {
+        usageError(e.what());
+    }
 }
 
 std::vector<std::string>
@@ -268,46 +283,34 @@ main(int argc, char **argv)
         } else if (arg == "--workloads") {
             options.workloads = splitCsv(value("--workloads"));
         } else if (arg == "--jobs") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--jobs"), n) || n == 0)
-                usageError("--jobs needs a positive integer");
-            options.jobs = static_cast<std::size_t>(n);
+            options.jobs = static_cast<std::size_t>(
+                positiveU64Flag("--jobs", value("--jobs")));
         } else if (arg == "--seed") {
-            if (!parseU64(value("--seed"), options.seed))
-                usageError("--seed needs an unsigned integer");
+            options.seed = u64Flag("--seed", value("--seed"));
         } else if (arg == "--timeout") {
-            if (!parseDouble(value("--timeout"), options.timeout_s) ||
-                options.timeout_s < 0) {
+            options.timeout_s =
+                doubleFlag("--timeout", value("--timeout"));
+            if (options.timeout_s < 0)
                 usageError("--timeout needs a non-negative number");
-            }
         } else if (arg == "--sim-shards") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--sim-shards"), n) || n == 0)
-                usageError("--sim-shards needs a positive integer");
-            options.sim.shards = static_cast<std::size_t>(n);
+            options.sim.shards = static_cast<std::size_t>(
+                positiveU64Flag("--sim-shards", value("--sim-shards")));
         } else if (arg == "--sim-batch") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--sim-batch"), n) || n == 0)
-                usageError("--sim-batch needs a positive integer");
-            options.sim.batch_capacity = static_cast<std::size_t>(n);
+            options.sim.batch_capacity = static_cast<std::size_t>(
+                positiveU64Flag("--sim-batch", value("--sim-batch")));
         } else if (arg == "--sim-replay") {
-            std::string mode = value("--sim-replay");
-            if (mode == "vector")
-                options.sim.replay = ReplayMode::Vectorized;
-            else if (mode == "scalar")
-                options.sim.replay = ReplayMode::Scalar;
-            else
-                usageError("--sim-replay needs 'vector' or 'scalar'");
+            try {
+                options.sim.replay = cli::parseReplayModeFlag(
+                    "--sim-replay", value("--sim-replay"));
+            } catch (const std::invalid_argument &e) {
+                usageError(e.what());
+            }
         } else if (arg == "--tuner-jobs") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--tuner-jobs"), n) || n == 0)
-                usageError("--tuner-jobs needs a positive integer");
-            options.tuner.jobs = static_cast<std::size_t>(n);
+            options.tuner.jobs = static_cast<std::size_t>(
+                positiveU64Flag("--tuner-jobs", value("--tuner-jobs")));
         } else if (arg == "--tuner-spec") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--tuner-spec"), n) || n == 0)
-                usageError("--tuner-spec needs a positive integer");
-            options.tuner.speculation = static_cast<std::uint32_t>(n);
+            options.tuner.speculation = static_cast<std::uint32_t>(
+                positiveU64Flag("--tuner-spec", value("--tuner-spec")));
         } else if (arg == "--output") {
             output = value("--output");
         } else if (arg == "--cache-dir") {
@@ -315,37 +318,27 @@ main(int argc, char **argv)
         } else if (arg == "--ref-cache-dir") {
             ref_cache_dir = value("--ref-cache-dir");
         } else if (arg == "--mem-cache") {
-            if (!parseU64(value("--mem-cache"), mem_entries))
-                usageError("--mem-cache needs an unsigned integer");
+            mem_entries = u64Flag("--mem-cache", value("--mem-cache"));
         } else if (arg == "--threshold") {
-            if (!parseDouble(value("--threshold"),
-                             options.tuner.threshold) ||
-                options.tuner.threshold <= 0) {
+            options.tuner.threshold =
+                doubleFlag("--threshold", value("--threshold"));
+            if (options.tuner.threshold <= 0)
                 usageError("--threshold needs a positive number");
-            }
         } else if (arg == "--cluster") {
-            std::string c = value("--cluster");
-            if (c == "paper5")
-                options.cluster = paperCluster5();
-            else if (c == "paper3")
-                options.cluster = paperCluster3();
-            else if (c == "haswell3")
-                options.cluster = haswellCluster3();
-            else
-                usageError("unknown cluster '" + c + "'");
+            try {
+                options.cluster = clusterByName(value("--cluster"));
+            } catch (const std::invalid_argument &e) {
+                usageError(e.what());
+            }
         } else if (arg == "--serve") {
             serve.socket_path = value("--serve");
             serve_mode = true;
         } else if (arg == "--serve-workers") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--serve-workers"), n) || n == 0)
-                usageError("--serve-workers needs a positive integer");
-            serve.workers = static_cast<std::size_t>(n);
+            serve.workers = static_cast<std::size_t>(positiveU64Flag(
+                "--serve-workers", value("--serve-workers")));
         } else if (arg == "--serve-queue") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--serve-queue"), n) || n == 0)
-                usageError("--serve-queue needs a positive integer");
-            serve.max_queue = static_cast<std::size_t>(n);
+            serve.max_queue = static_cast<std::size_t>(positiveU64Flag(
+                "--serve-queue", value("--serve-queue")));
         } else if (arg == "--colocate") {
             colo.workloads = splitCsv(value("--colocate"));
             colocate_mode = true;
@@ -356,19 +349,16 @@ main(int argc, char **argv)
             loadgen.socket_path = value("--loadgen");
             loadgen_mode = true;
         } else if (arg == "--loadgen-requests") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--loadgen-requests"), n) || n == 0)
-                usageError(
-                    "--loadgen-requests needs a positive integer");
-            loadgen.requests = static_cast<std::size_t>(n);
+            loadgen.requests = static_cast<std::size_t>(positiveU64Flag(
+                "--loadgen-requests", value("--loadgen-requests")));
         } else if (arg == "--loadgen-conns") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--loadgen-conns"), n) || n == 0)
-                usageError("--loadgen-conns needs a positive integer");
-            loadgen.connections = static_cast<std::size_t>(n);
+            loadgen.connections =
+                static_cast<std::size_t>(positiveU64Flag(
+                    "--loadgen-conns", value("--loadgen-conns")));
         } else if (arg == "--loadgen-cold") {
-            std::uint64_t n = 0;
-            if (!parseU64(value("--loadgen-cold"), n) || n > 100)
+            std::uint64_t n =
+                u64Flag("--loadgen-cold", value("--loadgen-cold"));
+            if (n > 100)
                 usageError("--loadgen-cold needs a percent (0..100)");
             loadgen.cold_percent = static_cast<unsigned>(n);
         } else if (arg == "--loadgen-json") {

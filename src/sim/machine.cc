@@ -33,6 +33,14 @@ CoreParams::seconds(const KernelProfile &profile) const
 }
 
 double
+AcceleratorParams::seconds(const KernelProfile &profile) const
+{
+    if (!present)
+        return 0.0;
+    return static_cast<double>(profile.accel_cycles) / (freq_ghz * 1e9);
+}
+
+double
 DiskParams::readSeconds(std::uint64_t bytes, std::uint64_t requests) const
 {
     return static_cast<double>(bytes) / read_bw +
@@ -125,6 +133,23 @@ haswellE52620v3()
 
     m.disk = {680.0e6, 540.0e6, 3.5e-3};
     m.net = {117.0e6, 110.0e-6};
+    return m;
+}
+
+MachineConfig
+westmereSystolic16()
+{
+    MachineConfig m = westmereE5645();
+    m.name = "Xeon E5645 + SA16x16";
+    // Edge-TPU-class array: 256 MACs at 700 MHz with 128 KB
+    // double-buffered tile SRAMs per operand.
+    m.accel.present = true;
+    m.accel.rows = 16;
+    m.accel.cols = 16;
+    m.accel.freq_ghz = 0.7;
+    m.accel.input_sram_bytes = 128 * 1024;
+    m.accel.weight_sram_bytes = 128 * 1024;
+    m.accel.output_sram_bytes = 128 * 1024;
     return m;
 }
 

@@ -83,6 +83,31 @@ struct PredictorParams
     std::uint32_t history_bits = 12;
 };
 
+/**
+ * Weight-stationary systolic-array accelerator attached to a node.
+ *
+ * A rows x cols grid of MAC PEs with double-buffered on-chip SRAMs
+ * for input, weight and output tiles. conv2d/matMul are lowered onto
+ * the array by `src/stack/systolic`; off-chip tile traffic still goes
+ * through the host TraceContext, so the cache/branch models remain
+ * the single source of motif metrics. Compute time is accounted
+ * separately in `accel_cycles` (see KernelProfile) at the array's own
+ * clock.
+ */
+struct AcceleratorParams
+{
+    bool present = false;
+    std::uint32_t rows = 16;            ///< PE grid rows (K dimension)
+    std::uint32_t cols = 16;            ///< PE grid cols (N dimension)
+    double freq_ghz = 0.7;
+    std::uint64_t input_sram_bytes = 128 * 1024;
+    std::uint64_t weight_sram_bytes = 128 * 1024;
+    std::uint64_t output_sram_bytes = 128 * 1024;
+
+    /** Seconds of array time for a profile (0 when absent). */
+    double seconds(const KernelProfile &profile) const;
+};
+
 /** A node: cores + caches + memory + disk + NIC. */
 struct MachineConfig
 {
@@ -95,6 +120,7 @@ struct MachineConfig
     std::uint64_t memory_bytes = 32ULL * 1024 * 1024 * 1024;
     DiskParams disk;
     NetworkParams net;
+    AcceleratorParams accel;
 
     std::uint32_t totalCores() const { return sockets * cores_per_socket; }
 };
@@ -104,6 +130,9 @@ MachineConfig westmereE5645();
 
 /** Intel Xeon E5-2620 v3 (Haswell-EP) node as in Section IV-C. */
 MachineConfig haswellE52620v3();
+
+/** Westmere host with a 16x16 weight-stationary systolic array. */
+MachineConfig westmereSystolic16();
 
 } // namespace dmpb
 

@@ -17,6 +17,8 @@ KernelProfile::merge(const KernelProfile &other)
     disk_read_bytes += other.disk_read_bytes;
     disk_write_bytes += other.disk_write_bytes;
     net_bytes += other.net_bytes;
+    accel_macs += other.accel_macs;
+    accel_cycles += other.accel_cycles;
 }
 
 void
@@ -38,6 +40,8 @@ KernelProfile::scale(double factor)
     disk_read_bytes = scaled(disk_read_bytes);
     disk_write_bytes = scaled(disk_write_bytes);
     net_bytes = scaled(net_bytes);
+    accel_macs = scaled(accel_macs);
+    accel_cycles = scaled(accel_cycles);
 }
 
 } // namespace dmpb

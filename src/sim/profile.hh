@@ -28,6 +28,11 @@ struct KernelProfile
     std::uint64_t disk_read_bytes = 0;
     std::uint64_t disk_write_bytes = 0;
     std::uint64_t net_bytes = 0;
+    /** MACs executed on an attached systolic array (0 on CPU nodes). */
+    std::uint64_t accel_macs = 0;
+    /** Array cycles at AcceleratorParams::freq_ghz, including fill/
+     *  drain pipelining and dead lanes on edge-remainder tiles. */
+    std::uint64_t accel_cycles = 0;
 
     /** Total dynamic operations (the "instructions" of Table V). */
     std::uint64_t instructions() const { return totalOps(ops); }

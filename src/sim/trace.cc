@@ -64,6 +64,8 @@ TraceContext::profile() const
     p.disk_read_bytes = disk_read_;
     p.disk_write_bytes = disk_write_;
     p.net_bytes = net_;
+    p.accel_macs = accel_macs_;
+    p.accel_cycles = accel_cycles_;
     p.merge(absorbed_);
     return p;
 }
@@ -82,6 +84,7 @@ TraceContext::reset()
     counts_ = OpCounts{};
     absorbed_ = KernelProfile{};
     disk_read_ = disk_write_ = net_ = 0;
+    accel_macs_ = accel_cycles_ = 0;
     code_footprint_ = kDefaultCodeFootprint;
     hot_base_ = hot_off_ = pc_bytes_ = 0;
     ops_since_loop_br_ = 0;

@@ -245,6 +245,20 @@ class TraceContext
     /** @} */
 
     /**
+     * Account work executed on the node's systolic array
+     * (stack/systolic): MACs and array cycles at the accelerator
+     * clock. Off-chip tile traffic is emitted through the normal
+     * load/store emitters; only the on-array compute is kept out of
+     * the core op classes and accumulated here.
+     */
+    void
+    addAccelWork(std::uint64_t macs, std::uint64_t cycles)
+    {
+        accel_macs_ += macs;
+        accel_cycles_ += cycles;
+    }
+
+    /**
      * Snapshot the accumulated totals.
      *
      * Cache counters are scaled by the sampling period so that a
@@ -501,6 +515,8 @@ class TraceContext
     std::uint64_t disk_read_ = 0;
     std::uint64_t disk_write_ = 0;
     std::uint64_t net_ = 0;
+    std::uint64_t accel_macs_ = 0;
+    std::uint64_t accel_cycles_ = 0;
     std::uint64_t code_footprint_;
     std::uint64_t hot_base_ = 0;
     std::uint64_t hot_off_ = 0;

@@ -1,12 +1,28 @@
 #include "stack/cluster.hh"
 
+#include <stdexcept>
+
 namespace dmpb {
 
 std::string
 ClusterConfig::cacheId() const
 {
-    return node.name + "-x" + std::to_string(num_nodes) + "-mem" +
-           std::to_string(node.memory_bytes >> 30) + "g";
+    std::string id = node.name + "-x" + std::to_string(num_nodes) +
+                     "-mem" + std::to_string(node.memory_bytes >> 30) +
+                     "g";
+    // Accelerator-backed cells must never collide with CPU cells (nor
+    // with differently shaped arrays), even where node names overlap.
+    if (node.accel.present) {
+        id += "-sa" + std::to_string(node.accel.rows) + "x" +
+              std::to_string(node.accel.cols) + "@" +
+              std::to_string(static_cast<std::uint64_t>(
+                  node.accel.freq_ghz * 1000.0)) +
+              "mhz-i" +
+              std::to_string(node.accel.input_sram_bytes >> 10) + "w" +
+              std::to_string(node.accel.weight_sram_bytes >> 10) + "o" +
+              std::to_string(node.accel.output_sram_bytes >> 10) + "k";
+    }
+    return id;
 }
 
 ClusterConfig
@@ -37,6 +53,37 @@ haswellCluster3()
     c.node.memory_bytes = 64ULL * 1024 * 1024 * 1024;
     c.num_nodes = 3;
     return c;
+}
+
+ClusterConfig
+accelCluster3()
+{
+    ClusterConfig c;
+    c.node = westmereSystolic16();
+    c.node.memory_bytes = 64ULL * 1024 * 1024 * 1024;
+    c.num_nodes = 3;
+    return c;
+}
+
+ClusterConfig
+clusterByName(const std::string &name)
+{
+    if (name == "paper5")
+        return paperCluster5();
+    if (name == "paper3")
+        return paperCluster3();
+    if (name == "haswell3")
+        return haswellCluster3();
+    if (name == "accel3")
+        return accelCluster3();
+    throw std::invalid_argument("unknown cluster '" + name +
+                                "' (valid: " + clusterNames() + ")");
+}
+
+std::string
+clusterNames()
+{
+    return "paper5, paper3, haswell3, accel3";
 }
 
 } // namespace dmpb

@@ -58,6 +58,21 @@ ClusterConfig paperCluster3();
 /** The Section IV-C Haswell cluster: 3 x E5-2620 v3, 64 GB. */
 ClusterConfig haswellCluster3();
 
+/** Accelerator cluster: 3 x E5645 hosting a 16x16 systolic array
+ *  each (stack/systolic), 64 GB -- the cross-backend counterpart of
+ *  paperCluster3(). */
+ClusterConfig accelCluster3();
+
+/**
+ * Look up a cluster preset by its CLI name (paper5, paper3, haswell3,
+ * accel3). Throws std::invalid_argument naming the valid options for
+ * anything else, like the unknown-workload/unknown-policy paths.
+ */
+ClusterConfig clusterByName(const std::string &name);
+
+/** Comma-separated list of valid clusterByName() names. */
+std::string clusterNames();
+
 } // namespace dmpb
 
 #endif // DMPB_STACK_CLUSTER_HH

@@ -61,7 +61,8 @@ sampleTask(const ClusterConfig &cluster, const MapReduceJob &job,
     double scale = static_cast<double>(logical_bytes) /
                    static_cast<double>(sample_bytes);
     out.profile.scale(scale);
-    out.cpu_seconds = cluster.node.core.seconds(out.profile);
+    out.cpu_seconds = cluster.node.core.seconds(out.profile) +
+                      cluster.node.accel.seconds(out.profile);
     return out;
 }
 

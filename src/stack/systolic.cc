@@ -1,0 +1,390 @@
+#include "stack/systolic.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dmpb {
+namespace systolic {
+
+namespace {
+
+constexpr std::uint64_t kElemBytes = sizeof(float);
+
+/** Host driver cost of issuing one tile pass (DMA descriptors). */
+inline void
+chargeTileDescriptor(TraceContext &ctx)
+{
+    ctx.emitOps(OpClass::IntAlu, 4);
+}
+
+/**
+ * One DMA burst over @p count elements starting at @p first with an
+ * element stride of @p step. Contiguous runs (step 1) collapse into a
+ * single multi-line access; strided gathers fall back to one event
+ * per element, which is exactly what a strided DMA descriptor costs
+ * the memory system.
+ */
+template <typename T>
+inline void
+burstLoad(TraceContext &ctx, const TracedBuffer<T> &buf,
+          std::size_t first, std::size_t count, std::size_t step = 1)
+{
+    if (count == 0)
+        return;
+    if (step == 1) {
+        ctx.emitLoadAddr(buf.elemAddr(first), count * sizeof(T));
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        ctx.emitLoadAddr(buf.elemAddr(first + i * step), sizeof(T));
+}
+
+template <typename T>
+inline void
+burstStore(TraceContext &ctx, TracedBuffer<T> &buf, std::size_t first,
+           std::size_t count)
+{
+    if (count != 0)
+        ctx.emitStoreAddr(buf.elemAddr(first), count * sizeof(T));
+}
+
+} // namespace
+
+Geometry
+validateGeometry(const AcceleratorParams &accel)
+{
+    dmpb_assert(accel.present,
+                "systolic dispatch on a node without an accelerator");
+    dmpb_assert(accel.rows > 0 && accel.cols > 0,
+                "systolic PE grid must be non-empty");
+    dmpb_assert(accel.freq_ghz > 0.0, "systolic clock must be positive");
+    // Double-buffered SRAMs: exact halves, like CacheModel's exact
+    // set/way geometry -- an odd size cannot split into two banks.
+    dmpb_assert(accel.input_sram_bytes % 2 == 0 &&
+                    accel.weight_sram_bytes % 2 == 0 &&
+                    accel.output_sram_bytes % 2 == 0,
+                "systolic SRAMs are double-buffered: "
+                "sizes must split into two equal banks");
+    const std::uint64_t weight_bank = accel.weight_sram_bytes / 2;
+    dmpb_assert(weight_bank >= static_cast<std::uint64_t>(accel.rows) *
+                                   accel.cols * kElemBytes,
+                "weight SRAM bank too small for one rows x cols tile");
+
+    Geometry g;
+    g.rows = accel.rows;
+    g.cols = accel.cols;
+    const std::uint64_t in_rows =
+        (accel.input_sram_bytes / 2) /
+        (static_cast<std::uint64_t>(accel.rows) * kElemBytes);
+    const std::uint64_t out_rows =
+        (accel.output_sram_bytes / 2) /
+        (static_cast<std::uint64_t>(accel.cols) * kElemBytes);
+    g.tile_m = std::min(in_rows, out_rows);
+    dmpb_assert(g.tile_m >= 1,
+                "input/output SRAM bank too small for one input row");
+    return g;
+}
+
+void
+matMul(TraceContext &ctx, const TracedBuffer<float> &a,
+       const TracedBuffer<float> &b, TracedBuffer<float> &c,
+       std::size_t m, std::size_t k, std::size_t n)
+{
+    dmpb_assert(a.size() >= m * k && b.size() >= k * n &&
+                    c.size() >= m * n,
+                "matmul shape mismatch");
+    const Geometry g = validateGeometry(ctx.machine().accel);
+    std::uint64_t macs = 0;
+    std::uint64_t cycles = 0;
+    std::vector<float> acc;
+    for (std::size_t nt = 0; nt < n; nt += g.cols) {
+        const std::size_t nc = std::min<std::size_t>(g.cols, n - nt);
+        for (std::size_t mt = 0; mt < m; mt += g.tile_m) {
+            const std::size_t mc =
+                std::min<std::size_t>(g.tile_m, m - mt);
+            acc.assign(mc * nc, 0.0f);
+            for (std::size_t kt = 0; kt < k; kt += g.rows) {
+                const std::size_t kc =
+                    std::min<std::size_t>(g.rows, k - kt);
+                chargeTileDescriptor(ctx);
+                // Weight tile: B rows kt..kt+kc, cols nt..nt+nc.
+                for (std::size_t kk = 0; kk < kc; ++kk)
+                    burstLoad(ctx, b, (kt + kk) * n + nt, nc);
+                // Input chunk: A rows mt..mt+mc, cols kt..kt+kc.
+                for (std::size_t i = 0; i < mc; ++i)
+                    burstLoad(ctx, a, (mt + i) * k + kt, kc);
+                // Edge-remainder tiles occupy the full grid (dead
+                // lanes still clock); only useful MACs are counted.
+                cycles += g.passCycles(mc);
+                macs += static_cast<std::uint64_t>(mc) * kc * nc;
+                for (std::size_t i = 0; i < mc; ++i) {
+                    const float *arow = a.data() + (mt + i) * k;
+                    for (std::size_t j = 0; j < nc; ++j) {
+                        float s = acc[i * nc + j];
+                        for (std::size_t kk = 0; kk < kc; ++kk) {
+                            s += arow[kt + kk] *
+                                 b.data()[(kt + kk) * n + nt + j];
+                        }
+                        acc[i * nc + j] = s;
+                    }
+                }
+            }
+            // Drain the accumulator bank, one row burst at a time.
+            for (std::size_t i = 0; i < mc; ++i) {
+                burstStore(ctx, c, (mt + i) * n + nt, nc);
+                for (std::size_t j = 0; j < nc; ++j)
+                    c.raw()[(mt + i) * n + nt + j] = acc[i * nc + j];
+            }
+        }
+    }
+    ctx.addAccelWork(macs, cycles);
+}
+
+void
+fullyConnected(TraceContext &ctx, const TracedBuffer<float> &in,
+               std::size_t batch, std::size_t in_dim,
+               const TracedBuffer<float> &weights,
+               const TracedBuffer<float> &bias, TracedBuffer<float> &out,
+               std::size_t out_dim)
+{
+    dmpb_assert(in.size() >= batch * in_dim, "fc input too small");
+    dmpb_assert(weights.size() >= out_dim * in_dim,
+                "fc weights too small");
+    dmpb_assert(out.size() >= batch * out_dim, "fc output too small");
+    const Geometry g = validateGeometry(ctx.machine().accel);
+    std::uint64_t macs = 0;
+    std::uint64_t cycles = 0;
+    std::vector<float> acc;
+    for (std::size_t nt = 0; nt < out_dim; nt += g.cols) {
+        const std::size_t nc =
+            std::min<std::size_t>(g.cols, out_dim - nt);
+        for (std::size_t mt = 0; mt < batch; mt += g.tile_m) {
+            const std::size_t mc =
+                std::min<std::size_t>(g.tile_m, batch - mt);
+            acc.assign(mc * nc, 0.0f);
+            for (std::size_t kt = 0; kt < in_dim; kt += g.rows) {
+                const std::size_t kc =
+                    std::min<std::size_t>(g.rows, in_dim - kt);
+                chargeTileDescriptor(ctx);
+                // Weights are stored out_dim-major: one contiguous
+                // run of kc values per output unit in the strip.
+                for (std::size_t j = 0; j < nc; ++j)
+                    burstLoad(ctx, weights, (nt + j) * in_dim + kt, kc);
+                for (std::size_t i = 0; i < mc; ++i)
+                    burstLoad(ctx, in, (mt + i) * in_dim + kt, kc);
+                cycles += g.passCycles(mc);
+                macs += static_cast<std::uint64_t>(mc) * kc * nc;
+                for (std::size_t i = 0; i < mc; ++i) {
+                    const float *xrow = in.data() + (mt + i) * in_dim;
+                    for (std::size_t j = 0; j < nc; ++j) {
+                        const float *wrow =
+                            weights.data() + (nt + j) * in_dim;
+                        float s = acc[i * nc + j];
+                        for (std::size_t kk = 0; kk < kc; ++kk)
+                            s += xrow[kt + kk] * wrow[kt + kk];
+                        acc[i * nc + j] = s;
+                    }
+                }
+            }
+            if (!bias.empty()) {
+                burstLoad(ctx, bias, nt, nc);
+                for (std::size_t i = 0; i < mc; ++i)
+                    for (std::size_t j = 0; j < nc; ++j)
+                        acc[i * nc + j] += bias.data()[nt + j];
+            }
+            for (std::size_t i = 0; i < mc; ++i) {
+                burstStore(ctx, out, (mt + i) * out_dim + nt, nc);
+                for (std::size_t j = 0; j < nc; ++j)
+                    out.raw()[(mt + i) * out_dim + nt + j] =
+                        acc[i * nc + j];
+            }
+        }
+    }
+    ctx.addAccelWork(macs, cycles);
+}
+
+Shape4
+conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
+       const Shape4 &ishape, const TracedBuffer<float> &weights,
+       const TracedBuffer<float> &bias, TracedBuffer<float> &out,
+       std::uint32_t filters, std::uint32_t kernel, std::uint32_t stride,
+       std::uint32_t pad, DataLayout layout)
+{
+    Shape4 oshape{ishape.n, filters,
+                  kernels::convOutDim(ishape.h, kernel, stride, pad),
+                  kernels::convOutDim(ishape.w, kernel, stride, pad)};
+    dmpb_assert(in.size() >= ishape.elems(), "conv input too small");
+    dmpb_assert(weights.size() >=
+                    static_cast<std::size_t>(filters) * ishape.c *
+                        kernel * kernel,
+                "conv weights too small");
+    dmpb_assert(out.size() >= oshape.elems(), "conv output too small");
+    const Geometry g = validateGeometry(ctx.machine().accel);
+
+    // Implicit GEMM: one row per output pixel, one column per filter,
+    // K over (channel, ky, kx) in the same order the direct CPU loop
+    // reduces in, so per-element accumulation order (and thus the
+    // float result) is unchanged.
+    const std::size_t ohw =
+        static_cast<std::size_t>(oshape.h) * oshape.w;
+    const std::size_t gemm_m = static_cast<std::size_t>(ishape.n) * ohw;
+    const std::size_t gemm_k =
+        static_cast<std::size_t>(ishape.c) * kernel * kernel;
+    const std::size_t ksq = static_cast<std::size_t>(kernel) * kernel;
+    const std::size_t xstep =
+        layout == DataLayout::NCHW ? 1 : ishape.c;
+    std::uint64_t macs = 0;
+    std::uint64_t cycles = 0;
+    std::vector<float> acc;
+    for (std::size_t nt = 0; nt < filters; nt += g.cols) {
+        const std::size_t nc =
+            std::min<std::size_t>(g.cols, filters - nt);
+        for (std::size_t mt = 0; mt < gemm_m; mt += g.tile_m) {
+            const std::size_t mc =
+                std::min<std::size_t>(g.tile_m, gemm_m - mt);
+            acc.assign(mc * nc, 0.0f);
+            for (std::size_t kt = 0; kt < gemm_k; kt += g.rows) {
+                const std::size_t kc =
+                    std::min<std::size_t>(g.rows, gemm_k - kt);
+                chargeTileDescriptor(ctx);
+                // Weight tile: OIHW keeps each filter's K slice
+                // contiguous -- one burst per filter in the strip.
+                for (std::size_t j = 0; j < nc; ++j)
+                    burstLoad(ctx, weights, (nt + j) * gemm_k + kt, kc);
+                cycles += g.passCycles(mc);
+                macs += static_cast<std::uint64_t>(mc) * kc * nc;
+                // Input chunk: the im2col row segment [kt, kt+kc) of
+                // each output pixel, gathered as per-(channel, ky)
+                // bursts from the feature map. Padded positions are
+                // zero-filled in SRAM and fetch nothing, mirroring
+                // the CPU loop's clipping.
+                for (std::size_t i = 0; i < mc; ++i) {
+                    const std::size_t p = mt + i;
+                    const std::uint32_t img =
+                        static_cast<std::uint32_t>(p / ohw);
+                    const std::size_t q = p % ohw;
+                    const std::uint32_t oy =
+                        static_cast<std::uint32_t>(q / oshape.w);
+                    const std::uint32_t ox =
+                        static_cast<std::uint32_t>(q % oshape.w);
+                    const std::int64_t ix0 =
+                        static_cast<std::int64_t>(ox) * stride - pad;
+                    std::size_t kidx = kt;
+                    while (kidx < kt + kc) {
+                        const std::uint32_t cc =
+                            static_cast<std::uint32_t>(kidx / ksq);
+                        const std::size_t rem = kidx % ksq;
+                        const std::uint32_t ky =
+                            static_cast<std::uint32_t>(rem / kernel);
+                        const std::uint32_t kx =
+                            static_cast<std::uint32_t>(rem % kernel);
+                        const std::size_t seg = std::min<std::size_t>(
+                            kernel - kx, kt + kc - kidx);
+                        const std::int64_t iy =
+                            static_cast<std::int64_t>(oy) * stride +
+                            ky - pad;
+                        if (iy >= 0 &&
+                            iy < static_cast<std::int64_t>(ishape.h)) {
+                            const std::int64_t lo_s =
+                                std::max<std::int64_t>(kx,
+                                                       ix0 < 0 ? -ix0
+                                                               : 0);
+                            const std::int64_t hi_s =
+                                std::min<std::int64_t>(
+                                    kx + seg,
+                                    std::max<std::int64_t>(
+                                        0, static_cast<std::int64_t>(
+                                               ishape.w) -
+                                               ix0));
+                            if (hi_s > lo_s) {
+                                const std::size_t kx_lo =
+                                    static_cast<std::size_t>(lo_s);
+                                const std::size_t kx_hi =
+                                    static_cast<std::size_t>(hi_s);
+                                const std::size_t in_row =
+                                    ishape.index(
+                                        layout, img, cc,
+                                        static_cast<std::uint32_t>(iy),
+                                        0);
+                                burstLoad(
+                                    ctx, in,
+                                    in_row +
+                                        static_cast<std::size_t>(
+                                            ix0 + static_cast<
+                                                      std::int64_t>(
+                                                      kx_lo)) *
+                                            xstep,
+                                    kx_hi - kx_lo, xstep);
+                                const std::size_t kbase =
+                                    kidx - kx;
+                                for (std::size_t kxx = kx_lo;
+                                     kxx < kx_hi; ++kxx) {
+                                    const float iv = in.data()
+                                        [in_row +
+                                         static_cast<std::size_t>(
+                                             ix0 +
+                                             static_cast<std::int64_t>(
+                                                 kxx)) *
+                                             xstep];
+                                    for (std::size_t j = 0; j < nc;
+                                         ++j) {
+                                        acc[i * nc + j] +=
+                                            iv *
+                                            weights.data()
+                                                [(nt + j) * gemm_k +
+                                                 kbase + kxx];
+                                    }
+                                }
+                            }
+                        }
+                        kidx += seg;
+                    }
+                }
+            }
+            if (!bias.empty()) {
+                burstLoad(ctx, bias, nt, nc);
+                for (std::size_t i = 0; i < mc; ++i)
+                    for (std::size_t j = 0; j < nc; ++j)
+                        acc[i * nc + j] += bias.data()[nt + j];
+            }
+            // Drain: NHWC keeps a pixel's filter strip contiguous;
+            // NCHW keeps each filter's pixel run contiguous within
+            // one image of the chunk.
+            if (layout == DataLayout::NHWC) {
+                for (std::size_t i = 0; i < mc; ++i) {
+                    const std::size_t p = mt + i;
+                    burstStore(ctx, out, p * filters + nt, nc);
+                    for (std::size_t j = 0; j < nc; ++j)
+                        out.raw()[p * filters + nt + j] =
+                            acc[i * nc + j];
+                }
+            } else {
+                for (std::size_t j = 0; j < nc; ++j) {
+                    const std::size_t o = nt + j;
+                    std::size_t i = 0;
+                    while (i < mc) {
+                        const std::size_t p = mt + i;
+                        const std::size_t img = p / ohw;
+                        const std::size_t run = std::min(
+                            mc - i, (img + 1) * ohw - p);
+                        const std::size_t base =
+                            (img * filters + o) * ohw +
+                            (p - img * ohw);
+                        burstStore(ctx, out, base, run);
+                        for (std::size_t r = 0; r < run; ++r)
+                            out.raw()[base + r] =
+                                acc[(i + r) * nc + j];
+                        i += run;
+                    }
+                }
+            }
+        }
+    }
+    ctx.addAccelWork(macs, cycles);
+    return oshape;
+}
+
+} // namespace systolic
+} // namespace dmpb

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Weight-stationary systolic-array execution of the dense AI kernels.
+ *
+ * Models a rows x cols grid of MAC processing elements fed by
+ * double-buffered on-chip SRAMs (one bank filling while the other
+ * feeds the array), the standard TPU-style dataflow: a weight tile is
+ * loaded into the PEs and stays resident while input rows stream
+ * through; partial sums accumulate in the output SRAM and are drained
+ * off-chip once per output tile.
+ *
+ * The model keeps the repo's measurement contract intact:
+ *
+ *  - Off-chip tile traffic (weight tiles, input chunks, output
+ *    drains) is emitted through the host TraceContext as coalesced
+ *    DMA bursts over the *real* simulated buffer addresses, so the
+ *    cache hierarchy and branch predictor stay the single source of
+ *    memory-system metrics, exactly as on the CPU path.
+ *  - On-array compute is kept out of the core op classes and
+ *    accounted as `accel_macs` / `accel_cycles` in the profile; a
+ *    tile pass of T input rows costs T + rows + cols - 2 pipelined
+ *    cycles (fill + drain overlap), and edge-remainder tiles occupy
+ *    the full array (dead lanes still clock).
+ *  - Numerics are real: per output element the accumulation order is
+ *    identical to the CPU kernels (K ascending), so results agree.
+ *
+ * Geometry is validated up front and panics on inexact or undersized
+ * configurations, the same contract CacheModel enforces.
+ */
+
+#ifndef DMPB_STACK_SYSTOLIC_HH
+#define DMPB_STACK_SYSTOLIC_HH
+
+#include <cstdint>
+
+#include "motifs/ai_kernels.hh"
+
+namespace dmpb {
+namespace systolic {
+
+/**
+ * Validated tiling geometry derived from AcceleratorParams.
+ *
+ * rows is the K (reduction) span of a weight tile, cols the N
+ * (output-channel) span; tile_m is how many input rows stream through
+ * per pass, bounded by both the input-SRAM bank (tile_m x rows
+ * operands) and the output-SRAM bank (tile_m x cols accumulators).
+ */
+struct Geometry
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint64_t tile_m = 0;
+
+    /** Pipelined cycles of one tile pass of @p m_chunk input rows. */
+    std::uint64_t
+    passCycles(std::uint64_t m_chunk) const
+    {
+        return m_chunk + rows + cols - 2;
+    }
+};
+
+/**
+ * Validate @p accel (from ctx.machine().accel) and derive the tiling.
+ * Panics (dmpb_assert) when the accelerator is absent, the grid or
+ * clock is null, an SRAM size is odd (banks must split exactly in
+ * two), or a bank cannot hold a single tile.
+ */
+Geometry validateGeometry(const AcceleratorParams &accel);
+
+/** C[m x n] = A[m x k] * B[k x n] on the array (B is stationary). */
+void matMul(TraceContext &ctx, const TracedBuffer<float> &a,
+            const TracedBuffer<float> &b, TracedBuffer<float> &c,
+            std::size_t m, std::size_t k, std::size_t n);
+
+/**
+ * Direct convolution lowered onto the array as an implicit GEMM:
+ * M = n*oh*ow output pixels, K = c*kernel*kernel, N = filters.
+ * Same signature and result as kernels::conv2d.
+ */
+Shape4 conv2d(TraceContext &ctx, const TracedBuffer<float> &in,
+              const Shape4 &ishape, const TracedBuffer<float> &weights,
+              const TracedBuffer<float> &bias, TracedBuffer<float> &out,
+              std::uint32_t filters, std::uint32_t kernel,
+              std::uint32_t stride, std::uint32_t pad,
+              DataLayout layout = DataLayout::NCHW);
+
+/** Fully-connected layer on the array (weights stationary). */
+void fullyConnected(TraceContext &ctx, const TracedBuffer<float> &in,
+                    std::size_t batch, std::size_t in_dim,
+                    const TracedBuffer<float> &weights,
+                    const TracedBuffer<float> &bias,
+                    TracedBuffer<float> &out, std::size_t out_dim);
+
+} // namespace systolic
+} // namespace dmpb
+
+#endif // DMPB_STACK_SYSTOLIC_HH

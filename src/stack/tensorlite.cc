@@ -611,8 +611,12 @@ TensorEngine::run(const TrainJob &job) const
 
     // ---- Step time: data-parallel across the worker's cores with
     // imperfect scaling, then a parameter-server synchronisation.
+    // Cores data-parallel with imperfect scaling; the node's systolic
+    // array (when present) is one shared serial resource, so its step
+    // time adds undivided.
     double compute_s = cluster_.node.core.seconds(step) /
-                       (0.85 * cores);
+                           (0.85 * cores) +
+                       cluster_.node.accel.seconds(step);
     Shape4 in_shape{1, job.channels, job.image_dim, job.image_dim};
     std::uint64_t params = job.net->paramCount(in_shape);
     std::uint64_t sync_bytes = 2ULL * 4 * params;  // grads up + params

@@ -43,14 +43,14 @@ struct GoldenCase
 };
 
 constexpr GoldenCase kGolden[] = {
-    {"TeraSort", 0xef6bdc0fa69b3d85ULL},
-    {"K-means", 0x71572317fccafebeULL},
-    {"PageRank", 0x19508d750f2a7447ULL},
-    {"AlexNet", 0x77a22d312a7c8bf5ULL},
-    {"Inception-V3", 0xf3944681ec9f3858ULL},
-    {"Grep", 0xd98876e3bb0e02d6ULL},
-    {"WordCount", 0x844c308383915360ULL},
-    {"NaiveBayes", 0x003fec6265763390ULL},
+    {"TeraSort", 0xbf7b11ad6d87c174ULL},
+    {"K-means", 0x0c522b79cb159f54ULL},
+    {"PageRank", 0x00902867132494a4ULL},
+    {"AlexNet", 0xfe826c245c3989adULL},
+    {"Inception-V3", 0x7c353e82a517514aULL},
+    {"Grep", 0xf0d0555ba3301bb0ULL},
+    {"WordCount", 0x02600bbe8849b28bULL},
+    {"NaiveBayes", 0x83bcfd858972fb62ULL},
 };
 
 void

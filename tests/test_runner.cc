@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "runner/cli_parse.hh"
 #include "runner/report.hh"
 #include "runner/suite.hh"
+#include "stack/cluster.hh"
 
 namespace dmpb {
 namespace {
@@ -171,6 +173,125 @@ TEST_F(RunnerTest, UnknownLlcPolicySelectionThrows)
         EXPECT_NE(std::string(e.what()).find("--list"),
                   std::string::npos);
     }
+}
+
+// ------------------------------------------------- CLI flag parsing
+
+/** Expects fn() to throw std::invalid_argument mentioning every
+ * fragment; the diagnostic must name the flag so the user knows which
+ * argument to fix. */
+template <typename Fn>
+void
+expectFlagError(Fn fn, const std::vector<std::string> &fragments)
+{
+    try {
+        fn();
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        for (const std::string &fragment : fragments) {
+            EXPECT_NE(std::string(e.what()).find(fragment),
+                      std::string::npos)
+                << "diagnostic '" << e.what() << "' lacks '"
+                << fragment << "'";
+        }
+    }
+}
+
+TEST_F(RunnerTest, U64FlagParsesExactDecimal)
+{
+    EXPECT_EQ(cli::parseU64Flag("--jobs", "0"), 0u);
+    EXPECT_EQ(cli::parseU64Flag("--jobs", "4"), 4u);
+    EXPECT_EQ(cli::parseU64Flag("--seed", "18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST_F(RunnerTest, U64FlagRejectsTrailingGarbage)
+{
+    // The historical strtoull parser read "4x" as 4; the suite then
+    // ran with a silently truncated value. Now it is a usage error.
+    expectFlagError([] { cli::parseU64Flag("--sim-shards", "4x"); },
+                    {"--sim-shards", "4x"});
+    expectFlagError([] { cli::parseU64Flag("--jobs", "1 2"); },
+                    {"--jobs"});
+    expectFlagError([] { cli::parseU64Flag("--jobs", "0x10"); },
+                    {"--jobs"});
+}
+
+TEST_F(RunnerTest, U64FlagRejectsSignWhitespaceAndEmpty)
+{
+    // strtoull wrapped "-4" around to 2^64-4; from_chars refuses any
+    // sign, leading whitespace, or empty string outright.
+    expectFlagError([] { cli::parseU64Flag("--jobs", "-4"); },
+                    {"--jobs", "-4"});
+    expectFlagError([] { cli::parseU64Flag("--jobs", "+4"); },
+                    {"--jobs"});
+    expectFlagError([] { cli::parseU64Flag("--jobs", " 4"); },
+                    {"--jobs"});
+    expectFlagError([] { cli::parseU64Flag("--jobs", ""); },
+                    {"--jobs"});
+}
+
+TEST_F(RunnerTest, U64FlagRejectsOverflowNamingTheFlag)
+{
+    // strtoull saturated to ULLONG_MAX and reported success.
+    expectFlagError(
+        [] { cli::parseU64Flag("--seed", "99999999999999999999"); },
+        {"--seed", "range"});
+}
+
+TEST_F(RunnerTest, DoubleFlagParsesPlainNumbers)
+{
+    EXPECT_DOUBLE_EQ(cli::parseDoubleFlag("--timeout", "1.5"), 1.5);
+    EXPECT_DOUBLE_EQ(cli::parseDoubleFlag("--threshold", "-2"), -2.0);
+    EXPECT_DOUBLE_EQ(cli::parseDoubleFlag("--timeout", "1e3"), 1000.0);
+}
+
+TEST_F(RunnerTest, DoubleFlagRejectsGarbageInfNan)
+{
+    expectFlagError([] { cli::parseDoubleFlag("--timeout", "1.5x"); },
+                    {"--timeout", "1.5x"});
+    expectFlagError([] { cli::parseDoubleFlag("--timeout", ""); },
+                    {"--timeout"});
+    // strtod accepted these; no runner flag means anything non-finite
+    // or hexadecimal.
+    expectFlagError([] { cli::parseDoubleFlag("--timeout", "inf"); },
+                    {"--timeout"});
+    expectFlagError([] { cli::parseDoubleFlag("--timeout", "nan"); },
+                    {"--timeout"});
+    expectFlagError([] { cli::parseDoubleFlag("--timeout", "0x10"); },
+                    {"--timeout"});
+}
+
+TEST_F(RunnerTest, ReplayModeFlagParsesAndRejectsNamingOptions)
+{
+    EXPECT_EQ(cli::parseReplayModeFlag("--sim-replay", "vector"),
+              ReplayMode::Vectorized);
+    EXPECT_EQ(cli::parseReplayModeFlag("--sim-replay", "scalar"),
+              ReplayMode::Scalar);
+    // Unknown enum values fail fast like unknown workloads/policies:
+    // std::invalid_argument naming the offender and the valid set.
+    expectFlagError(
+        [] { cli::parseReplayModeFlag("--sim-replay", "turbo"); },
+        {"turbo", "--sim-replay", "vector", "scalar"});
+    expectFlagError(
+        [] { cli::parseReplayModeFlag("--sim-replay", "Vector"); },
+        {"Vector"});
+}
+
+TEST_F(RunnerTest, ClusterByNameResolvesAndRejectsNamingOptions)
+{
+    EXPECT_EQ(clusterByName("paper5").node.name,
+              paperCluster5().node.name);
+    EXPECT_EQ(clusterByName("paper5").num_nodes, 5u);
+    EXPECT_EQ(clusterByName("paper3").num_nodes, 3u);
+    EXPECT_EQ(clusterByName("haswell3").node.name,
+              haswellCluster3().node.name);
+    EXPECT_EQ(clusterByName("accel3").node.name,
+              accelCluster3().node.name);
+    EXPECT_TRUE(clusterByName("accel3").node.accel.present);
+    expectFlagError([] { clusterByName("power9"); },
+                    {"power9", "paper5", "paper3", "haswell3",
+                     "accel3"});
 }
 
 TEST_F(RunnerTest, ParallelExecutionIsDeterministicUnderFixedSeed)

@@ -47,6 +47,17 @@ TEST(Cluster, CacheIdsSeparateEveryPaperDeployment)
     EXPECT_NE(c5, c3);
     EXPECT_NE(c3, h3);
     EXPECT_NE(c5, h3);
+
+    // accel3 shares the paper3 hosts but adds the systolic array;
+    // its cacheId must name the array geometry so CPU and
+    // accelerator measurements never share a cell.
+    std::string a3 = accelCluster3().cacheId();
+    EXPECT_NE(a3, c3);
+    EXPECT_NE(a3.find("-sa16x16"), std::string::npos) << a3;
+
+    ClusterConfig wider = accelCluster3();
+    wider.node.accel.cols = 32;
+    EXPECT_NE(wider.cacheId(), a3);
 }
 
 TEST(ManagedHeap, TriggersGcAtYoungCapacity)

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the weight-stationary systolic-array backend:
+ * geometry validation panics, tile-edge remainders, non-square PE
+ * grids, bit-exact agreement with the CPU kernels, and the
+ * accel_macs / accel_cycles accounting that feeds the timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "motifs/ai_kernels.hh"
+#include "motifs/bd_kernels.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "stack/systolic.hh"
+
+namespace dmpb {
+namespace {
+
+/** Paired CPU / accelerator contexts over otherwise identical hosts. */
+class SystolicTest : public ::testing::Test
+{
+  protected:
+    SystolicTest()
+        : cpu_mach_(westmereE5645()), sa_mach_(westmereSystolic16()),
+          cpu_(cpu_mach_), sa_(sa_mach_)
+    {
+    }
+
+    TracedBuffer<float>
+    randomF(TraceContext &ctx, std::size_t n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        TracedBuffer<float> buf(ctx, n);
+        for (auto &v : buf.raw())
+            v = static_cast<float>(rng.nextDouble(-1, 1));
+        return buf;
+    }
+
+    MachineConfig cpu_mach_;
+    MachineConfig sa_mach_;
+    TraceContext cpu_;
+    TraceContext sa_;
+};
+
+// ------------------------------------------------ geometry validation
+
+TEST_F(SystolicTest, ValidGeometryDerivesTileHeight)
+{
+    AcceleratorParams p = sa_mach_.accel;
+    systolic::Geometry g = systolic::validateGeometry(p);
+    EXPECT_EQ(g.rows, 16u);
+    EXPECT_EQ(g.cols, 16u);
+    // 128 KB double-buffered input SRAM: a 64 KB bank holds
+    // 65536 / (16 rows * 4 B) = 1024 streamed input rows; the output
+    // bank bound is identical, so tile_m is their min.
+    EXPECT_EQ(g.tile_m, 1024u);
+    // Pipelined pass: fill + drain overlap costs rows + cols - 2.
+    EXPECT_EQ(g.passCycles(1), 1u + 16 + 16 - 2);
+    EXPECT_EQ(g.passCycles(1024), 1024u + 30);
+}
+
+TEST_F(SystolicTest, AsymmetricSramsBoundTileHeightSeparately)
+{
+    AcceleratorParams p = sa_mach_.accel;
+    p.output_sram_bytes = 8 * 1024;  // 4 KB bank -> 64 accumulator rows
+    systolic::Geometry g = systolic::validateGeometry(p);
+    EXPECT_EQ(g.tile_m, 64u);
+}
+
+TEST_F(SystolicTest, GeometryPanicsLikeCacheModelOnBadConfigs)
+{
+    AcceleratorParams p = sa_mach_.accel;
+
+    AcceleratorParams absent = p;
+    absent.present = false;
+    EXPECT_DEATH(systolic::validateGeometry(absent),
+                 "without an accelerator");
+
+    AcceleratorParams odd = p;
+    odd.input_sram_bytes = 1023;  // cannot split into two equal banks
+    EXPECT_DEATH(systolic::validateGeometry(odd), "two equal banks");
+
+    AcceleratorParams tiny_w = p;
+    tiny_w.weight_sram_bytes = 512;  // bank 256 B < 16*16*4 B tile
+    EXPECT_DEATH(systolic::validateGeometry(tiny_w),
+                 "weight SRAM bank");
+
+    AcceleratorParams tiny_io = p;
+    tiny_io.input_sram_bytes = 64;  // bank 32 B < one 16-wide row
+    EXPECT_DEATH(systolic::validateGeometry(tiny_io),
+                 "input/output SRAM bank");
+
+    AcceleratorParams empty = p;
+    empty.rows = 0;
+    EXPECT_DEATH(systolic::validateGeometry(empty), "non-empty");
+}
+
+// ------------------------------------------- numerics vs CPU kernels
+
+TEST_F(SystolicTest, MatMulMatchesCpuBitExactWithEdgeRemainders)
+{
+    // Deliberately not multiples of the 16x16 grid: every tile on the
+    // right/bottom edge is a remainder tile.
+    const std::size_t m = 37, k = 53, n = 29;
+    auto a_c = randomF(cpu_, m * k, 1), a_s = randomF(sa_, m * k, 1);
+    auto b_c = randomF(cpu_, k * n, 2), b_s = randomF(sa_, k * n, 2);
+    TracedBuffer<float> c_c(cpu_, m * n), c_s(sa_, m * n);
+
+    kernels::matMul(cpu_, a_c, b_c, c_c, m, k, n);
+    kernels::matMul(sa_, a_s, b_s, c_s, m, k, n);
+    // Per output element the array accumulates in the same K-ascending
+    // order as the CPU loop, so the float results are identical bits.
+    for (std::size_t i = 0; i < m * n; ++i)
+        EXPECT_EQ(c_c.raw()[i], c_s.raw()[i]) << "element " << i;
+}
+
+TEST_F(SystolicTest, FullyConnectedMatchesCpuBitExact)
+{
+    const std::size_t batch = 5, in_dim = 70, out_dim = 33;
+    auto x_c = randomF(cpu_, batch * in_dim, 3);
+    auto x_s = randomF(sa_, batch * in_dim, 3);
+    auto w_c = randomF(cpu_, out_dim * in_dim, 4);
+    auto w_s = randomF(sa_, out_dim * in_dim, 4);
+    auto b_c = randomF(cpu_, out_dim, 5);
+    auto b_s = randomF(sa_, out_dim, 5);
+    TracedBuffer<float> y_c(cpu_, batch * out_dim);
+    TracedBuffer<float> y_s(sa_, batch * out_dim);
+
+    kernels::fullyConnected(cpu_, x_c, batch, in_dim, w_c, b_c, y_c,
+                            out_dim);
+    kernels::fullyConnected(sa_, x_s, batch, in_dim, w_s, b_s, y_s,
+                            out_dim);
+    for (std::size_t i = 0; i < batch * out_dim; ++i)
+        EXPECT_EQ(y_c.raw()[i], y_s.raw()[i]) << "element " << i;
+}
+
+TEST_F(SystolicTest, ConvMatchesCpuBitExactBothLayouts)
+{
+    // Strided, padded, multi-image, multi-channel: exercises the
+    // im2col row clipping against the CPU loop's kx_lo/kx_hi logic.
+    Shape4 s{2, 3, 9, 9};
+    const std::uint32_t filters = 5, kernel = 3, stride = 2, pad = 1;
+    for (DataLayout layout : {DataLayout::NCHW, DataLayout::NHWC}) {
+        auto in_c = randomF(cpu_, s.elems(), 6);
+        auto in_s = randomF(sa_, s.elems(), 6);
+        auto w_c = randomF(cpu_, filters * s.c * kernel * kernel, 7);
+        auto w_s = randomF(sa_, filters * s.c * kernel * kernel, 7);
+        auto b_c = randomF(cpu_, filters, 8);
+        auto b_s = randomF(sa_, filters, 8);
+        Shape4 os{s.n, filters,
+                  kernels::convOutDim(s.h, kernel, stride, pad),
+                  kernels::convOutDim(s.w, kernel, stride, pad)};
+        TracedBuffer<float> out_c(cpu_, os.elems());
+        TracedBuffer<float> out_s(sa_, os.elems());
+
+        Shape4 ra = kernels::conv2d(cpu_, in_c, s, w_c, b_c, out_c,
+                                    filters, kernel, stride, pad,
+                                    layout);
+        Shape4 rb = kernels::conv2d(sa_, in_s, s, w_s, b_s, out_s,
+                                    filters, kernel, stride, pad,
+                                    layout);
+        EXPECT_EQ(ra, rb);
+        for (std::size_t i = 0; i < os.elems(); ++i)
+            EXPECT_EQ(out_c.raw()[i], out_s.raw()[i])
+                << (layout == DataLayout::NCHW ? "NCHW" : "NHWC")
+                << " element " << i;
+    }
+}
+
+TEST_F(SystolicTest, NonSquarePeGridMatchesCpu)
+{
+    // An 8x32 grid: K tiles of 8, N strips of 32 -- tiling changes,
+    // results must not.
+    MachineConfig wide = westmereE5645();
+    wide.accel.present = true;
+    wide.accel.rows = 8;
+    wide.accel.cols = 32;
+    TraceContext wctx(wide);
+
+    const std::size_t m = 9, k = 21, n = 45;
+    auto a_c = randomF(cpu_, m * k, 9), a_w = randomF(wctx, m * k, 9);
+    auto b_c = randomF(cpu_, k * n, 10), b_w = randomF(wctx, k * n, 10);
+    TracedBuffer<float> c_c(cpu_, m * n), c_w(wctx, m * n);
+    kernels::matMul(cpu_, a_c, b_c, c_c, m, k, n);
+    kernels::matMul(wctx, a_w, b_w, c_w, m, k, n);
+    for (std::size_t i = 0; i < m * n; ++i)
+        EXPECT_EQ(c_c.raw()[i], c_w.raw()[i]) << "element " << i;
+
+    systolic::Geometry g = systolic::validateGeometry(wide.accel);
+    EXPECT_EQ(g.rows, 8u);
+    EXPECT_EQ(g.cols, 32u);
+    // Input bank bounds at 65536/(8*4) = 2048 rows, output bank at
+    // 65536/(32*4) = 512 -- the tighter bound wins.
+    EXPECT_EQ(g.tile_m, 512u);
+}
+
+// ------------------------------------------------- profile accounting
+
+TEST_F(SystolicTest, MatMulAccountsUsefulMacsAndPipelinedCycles)
+{
+    const std::size_t m = 5, k = 20, n = 17;
+    auto a = randomF(sa_, m * k, 11);
+    auto b = randomF(sa_, k * n, 12);
+    TracedBuffer<float> c(sa_, m * n);
+    sa_.reset();
+    kernels::matMul(sa_, a, b, c, m, k, n);
+    KernelProfile p = sa_.profile();
+    // Dead lanes on remainder tiles clock but do no useful work: the
+    // MAC count is exactly the algorithmic m*k*n.
+    EXPECT_EQ(p.accel_macs, static_cast<std::uint64_t>(m) * k * n);
+    // 16x16 grid, tile_m=1024: 2 N strips x 1 M tile x 2 K tiles =
+    // 4 passes of (5 + 16 + 16 - 2) cycles each.
+    EXPECT_EQ(p.accel_cycles, 4u * (5 + 16 + 16 - 2));
+    // Off-chip traffic flows through the normal cache model.
+    EXPECT_GT(p.l1d.accesses, 0u);
+}
+
+TEST_F(SystolicTest, CpuPathLeavesAccelCountersZero)
+{
+    const std::size_t m = 8, k = 8, n = 8;
+    auto a = randomF(cpu_, m * k, 13);
+    auto b = randomF(cpu_, k * n, 14);
+    TracedBuffer<float> c(cpu_, m * n);
+    cpu_.reset();
+    kernels::matMul(cpu_, a, b, c, m, k, n);
+    KernelProfile p = cpu_.profile();
+    EXPECT_EQ(p.accel_macs, 0u);
+    EXPECT_EQ(p.accel_cycles, 0u);
+    // And a CPU node's array time is identically zero.
+    EXPECT_EQ(cpu_mach_.accel.seconds(p), 0.0);
+}
+
+TEST_F(SystolicTest, AccelSecondsScalesWithClockAndResetClears)
+{
+    auto a = randomF(sa_, 32 * 32, 15);
+    auto b = randomF(sa_, 32 * 32, 16);
+    TracedBuffer<float> c(sa_, 32 * 32);
+    sa_.reset();
+    kernels::matMul(sa_, a, b, c, 32, 32, 32);
+    KernelProfile p = sa_.profile();
+    EXPECT_GT(p.accel_cycles, 0u);
+    EXPECT_DOUBLE_EQ(sa_mach_.accel.seconds(p),
+                     static_cast<double>(p.accel_cycles) /
+                         (sa_mach_.accel.freq_ghz * 1e9));
+    sa_.reset();
+    KernelProfile cleared = sa_.profile();
+    EXPECT_EQ(cleared.accel_macs, 0u);
+    EXPECT_EQ(cleared.accel_cycles, 0u);
+}
+
+TEST_F(SystolicTest, ProfileMergeAndScaleCarryAccelCounters)
+{
+    KernelProfile a;
+    a.accel_macs = 100;
+    a.accel_cycles = 40;
+    KernelProfile b;
+    b.accel_macs = 11;
+    b.accel_cycles = 2;
+    a.merge(b);
+    EXPECT_EQ(a.accel_macs, 111u);
+    EXPECT_EQ(a.accel_cycles, 42u);
+    a.scale(2.0);
+    EXPECT_EQ(a.accel_macs, 222u);
+    EXPECT_EQ(a.accel_cycles, 84u);
+}
+
+TEST_F(SystolicTest, RepeatedRunsAreDeterministic)
+{
+    auto once = [this](std::uint64_t seed) {
+        TraceContext ctx(sa_mach_);
+        Rng rng(seed);
+        TracedBuffer<float> a(ctx, 19 * 23), b(ctx, 23 * 31);
+        for (auto &v : a.raw())
+            v = static_cast<float>(rng.nextDouble(-1, 1));
+        for (auto &v : b.raw())
+            v = static_cast<float>(rng.nextDouble(-1, 1));
+        TracedBuffer<float> c(ctx, 19 * 31);
+        kernels::matMul(ctx, a, b, c, 19, 23, 31);
+        return ctx.profile();
+    };
+    KernelProfile p1 = once(77), p2 = once(77);
+    EXPECT_EQ(p1.accel_macs, p2.accel_macs);
+    EXPECT_EQ(p1.accel_cycles, p2.accel_cycles);
+    for (std::size_t i = 0; i < p1.ops.size(); ++i)
+        EXPECT_EQ(p1.ops[i], p2.ops[i]) << "op class " << i;
+    EXPECT_EQ(p1.l1d.accesses, p2.l1d.accesses);
+    EXPECT_EQ(p1.l1d.misses, p2.l1d.misses);
+    EXPECT_EQ(p1.l2.accesses, p2.l2.accesses);
+    EXPECT_EQ(p1.l3.misses, p2.l3.misses);
+}
+
+} // namespace
+} // namespace dmpb
